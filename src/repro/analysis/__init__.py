@@ -1,0 +1,37 @@
+"""Analysis helpers: roofline model, phase breakdowns, speedup reporting."""
+
+from repro.analysis.breakdown import BreakdownRow, BreakdownTable, compare_fraction_tables
+from repro.analysis.metrics import (
+    MeasurementPoint,
+    SpeedupReport,
+    SweepSeries,
+    compute_speedup,
+    format_series_table,
+    geometric_mean,
+)
+from repro.analysis.roofline import (
+    KernelCharacteristics,
+    RooflineModel,
+    RooflinePoint,
+    dpf_eval_characteristics,
+    dpxor_characteristics,
+    key_gen_characteristics,
+)
+
+__all__ = [
+    "BreakdownRow",
+    "BreakdownTable",
+    "compare_fraction_tables",
+    "MeasurementPoint",
+    "SpeedupReport",
+    "SweepSeries",
+    "compute_speedup",
+    "format_series_table",
+    "geometric_mean",
+    "KernelCharacteristics",
+    "RooflineModel",
+    "RooflinePoint",
+    "dpf_eval_characteristics",
+    "dpxor_characteristics",
+    "key_gen_characteristics",
+]

@@ -1,0 +1,139 @@
+"""Throughput/latency series and speedup reporting.
+
+Small data containers used by the benchmark harness to hold one curve of a
+figure (e.g. "IM-PIR throughput vs DB size") and to compare two curves the
+way the paper does ("IM-PIR improves throughput by up to 3.7x over CPU-PIR").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """One (x, latency, throughput) sample of a sweep."""
+
+    x: float
+    latency_seconds: float
+    throughput_qps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0 or self.throughput_qps < 0:
+            raise ConfigurationError("latency and throughput must be non-negative")
+
+
+@dataclass
+class SweepSeries:
+    """A named curve: one measurement per x value (DB size, batch size, ...)."""
+
+    name: str
+    x_label: str
+    points: List[MeasurementPoint] = field(default_factory=list)
+
+    def add(self, x: float, latency_seconds: float, throughput_qps: float) -> None:
+        """Append one measurement."""
+        self.points.append(MeasurementPoint(x, latency_seconds, throughput_qps))
+
+    @property
+    def xs(self) -> List[float]:
+        """The sweep's x values, in insertion order."""
+        return [point.x for point in self.points]
+
+    @property
+    def latencies(self) -> List[float]:
+        """Latency values, in insertion order."""
+        return [point.latency_seconds for point in self.points]
+
+    @property
+    def throughputs(self) -> List[float]:
+        """Throughput values, in insertion order."""
+        return [point.throughput_qps for point in self.points]
+
+    def point_at(self, x: float) -> MeasurementPoint:
+        """The measurement at ``x`` (exact match required)."""
+        for point in self.points:
+            if math.isclose(point.x, x, rel_tol=1e-9):
+                return point
+        raise KeyError(f"no measurement at x={x} in series {self.name!r}")
+
+
+@dataclass
+class SpeedupReport:
+    """Point-wise ratios between a candidate series and a baseline series."""
+
+    candidate: str
+    baseline: str
+    x_label: str
+    throughput_speedups: Dict[float, float] = field(default_factory=dict)
+    latency_speedups: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def max_throughput_speedup(self) -> float:
+        """Largest throughput ratio across the sweep (the paper's headline figure)."""
+        return max(self.throughput_speedups.values(), default=0.0)
+
+    @property
+    def min_throughput_speedup(self) -> float:
+        """Smallest throughput ratio across the sweep."""
+        return min(self.throughput_speedups.values(), default=0.0)
+
+    @property
+    def mean_throughput_speedup(self) -> float:
+        """Geometric-mean throughput ratio across the sweep."""
+        values = list(self.throughput_speedups.values())
+        if not values:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    @property
+    def max_latency_speedup(self) -> float:
+        """Largest latency ratio (baseline / candidate) across the sweep."""
+        return max(self.latency_speedups.values(), default=0.0)
+
+
+def compute_speedup(candidate: SweepSeries, baseline: SweepSeries) -> SpeedupReport:
+    """Compare two sweeps sharing the same x values."""
+    if candidate.x_label != baseline.x_label:
+        raise ConfigurationError(
+            f"series sweep different axes: {candidate.x_label!r} vs {baseline.x_label!r}"
+        )
+    report = SpeedupReport(
+        candidate=candidate.name, baseline=baseline.name, x_label=candidate.x_label
+    )
+    for point in candidate.points:
+        base = baseline.point_at(point.x)
+        if base.throughput_qps > 0:
+            report.throughput_speedups[point.x] = point.throughput_qps / base.throughput_qps
+        if point.latency_seconds > 0:
+            report.latency_speedups[point.x] = base.latency_seconds / point.latency_seconds
+    return report
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 for an empty sequence)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def format_series_table(series_list: Sequence[SweepSeries], value: str = "throughput") -> str:
+    """Render several series as an aligned text table (one row per x value)."""
+    if not series_list:
+        return ""
+    xs = series_list[0].xs
+    header = [series_list[0].x_label] + [s.name for s in series_list]
+    lines = ["  ".join(f"{h:>18}" for h in header)]
+    for i, x in enumerate(xs):
+        cells = [f"{x:>18.3f}"]
+        for series in series_list:
+            point = series.points[i]
+            cell = point.throughput_qps if value == "throughput" else point.latency_seconds
+            cells.append(f"{cell:>18.3f}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Roofline model (paper Fig. 3b).
+
+The roofline model bounds a kernel's attainable performance by
+``min(peak_compute, operational_intensity * memory_bandwidth)``.  The paper
+uses it to show that the server-side PIR operations (dpXOR and, to a lesser
+extent, DPF evaluation) sit far left of the ridge point, i.e. they are
+memory-bound on a processor-centric machine — the observation motivating the
+move to PIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Operations and bytes moved by one kernel invocation."""
+
+    name: str
+    operations: float
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if self.operations < 0 or self.bytes_moved <= 0:
+            raise ConfigurationError("operations must be >= 0 and bytes_moved > 0")
+
+    @property
+    def operational_intensity(self) -> float:
+        """Operations per byte of memory traffic."""
+        return self.operations / self.bytes_moved
+
+
+def dpxor_characteristics(db_bytes: int, record_size: int = 32) -> KernelCharacteristics:
+    """Operational profile of the dpXOR scan over a ``db_bytes`` database.
+
+    Per record: one selector test plus (for roughly half the records)
+    ``record_size / 8`` 64-bit XORs; traffic is the database itself plus the
+    selector vector.  The resulting intensity is a fraction of an op per byte
+    — deep inside the memory-bound region.
+    """
+    if db_bytes <= 0 or record_size <= 0:
+        raise ConfigurationError("db_bytes and record_size must be positive")
+    num_records = db_bytes // record_size
+    operations = num_records * (1 + 0.5 * (record_size / 8))
+    bytes_moved = db_bytes + num_records
+    return KernelCharacteristics("dpXOR", operations, bytes_moved)
+
+
+def dpf_eval_characteristics(num_leaves: int, seed_bytes: int = 16) -> KernelCharacteristics:
+    """Operational profile of full-domain DPF evaluation.
+
+    Each leaf costs ~2 AES-128 blocks (~2 x 160 table/xor operations with
+    AES-NI counted as ~20 ops per block retired) and writes one selector bit;
+    traffic is the expanded level state plus the output vector.
+    """
+    if num_leaves <= 0:
+        raise ConfigurationError("num_leaves must be positive")
+    ops_per_leaf = 2 * 20.0
+    operations = num_leaves * ops_per_leaf
+    bytes_moved = num_leaves * (2 * seed_bytes + 1)
+    return KernelCharacteristics("Eval", operations, bytes_moved)
+
+
+def key_gen_characteristics(domain_bits: int) -> KernelCharacteristics:
+    """Operational profile of client-side key generation (O(log N) work)."""
+    if domain_bits <= 0:
+        raise ConfigurationError("domain_bits must be positive")
+    operations = domain_bits * 4 * 20.0
+    bytes_moved = domain_bits * (16 + 2) + 16
+    return KernelCharacteristics("Gen", operations, bytes_moved)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    operational_intensity: float
+    attainable_gops: float
+    memory_bound: bool
+
+
+class RooflineModel:
+    """Classic two-ceiling roofline for a given machine."""
+
+    def __init__(self, peak_gops: float, memory_bandwidth_gbps: float) -> None:
+        if peak_gops <= 0 or memory_bandwidth_gbps <= 0:
+            raise ConfigurationError("peak_gops and memory_bandwidth_gbps must be positive")
+        self.peak_gops = peak_gops
+        self.memory_bandwidth_gbps = memory_bandwidth_gbps
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity at which compute and bandwidth ceilings meet."""
+        return self.peak_gops / self.memory_bandwidth_gbps
+
+    def attainable_gops(self, operational_intensity: float) -> float:
+        """Attainable performance (Gops/s) at ``operational_intensity`` ops/byte."""
+        if operational_intensity <= 0:
+            raise ConfigurationError("operational_intensity must be positive")
+        return min(self.peak_gops, operational_intensity * self.memory_bandwidth_gbps)
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        """Whether a kernel of this intensity is limited by memory bandwidth."""
+        return operational_intensity < self.ridge_point
+
+    def place(self, kernel: KernelCharacteristics) -> RooflinePoint:
+        """Place one kernel on the roofline."""
+        intensity = kernel.operational_intensity
+        return RooflinePoint(
+            name=kernel.name,
+            operational_intensity=intensity,
+            attainable_gops=self.attainable_gops(intensity),
+            memory_bound=self.is_memory_bound(intensity),
+        )
+
+    def place_all(self, kernels: Sequence[KernelCharacteristics]) -> List[RooflinePoint]:
+        """Place several kernels on the roofline (Fig. 3b's point set)."""
+        return [self.place(kernel) for kernel in kernels]
+
+    def ceiling_series(self, intensities: Sequence[float]) -> List[float]:
+        """Roofline ceiling evaluated at each intensity (for plotting/reporting)."""
+        return [self.attainable_gops(oi) for oi in intensities]

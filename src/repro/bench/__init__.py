@@ -1,0 +1,59 @@
+"""Benchmark harness: analytic estimators, figure generators, reporting."""
+
+from repro.bench.estimators import (
+    CPUEstimator,
+    GPUEstimator,
+    IMPIREstimator,
+    MotivationBreakdown,
+    MotivationEstimator,
+    SystemEstimate,
+)
+from repro.bench.figures import (
+    Fig3Result,
+    Fig9Result,
+    Fig10Result,
+    Fig11Result,
+    Fig12Result,
+    fig3_motivation,
+    fig9_throughput_latency,
+    fig10_breakdown,
+    fig11_clustering,
+    fig12_gpu_comparison,
+    table1_phase_contributions,
+)
+from repro.bench.reporting import (
+    render_fig3,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_speedup,
+    render_table1,
+)
+
+__all__ = [
+    "CPUEstimator",
+    "GPUEstimator",
+    "IMPIREstimator",
+    "MotivationBreakdown",
+    "MotivationEstimator",
+    "SystemEstimate",
+    "Fig3Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "fig3_motivation",
+    "fig9_throughput_latency",
+    "fig10_breakdown",
+    "fig11_clustering",
+    "fig12_gpu_comparison",
+    "table1_phase_contributions",
+    "render_fig3",
+    "render_fig9",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_speedup",
+    "render_table1",
+]

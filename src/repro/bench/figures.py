@@ -1,0 +1,268 @@
+"""Per-figure data generators.
+
+Each function regenerates the data behind one of the paper's tables or
+figures from the analytic estimators, returning plain dataclasses the
+benchmark modules print and the tests assert against.  The functional
+counterparts (small-database end-to-end runs through the simulators) live in
+the benchmark modules themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.breakdown import BreakdownTable
+from repro.analysis.metrics import SpeedupReport, SweepSeries, compute_speedup
+from repro.analysis.roofline import (
+    RooflineModel,
+    RooflinePoint,
+    dpf_eval_characteristics,
+    dpxor_characteristics,
+    key_gen_characteristics,
+)
+from repro.bench import paper_reference as paper
+from repro.bench.estimators import (
+    CPUEstimator,
+    GPUEstimator,
+    IMPIREstimator,
+    MotivationBreakdown,
+    MotivationEstimator,
+)
+from repro.core.config import IMPIRConfig
+from repro.core.results import ALL_PHASES, PHASE_DPXOR, PHASE_EVAL
+from repro.cpu.config import CPUConfig
+from repro.gpu.config import GPUConfig
+from repro.workloads.generator import DatabaseSpec
+
+DEFAULT_BATCH = paper.PAPER_DEFAULT_BATCH
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — motivation: DPF-PIR cost breakdown and roofline.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig3Result:
+    """Fig. 3(a) breakdown rows plus Fig. 3(b) roofline placements."""
+
+    breakdowns: List[MotivationBreakdown] = field(default_factory=list)
+    roofline_points: List[RooflinePoint] = field(default_factory=list)
+    ridge_point: float = 0.0
+
+
+def fig3_motivation(
+    db_sizes_gib: Sequence[float] = (1.0, 2.0, 4.0),
+    cpu_config: Optional[CPUConfig] = None,
+) -> Fig3Result:
+    """Regenerate Fig. 3: per-phase times and the roofline placement."""
+    cpu_config = cpu_config if cpu_config is not None else CPUConfig()
+    estimator = MotivationEstimator(cpu_config)
+    breakdowns = [estimator.breakdown(size) for size in db_sizes_gib]
+
+    # Roofline of the baseline server: peak scalar+AVX ops vs DRAM bandwidth.
+    peak_gops = cpu_config.total_cores * cpu_config.frequency_hz * 8 / 1e9
+    roofline = RooflineModel(
+        peak_gops=peak_gops, memory_bandwidth_gbps=cpu_config.dram_peak_bandwidth / 1e9
+    )
+    largest = DatabaseSpec.from_size_gib(max(db_sizes_gib))
+    kernels = [
+        dpxor_characteristics(largest.size_bytes, largest.record_size),
+        dpf_eval_characteristics(largest.num_records),
+        key_gen_characteristics(max(1, (largest.num_records - 1).bit_length())),
+    ]
+    return Fig3Result(
+        breakdowns=breakdowns,
+        roofline_points=roofline.place_all(kernels),
+        ridge_point=roofline.ridge_point,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — throughput/latency vs DB size and batch size.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig9Result:
+    """The four panels of Fig. 9 as named sweep series plus speedup reports."""
+
+    vs_db_size: Dict[str, SweepSeries] = field(default_factory=dict)
+    vs_batch_size: Dict[str, SweepSeries] = field(default_factory=dict)
+    speedup_vs_db_size: Optional[SpeedupReport] = None
+    speedup_vs_batch_size: Optional[SpeedupReport] = None
+
+
+def fig9_throughput_latency(
+    db_sizes_gib: Sequence[float] = paper.PAPER_FIG9_DB_SIZES_GIB,
+    batch_sizes: Sequence[int] = paper.PAPER_BATCH_SIZES,
+    batch_for_db_sweep: int = DEFAULT_BATCH,
+    db_gib_for_batch_sweep: float = 1.0,
+    impir_config: Optional[IMPIRConfig] = None,
+    cpu_config: Optional[CPUConfig] = None,
+) -> Fig9Result:
+    """Regenerate Fig. 9(a-d): CPU-PIR vs IM-PIR sweeps."""
+    impir = IMPIREstimator(impir_config)
+    cpu = CPUEstimator(cpu_config)
+    result = Fig9Result()
+
+    impir_db = SweepSeries("IM-PIR", "db_size_gib")
+    cpu_db = SweepSeries("CPU-PIR", "db_size_gib")
+    for size in db_sizes_gib:
+        spec = DatabaseSpec.from_size_gib(size)
+        impir_est = impir.batch_estimate(spec, batch_for_db_sweep)
+        cpu_est = cpu.batch_estimate(spec, batch_for_db_sweep)
+        impir_db.add(size, impir_est.latency_seconds, impir_est.throughput_qps)
+        cpu_db.add(size, cpu_est.latency_seconds, cpu_est.throughput_qps)
+    result.vs_db_size = {"IM-PIR": impir_db, "CPU-PIR": cpu_db}
+    result.speedup_vs_db_size = compute_speedup(impir_db, cpu_db)
+
+    impir_batch = SweepSeries("IM-PIR", "batch_size")
+    cpu_batch = SweepSeries("CPU-PIR", "batch_size")
+    spec = DatabaseSpec.from_size_gib(db_gib_for_batch_sweep)
+    for batch in batch_sizes:
+        impir_est = impir.batch_estimate(spec, batch)
+        cpu_est = cpu.batch_estimate(spec, batch)
+        impir_batch.add(batch, impir_est.latency_seconds, impir_est.throughput_qps)
+        cpu_batch.add(batch, cpu_est.latency_seconds, cpu_est.throughput_qps)
+    result.vs_batch_size = {"IM-PIR": impir_batch, "CPU-PIR": cpu_batch}
+    result.speedup_vs_batch_size = compute_speedup(impir_batch, cpu_batch)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 / Table 1 — latency breakdown per phase.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig10Result:
+    """Breakdown tables for IM-PIR and CPU-PIR plus the Table 1 fractions."""
+
+    impir_table: BreakdownTable = field(default_factory=lambda: BreakdownTable(ALL_PHASES))
+    cpu_table: BreakdownTable = field(
+        default_factory=lambda: BreakdownTable([PHASE_EVAL, PHASE_DPXOR])
+    )
+    impir_fractions: Dict[str, float] = field(default_factory=dict)
+    cpu_fractions: Dict[str, float] = field(default_factory=dict)
+
+
+def fig10_breakdown(
+    db_sizes_gib: Sequence[float] = paper.PAPER_FIG10_DB_SIZES_GIB,
+    impir_config: Optional[IMPIRConfig] = None,
+    cpu_config: Optional[CPUConfig] = None,
+) -> Fig10Result:
+    """Regenerate Fig. 10 and the Table 1 averages."""
+    impir = IMPIREstimator(impir_config)
+    cpu = CPUEstimator(cpu_config)
+    result = Fig10Result()
+    for size in db_sizes_gib:
+        spec = DatabaseSpec.from_size_gib(size)
+        result.impir_table.add_row(f"{size:g} GB", impir.query_breakdown(spec))
+        result.cpu_table.add_row(f"{size:g} GB", cpu.query_breakdown(spec))
+    result.impir_fractions = result.impir_table.average_fractions()
+    result.cpu_fractions = result.cpu_table.average_fractions()
+    return result
+
+
+def table1_phase_contributions(
+    db_sizes_gib: Sequence[float] = paper.PAPER_FIG10_DB_SIZES_GIB,
+    impir_config: Optional[IMPIRConfig] = None,
+    cpu_config: Optional[CPUConfig] = None,
+) -> Fig10Result:
+    """Table 1 is the average of the Fig. 10 sweep; reuse the same generator."""
+    return fig10_breakdown(db_sizes_gib, impir_config=impir_config, cpu_config=cpu_config)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — DPU clustering.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig11Result:
+    """Throughput/latency per cluster count, and the max gain over one cluster."""
+
+    series_by_clusters: Dict[int, SweepSeries] = field(default_factory=dict)
+    max_gain_over_single_cluster: float = 0.0
+
+
+def fig11_clustering(
+    cluster_counts: Sequence[int] = paper.PAPER_FIG11_CLUSTERS,
+    batch_sizes: Sequence[int] = paper.PAPER_FIG11_BATCH_SIZES,
+    db_size_gib: float = 1.0,
+    impir_config: Optional[IMPIRConfig] = None,
+) -> Fig11Result:
+    """Regenerate Fig. 11: effect of DPU clustering on batch processing."""
+    base_config = impir_config if impir_config is not None else IMPIRConfig()
+    spec = DatabaseSpec.from_size_gib(db_size_gib)
+    result = Fig11Result()
+    for clusters in cluster_counts:
+        estimator = IMPIREstimator(base_config.with_clusters(clusters))
+        series = SweepSeries(f"{clusters} cluster(s)", "batch_size")
+        for batch in batch_sizes:
+            estimate = estimator.batch_estimate(spec, batch)
+            series.add(batch, estimate.latency_seconds, estimate.throughput_qps)
+        result.series_by_clusters[clusters] = series
+
+    if 1 in result.series_by_clusters:
+        single = result.series_by_clusters[1]
+        best_gain = 0.0
+        for clusters, series in result.series_by_clusters.items():
+            if clusters == 1:
+                continue
+            for point, base_point in zip(series.points, single.points):
+                if base_point.throughput_qps > 0:
+                    best_gain = max(best_gain, point.throughput_qps / base_point.throughput_qps)
+        result.max_gain_over_single_cluster = best_gain
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — comparison with GPU-PIR.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig12Result:
+    """CPU vs IM-PIR vs GPU series plus pairwise speedup reports."""
+
+    series: Dict[str, SweepSeries] = field(default_factory=dict)
+    impir_over_gpu: Optional[SpeedupReport] = None
+    gpu_over_cpu: Optional[SpeedupReport] = None
+    impir_over_cpu: Optional[SpeedupReport] = None
+
+
+def fig12_gpu_comparison(
+    db_sizes_gib: Sequence[float] = paper.PAPER_FIG12_DB_SIZES_GIB,
+    batch_size: int = DEFAULT_BATCH,
+    impir_config: Optional[IMPIRConfig] = None,
+    cpu_config: Optional[CPUConfig] = None,
+    gpu_config: Optional[GPUConfig] = None,
+) -> Fig12Result:
+    """Regenerate Fig. 12: CPU-PIR vs IM-PIR vs GPU-PIR on small databases."""
+    impir = IMPIREstimator(impir_config)
+    cpu = CPUEstimator(cpu_config)
+    gpu = GPUEstimator(gpu_config)
+
+    impir_series = SweepSeries("IM-PIR", "db_size_gib")
+    cpu_series = SweepSeries("CPU-PIR", "db_size_gib")
+    gpu_series = SweepSeries("GPU-PIR", "db_size_gib")
+    for size in db_sizes_gib:
+        spec = DatabaseSpec.from_size_gib(size)
+        for estimator, series in (
+            (impir, impir_series),
+            (cpu, cpu_series),
+            (gpu, gpu_series),
+        ):
+            estimate = estimator.batch_estimate(spec, batch_size)
+            series.add(size, estimate.latency_seconds, estimate.throughput_qps)
+
+    result = Fig12Result(
+        series={"IM-PIR": impir_series, "CPU-PIR": cpu_series, "GPU-PIR": gpu_series}
+    )
+    result.impir_over_gpu = compute_speedup(impir_series, gpu_series)
+    result.gpu_over_cpu = compute_speedup(gpu_series, cpu_series)
+    result.impir_over_cpu = compute_speedup(impir_series, cpu_series)
+    return result

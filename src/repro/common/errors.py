@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the IM-PIR reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors such as
+``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class CapacityError(ReproError):
+    """A simulated hardware resource (MRAM, WRAM, VRAM, ...) would overflow."""
+
+
+class ProtocolError(ReproError):
+    """A PIR protocol invariant was violated (wrong key, wrong server count, ...)."""
+
+
+class KeyMismatchError(ProtocolError):
+    """A DPF key was used against the wrong domain or the wrong party."""
+
+
+class DatabaseError(ReproError):
+    """The PIR database is malformed or an index is out of range."""
+
+
+class SchedulingError(ReproError):
+    """The batch scheduler was asked to do something impossible."""
+
+
+class TransferError(ReproError):
+    """A simulated CPU<->DPU transfer referenced an invalid buffer or range."""
+
+
+class KernelError(ReproError):
+    """A simulated DPU kernel was launched with invalid arguments."""

@@ -1,0 +1,120 @@
+"""Lightweight simulated-time accounting.
+
+The simulators in :mod:`repro.pim`, :mod:`repro.cpu` and :mod:`repro.gpu` do
+real work on real buffers but report *model time*: seconds derived from bytes
+moved and operations executed under the configured hardware rates.  This
+module provides the small ledger used everywhere to accumulate that time per
+named phase (``"eval"``, ``"copy_cpu_to_dpu"``, ``"dpxor"``, ...), so a single
+mechanism feeds both the end-to-end latency numbers and the per-phase
+breakdowns of Figure 10 / Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates simulated seconds under named phases.
+
+    The timer is additive: recording the same phase twice sums the durations.
+    Phases are kept in insertion order so breakdown tables print in pipeline
+    order.
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` of simulated time to ``phase``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {phase!r}: {seconds}")
+        self.durations[phase] = self.durations.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        """Simulated seconds recorded under ``phase`` (0.0 if never recorded)."""
+        return self.durations.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self.durations.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer into this one (phase-wise addition)."""
+        for phase, seconds in other.durations.items():
+            self.record(phase, seconds)
+
+    def merge_parallel(self, other: "PhaseTimer") -> None:
+        """Fold another timer assuming it ran concurrently with this one.
+
+        Each phase becomes the max of the two contributions, matching the
+        behaviour of independent workers whose per-phase costs overlap.
+        """
+        for phase, seconds in other.durations.items():
+            current = self.durations.get(phase, 0.0)
+            self.durations[phase] = max(current, seconds)
+
+    def scaled(self, factor: float) -> "PhaseTimer":
+        """Return a new timer with every phase multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        scaled = PhaseTimer()
+        for phase, seconds in self.durations.items():
+            scaled.record(phase, seconds * factor)
+        return scaled
+
+    def fractions(self) -> Dict[str, float]:
+        """Return each phase's share of the total (empty dict if total is 0)."""
+        total = self.total
+        if total <= 0.0:
+            return {}
+        return {phase: seconds / total for phase, seconds in self.durations.items()}
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate over ``(phase, seconds)`` pairs in insertion order."""
+        return iter(self.durations.items())
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Copy of the underlying phase->seconds mapping."""
+        return dict(self.durations)
+
+    def copy(self) -> "PhaseTimer":
+        """Independent copy of this timer."""
+        duplicate = PhaseTimer()
+        duplicate.durations = dict(self.durations)
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{phase}={seconds:.6f}s" for phase, seconds in self.durations.items())
+        return f"PhaseTimer({parts})"
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Components that model sequential pipelines (for example a DPU executing
+    tasklets then DMA transfers) advance the clock explicitly; components that
+    model parallel resources take the max of their children's clocks.
+    """
+
+    now: float = 0.0
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock by a negative duration")
+        self.now += seconds
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it is in the future."""
+        if timestamp > self.now:
+            self.now = timestamp
+        return self.now
+
+    def reset(self) -> None:
+        """Reset the clock to zero."""
+        self.now = 0.0

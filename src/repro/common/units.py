@@ -1,0 +1,80 @@
+"""Byte/size/time unit helpers.
+
+The paper uses KB/MB/GB for 2**10 / 2**20 / 2**30 bytes; this module fixes the
+same convention so database sizes quoted in experiments line up with the
+paper's axes.
+"""
+
+from __future__ import annotations
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+#: Aliases matching the paper's notation (KB/MB/GB are powers of two).
+KB = KIB
+MB = MIB
+GB = GIB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def bytes_to_gib(num_bytes: int | float) -> float:
+    """Convert a byte count to GiB (the paper's "GB")."""
+    return float(num_bytes) / GIB
+
+
+def bytes_to_mib(num_bytes: int | float) -> float:
+    """Convert a byte count to MiB (the paper's "MB")."""
+    return float(num_bytes) / MIB
+
+
+def gib(value: float) -> int:
+    """Return ``value`` GiB expressed in bytes (rounded down to an int)."""
+    return int(value * GIB)
+
+
+def mib(value: float) -> int:
+    """Return ``value`` MiB expressed in bytes (rounded down to an int)."""
+    return int(value * MIB)
+
+
+def kib(value: float) -> int:
+    """Return ``value`` KiB expressed in bytes (rounded down to an int)."""
+    return int(value * KIB)
+
+
+def format_bytes(num_bytes: int | float) -> str:
+    """Render a byte count with a human-friendly binary suffix.
+
+    >>> format_bytes(2048)
+    '2.00 KB'
+    >>> format_bytes(3 * GIB)
+    '3.00 GB'
+    """
+    value = float(num_bytes)
+    for suffix, scale in (("GB", GIB), ("MB", MIB), ("KB", KIB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration using the most readable unit.
+
+    >>> format_seconds(0.0032)
+    '3.200 ms'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    return f"{seconds / MICROSECOND:.3f} us"
+
+
+def throughput_qps(num_queries: int, elapsed_seconds: float) -> float:
+    """Queries-per-second for ``num_queries`` completed in ``elapsed_seconds``."""
+    if elapsed_seconds <= 0.0:
+        raise ValueError("elapsed_seconds must be positive")
+    return num_queries / elapsed_seconds

@@ -1,0 +1,52 @@
+"""IM-PIR core: configuration, partitioning, scheduling, the server itself."""
+
+from repro.core.config import DEFAULT_BLOCKS_PER_LEAF, IMPIRConfig
+from repro.core.impir import IMPIRDeployment, IMPIRServer
+from repro.core.partitioning import (
+    DatabasePartitioner,
+    PartitionLayout,
+    fold_partials,
+    kwargs_for_kernel,
+)
+from repro.core.results import (
+    ALL_PHASES,
+    PHASE_AGGREGATE,
+    PHASE_COPY_IN,
+    PHASE_COPY_OUT,
+    PHASE_DPXOR,
+    PHASE_EVAL,
+    IMPIRBatchResult,
+    IMPIRQueryResult,
+)
+from repro.core.scheduler import BatchSchedule, BatchScheduler, QueryTask, ScheduledQuery
+from repro.core.streaming import (
+    PHASE_COPY_DB,
+    StreamedIMPIRServer,
+    streaming_overhead_factor,
+)
+
+__all__ = [
+    "DEFAULT_BLOCKS_PER_LEAF",
+    "IMPIRConfig",
+    "IMPIRDeployment",
+    "IMPIRServer",
+    "DatabasePartitioner",
+    "PartitionLayout",
+    "fold_partials",
+    "kwargs_for_kernel",
+    "ALL_PHASES",
+    "PHASE_AGGREGATE",
+    "PHASE_COPY_IN",
+    "PHASE_COPY_OUT",
+    "PHASE_DPXOR",
+    "PHASE_EVAL",
+    "IMPIRBatchResult",
+    "IMPIRQueryResult",
+    "BatchSchedule",
+    "BatchScheduler",
+    "QueryTask",
+    "ScheduledQuery",
+    "PHASE_COPY_DB",
+    "StreamedIMPIRServer",
+    "streaming_overhead_factor",
+]

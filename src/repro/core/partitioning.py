@@ -1,0 +1,144 @@
+"""Database and selector-share partitioning across DPUs (paper §3.3).
+
+The database is laid out linearly: DPU ``i`` of a cluster receives the
+contiguous block ``[i * B_d, (i+1) * B_d)`` of records, with
+``B_d = ceil(N / P)``.  The DPF evaluation results (selector bits) are split
+the same way and shipped as packed bit vectors, which is what keeps the
+per-query CPU->DPU traffic to ``N/8`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import CapacityError, ConfigurationError
+from repro.pir.database import Database
+
+
+@dataclass(frozen=True)
+class PartitionLayout:
+    """Record-range assignment of a database across the DPUs of one cluster."""
+
+    num_records: int
+    record_size: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_dpus(self) -> int:
+        """DPUs covered by this layout."""
+        return len(self.bounds)
+
+    @property
+    def max_records_per_dpu(self) -> int:
+        """Largest per-DPU block (the paper's ``B_d``)."""
+        return max((stop - start for start, stop in self.bounds), default=0)
+
+    def records_on_dpu(self, dpu_index: int) -> int:
+        """Number of records held by DPU ``dpu_index``."""
+        start, stop = self.bounds[dpu_index]
+        return stop - start
+
+    def bytes_on_dpu(self, dpu_index: int) -> int:
+        """Database bytes held by DPU ``dpu_index``."""
+        return self.records_on_dpu(dpu_index) * self.record_size
+
+    def validate_coverage(self) -> bool:
+        """Check the blocks tile ``[0, num_records)`` exactly once, in order."""
+        cursor = 0
+        for start, stop in self.bounds:
+            if start != cursor or stop < start:
+                return False
+            cursor = stop
+        return cursor == self.num_records
+
+
+class DatabasePartitioner:
+    """Builds partition layouts and the per-DPU buffers they imply."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def layout(self, num_dpus: int) -> PartitionLayout:
+        """Linear layout of the database across ``num_dpus`` DPUs."""
+        if num_dpus <= 0:
+            raise ConfigurationError("num_dpus must be positive")
+        bounds = tuple(self.database.chunk_bounds(num_dpus))
+        return PartitionLayout(
+            num_records=self.database.num_records,
+            record_size=self.database.record_size,
+            bounds=bounds,
+        )
+
+    def check_capacity(
+        self, layout: PartitionLayout, mram_bytes_per_dpu: int, reserve_fraction: float = 0.25
+    ) -> None:
+        """Raise :class:`CapacityError` if any DPU block overflows usable MRAM."""
+        usable = int(mram_bytes_per_dpu * (1.0 - reserve_fraction))
+        worst = layout.max_records_per_dpu * layout.record_size
+        if worst > usable:
+            raise CapacityError(
+                f"database block of {worst} bytes exceeds usable MRAM "
+                f"({usable} of {mram_bytes_per_dpu} bytes per DPU)"
+            )
+
+    def database_chunks(self, layout: PartitionLayout) -> List[np.ndarray]:
+        """Flattened per-DPU database blocks, in layout order."""
+        chunks = []
+        for start, stop in layout.bounds:
+            chunks.append(np.ascontiguousarray(self.database.chunk(start, stop)).reshape(-1))
+        return chunks
+
+    @staticmethod
+    def selector_chunks(layout: PartitionLayout, selector_bits: np.ndarray) -> List[np.ndarray]:
+        """Per-DPU packed selector-share buffers, in layout order.
+
+        ``selector_bits`` is the full-domain DPF evaluation (0/1 per record);
+        each DPU receives the packed bits covering its record range.
+        """
+        selector_bits = np.asarray(selector_bits, dtype=np.uint8)
+        if selector_bits.shape != (layout.num_records,):
+            raise ConfigurationError(
+                f"selector length {selector_bits.shape} does not match layout "
+                f"({layout.num_records} records)"
+            )
+        chunks = []
+        for start, stop in layout.bounds:
+            bits = selector_bits[start:stop]
+            if bits.size == 0:
+                chunks.append(np.zeros(1, dtype=np.uint8))
+            else:
+                chunks.append(np.packbits(bits, bitorder="big"))
+        return chunks
+
+    @staticmethod
+    def packed_selector_bytes(layout: PartitionLayout) -> int:
+        """Total bytes shipped to the DPUs for one query's selector shares."""
+        total = 0
+        for start, stop in layout.bounds:
+            records = stop - start
+            total += (records + 7) // 8 if records else 1
+        return total
+
+
+def kwargs_for_kernel(layout: PartitionLayout) -> List[dict]:
+    """Per-DPU keyword arguments for :class:`~repro.pim.kernels.DpXorKernel`."""
+    return [
+        {"num_records": stop - start, "record_size": layout.record_size}
+        for start, stop in layout.bounds
+    ]
+
+
+def fold_partials(partials: Sequence[np.ndarray], record_size: int) -> np.ndarray:
+    """XOR-fold per-DPU sub-results into the server's answer (Algorithm 1 ➏)."""
+    result = np.zeros(record_size, dtype=np.uint8)
+    for partial in partials:
+        array = np.asarray(partial, dtype=np.uint8).reshape(-1)
+        if array.size != record_size:
+            raise ConfigurationError(
+                f"partial result has {array.size} bytes, expected {record_size}"
+            )
+        result ^= array
+    return result

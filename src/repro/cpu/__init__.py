@@ -1,0 +1,27 @@
+"""Processor-centric baseline: cache model, CPU cost model, CPU-PIR server."""
+
+from repro.cpu.cache import BandwidthEstimate, CacheModel
+from repro.cpu.config import CPU_BASELINE_CONFIG, CPUConfig
+from repro.cpu.cpu_pir import CPUBatchResult, CPUPIRServer, CPUQueryResult
+from repro.cpu.model import (
+    BLOCKS_PER_LEAF,
+    PHASE_DPXOR,
+    PHASE_EVAL,
+    CPUBatchEstimate,
+    CPUModel,
+)
+
+__all__ = [
+    "BandwidthEstimate",
+    "CacheModel",
+    "CPU_BASELINE_CONFIG",
+    "CPUConfig",
+    "CPUBatchResult",
+    "CPUPIRServer",
+    "CPUQueryResult",
+    "BLOCKS_PER_LEAF",
+    "PHASE_DPXOR",
+    "PHASE_EVAL",
+    "CPUBatchEstimate",
+    "CPUModel",
+]

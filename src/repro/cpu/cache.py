@@ -1,0 +1,91 @@
+"""Cache/bandwidth model of the processor-centric memory hierarchy.
+
+The paper's explanation for CPU-PIR's poor scaling is the memory wall: once
+the database no longer fits in the last-level cache, every dpXOR pass streams
+it from DRAM, and with one thread per query many concurrent streams contend
+for the same memory controllers.  This module captures exactly those two
+effects:
+
+* **LLC capacity** — scans whose working set fits in the LLC run at cache
+  bandwidth; larger scans run at DRAM speed.
+* **Stream contention** — effective DRAM bandwidth degrades as more threads
+  stream simultaneously (row-buffer conflicts, queueing), modelled as a
+  ``1 / (1 + alpha * (streams - 1))`` efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.config import CPUConfig
+
+
+@dataclass
+class BandwidthEstimate:
+    """Result of a bandwidth query against the cache model."""
+
+    per_stream_bandwidth: float
+    aggregate_bandwidth: float
+    served_from_llc: bool
+
+
+class CacheModel:
+    """Answers "how fast can N threads stream a working set of S bytes?"."""
+
+    def __init__(self, config: CPUConfig) -> None:
+        self.config = config
+
+    def dram_efficiency(self, concurrent_streams: int) -> float:
+        """Fraction of peak DRAM bandwidth achievable with ``concurrent_streams``."""
+        if concurrent_streams <= 0:
+            raise ConfigurationError("concurrent_streams must be positive")
+        alpha = self.config.stream_contention_alpha
+        return 1.0 / (1.0 + alpha * (concurrent_streams - 1))
+
+    def effective_dram_bandwidth(self, concurrent_streams: int) -> float:
+        """Aggregate DRAM bandwidth available to ``concurrent_streams`` streams."""
+        return self.config.dram_peak_bandwidth * self.dram_efficiency(concurrent_streams)
+
+    def fits_in_llc(self, working_set_bytes: int) -> bool:
+        """Whether a working set is LLC-resident after the first pass."""
+        if working_set_bytes < 0:
+            raise ConfigurationError("working_set_bytes must be non-negative")
+        return working_set_bytes <= self.config.llc_bytes
+
+    def streaming_bandwidth(
+        self, working_set_bytes: int, concurrent_streams: int = 1
+    ) -> BandwidthEstimate:
+        """Bandwidth for ``concurrent_streams`` scans of ``working_set_bytes`` each.
+
+        Returns both the per-stream and the aggregate figure; the caller picks
+        whichever bound applies (a single query's latency is limited by the
+        per-stream figure, a batch's makespan by the aggregate one).
+        """
+        if concurrent_streams <= 0:
+            raise ConfigurationError("concurrent_streams must be positive")
+        if self.fits_in_llc(working_set_bytes * concurrent_streams):
+            aggregate = self.config.llc_bandwidth
+            per_stream = aggregate / concurrent_streams
+            return BandwidthEstimate(per_stream, aggregate, served_from_llc=True)
+
+        aggregate = self.effective_dram_bandwidth(concurrent_streams)
+        fair_share = aggregate / concurrent_streams
+        per_stream = min(self.config.single_thread_stream_bandwidth, fair_share)
+        return BandwidthEstimate(per_stream, aggregate, served_from_llc=False)
+
+    def scan_seconds(
+        self, working_set_bytes: int, concurrent_streams: int = 1, unloaded: bool = False
+    ) -> float:
+        """Seconds for one stream to scan ``working_set_bytes`` once.
+
+        ``unloaded=True`` ignores contention (a single query running alone),
+        which is the figure the per-query critical path uses.
+        """
+        if working_set_bytes == 0:
+            return 0.0
+        if unloaded:
+            estimate = self.streaming_bandwidth(working_set_bytes, concurrent_streams=1)
+        else:
+            estimate = self.streaming_bandwidth(working_set_bytes, concurrent_streams)
+        return working_set_bytes / estimate.per_stream_bandwidth

@@ -1,0 +1,90 @@
+"""Configuration of the processor-centric baseline server.
+
+The paper runs its CPU-PIR baseline (Google's ``distributed_point_functions``
+DPF library with AES-NI and AVX, one thread per query) on a separate machine
+without PIM DIMMs: two 16-core Xeon E5-2683 v4 CPUs, 40 MB of LLC per socket
+and 128 GB of DRAM.  The figures below describe that machine plus the handful
+of derived rates the cost model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, MIB
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Baseline CPU server parameters (Xeon E5-2683 v4 box in the paper)."""
+
+    sockets: int = 2
+    cores_per_socket: int = 16
+    threads_per_core: int = 2
+    frequency_hz: float = 2.1e9
+    llc_bytes: int = 40 * MIB
+    dram_bytes: int = 128 * GIB
+    #: Peak DRAM bandwidth (4-channel DDR4-2400 per socket).
+    dram_peak_bandwidth: float = 76.8e9
+    #: Sustained bandwidth one streaming thread achieves in isolation (AVX
+    #: loads with hardware prefetching, conditional accumulate).
+    single_thread_stream_bandwidth: float = 12e9
+    #: Effective bandwidth when the whole working set fits in the LLC.
+    llc_bandwidth: float = 220e9
+    #: Row-buffer / queueing efficiency loss per additional concurrent stream.
+    stream_contention_alpha: float = 0.04
+    #: Effective GGM-expansion rate per query thread (AES-128 blocks/second).
+    #: The baseline library evaluates the tree recursively per node, which
+    #: keeps it below the raw pipelined AES-NI peak that IM-PIR's batched
+    #: host-side evaluation reaches.
+    aes_blocks_per_second_per_thread: float = 150e6
+    #: Scaling efficiency when many threads cooperate on one evaluation.
+    thread_scaling_efficiency: float = 0.8
+    #: Threads devoted to query processing in the batch experiments (the paper
+    #: uses 32: one per query of the default batch).
+    query_threads: int = 32
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0 or self.threads_per_core <= 0:
+            raise ConfigurationError("core topology values must be positive")
+        if self.frequency_hz <= 0 or self.dram_peak_bandwidth <= 0:
+            raise ConfigurationError("frequency and bandwidth must be positive")
+        if self.llc_bytes <= 0 or self.dram_bytes <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if not 0.0 <= self.stream_contention_alpha < 1.0:
+            raise ConfigurationError("stream_contention_alpha must be in [0, 1)")
+        if self.query_threads <= 0:
+            raise ConfigurationError("query_threads must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads on the machine."""
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores on the machine."""
+        return self.sockets * self.cores_per_socket
+
+    def with_query_threads(self, query_threads: int) -> "CPUConfig":
+        """A copy of this configuration with a different query-thread count."""
+        return CPUConfig(
+            sockets=self.sockets,
+            cores_per_socket=self.cores_per_socket,
+            threads_per_core=self.threads_per_core,
+            frequency_hz=self.frequency_hz,
+            llc_bytes=self.llc_bytes,
+            dram_bytes=self.dram_bytes,
+            dram_peak_bandwidth=self.dram_peak_bandwidth,
+            single_thread_stream_bandwidth=self.single_thread_stream_bandwidth,
+            llc_bandwidth=self.llc_bandwidth,
+            stream_contention_alpha=self.stream_contention_alpha,
+            aes_blocks_per_second_per_thread=self.aes_blocks_per_second_per_thread,
+            thread_scaling_efficiency=self.thread_scaling_efficiency,
+            query_threads=query_threads,
+        )
+
+
+#: The paper's baseline machine.
+CPU_BASELINE_CONFIG = CPUConfig()

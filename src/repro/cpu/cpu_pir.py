@@ -1,0 +1,123 @@
+"""CPU-PIR: the processor-centric baseline server (functional + cost model).
+
+This is the system the paper compares against: a standard multi-server PIR
+server where both the DPF evaluation and the dpXOR database scan run on the
+CPU, the database lives in ordinary DRAM, and every query moves the whole
+database across the memory bus.  The functional path produces bit-exact
+answers (it is a thin wrapper around the reference server); the attached cost
+model reports the simulated per-phase latencies that the benchmark harness
+turns into Fig. 9/10/12 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.events import PhaseTimer
+from repro.cpu.config import CPUConfig
+from repro.cpu.model import PHASE_DPXOR, PHASE_EVAL, CPUBatchEstimate, CPUModel
+from repro.dpf.prf import LengthDoublingPRG
+from repro.pir.database import Database
+from repro.pir.messages import PIRAnswer
+from repro.pir.server import PIRServer, Query
+
+
+@dataclass
+class CPUQueryResult:
+    """A functional answer plus the simulated per-phase cost of producing it."""
+
+    answer: PIRAnswer
+    breakdown: PhaseTimer
+
+    @property
+    def latency_seconds(self) -> float:
+        """Simulated server-side latency of this query."""
+        return self.breakdown.total
+
+
+@dataclass
+class CPUBatchResult:
+    """Functional answers plus the simulated makespan for a query batch."""
+
+    answers: List[PIRAnswer]
+    estimate: CPUBatchEstimate
+
+    @property
+    def latency_seconds(self) -> float:
+        """Simulated makespan of the batch."""
+        return self.estimate.latency_seconds
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per simulated second."""
+        return self.estimate.throughput_qps
+
+
+class CPUPIRServer:
+    """Baseline server: reference functional path + processor-centric cost model."""
+
+    def __init__(
+        self,
+        database: Database,
+        server_id: int = 0,
+        config: Optional[CPUConfig] = None,
+        prg: Optional[LengthDoublingPRG] = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else CPUConfig()
+        self.model = CPUModel(self.config)
+        self._server = PIRServer(database, server_id=server_id, prg=prg)
+
+    @property
+    def server_id(self) -> int:
+        """Identifier of the replica this server plays."""
+        return self._server.server_id
+
+    @property
+    def stats(self):
+        """Functional operation counters (shared with the reference server)."""
+        return self._server.stats
+
+    # -- single query (latency mode, Fig. 10) -----------------------------------------
+
+    def answer(self, query: Query) -> PIRAnswer:
+        """Answer a query functionally (no timing attached)."""
+        return self._server.answer(query)
+
+    def answer_with_breakdown(self, query: Query) -> CPUQueryResult:
+        """Answer a query and report the latency-mode phase breakdown."""
+        answer = self._server.answer(query)
+        breakdown = self.model.single_query_breakdown(
+            self.database.num_records, self.database.record_size
+        )
+        return CPUQueryResult(answer=answer, breakdown=breakdown)
+
+    # -- batches (throughput mode, Fig. 9) -----------------------------------------------
+
+    def answer_batch(self, queries: Sequence[Query]) -> CPUBatchResult:
+        """Answer a batch functionally and attach the batch-mode makespan estimate."""
+        answers = [self._server.answer(query) for query in queries]
+        estimate = self.model.batch_estimate(
+            self.database.num_records, self.database.record_size, batch_size=len(queries)
+        )
+        return CPUBatchResult(answers=answers, estimate=estimate)
+
+    # -- analytic-only helpers (paper-scale databases) --------------------------------------
+
+    def estimate_batch(self, num_records: int, record_size: int, batch_size: int) -> CPUBatchEstimate:
+        """Batch estimate for an arbitrary database shape (no functional run)."""
+        return self.model.batch_estimate(num_records, record_size, batch_size)
+
+    def estimate_breakdown(self, num_records: int, record_size: int) -> PhaseTimer:
+        """Latency-mode phase breakdown for an arbitrary database shape."""
+        return self.model.single_query_breakdown(num_records, record_size)
+
+
+__all__ = [
+    "CPUQueryResult",
+    "CPUBatchResult",
+    "CPUPIRServer",
+    "PHASE_EVAL",
+    "PHASE_DPXOR",
+]

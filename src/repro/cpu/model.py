@@ -1,0 +1,146 @@
+"""CPU cost model: DPF evaluation and dpXOR on a processor-centric server.
+
+Two execution modes mirror how the paper measures its baseline:
+
+* **latency mode** (Fig. 10) — a single query at a time, the whole machine
+  available: DPF evaluation parallelised across threads, the dpXOR scan
+  limited by what the memory system gives a handful of cooperative streams.
+* **batch mode** (Fig. 9) — one thread per query, ``batch_size`` queries in
+  flight: per-thread evaluation, dpXOR streams contending for DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import PhaseTimer
+from repro.cpu.cache import CacheModel
+from repro.cpu.config import CPUConfig
+
+#: Amortised AES-block cost per evaluated leaf of the GGM tree.  Both servers
+#: use the same fixed-key single-AES-per-child DPF construction, so the CPU
+#: baseline's full-domain evaluation also costs about one block per leaf.
+BLOCKS_PER_LEAF = 1.0
+
+PHASE_EVAL = "eval"
+PHASE_DPXOR = "dpxor"
+
+
+@dataclass
+class CPUBatchEstimate:
+    """Latency/throughput estimate for a batch of queries on the CPU baseline."""
+
+    batch_size: int
+    latency_seconds: float
+    throughput_qps: float
+    compute_bound_seconds: float
+    bandwidth_bound_seconds: float
+    critical_path_seconds: float
+    per_query_breakdown: PhaseTimer
+
+
+class CPUModel:
+    """Analytic cost model for the processor-centric PIR baseline."""
+
+    def __init__(self, config: CPUConfig | None = None) -> None:
+        self.config = config if config is not None else CPUConfig()
+        self.cache = CacheModel(self.config)
+
+    # -- DPF evaluation -----------------------------------------------------------
+
+    def dpf_eval_seconds(
+        self,
+        num_leaves: int,
+        threads: int = 1,
+        blocks_per_leaf: float = BLOCKS_PER_LEAF,
+    ) -> float:
+        """Time to evaluate a DPF over ``num_leaves`` using ``threads`` threads."""
+        if num_leaves < 0:
+            raise ConfigurationError("num_leaves must be non-negative")
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        per_thread = self.config.aes_blocks_per_second_per_thread
+        scaling = self.config.thread_scaling_efficiency if threads > 1 else 1.0
+        aggregate = per_thread * min(threads, self.config.total_threads) * scaling
+        return num_leaves * blocks_per_leaf / aggregate
+
+    # -- dpXOR ----------------------------------------------------------------------
+
+    def dpxor_seconds(
+        self,
+        db_bytes: int,
+        concurrent_streams: int = 1,
+        unloaded: bool = False,
+    ) -> float:
+        """Time for one query's dpXOR scan of ``db_bytes``.
+
+        ``concurrent_streams`` is the number of other query threads streaming
+        at the same time (contention); ``unloaded`` evaluates the scan as if
+        it were alone on the machine.
+        """
+        if db_bytes < 0:
+            raise ConfigurationError("db_bytes must be non-negative")
+        return self.cache.scan_seconds(db_bytes, concurrent_streams, unloaded=unloaded)
+
+    # -- end-to-end query estimates ---------------------------------------------------
+
+    def single_query_breakdown(self, num_records: int, record_size: int) -> PhaseTimer:
+        """Latency-mode (whole machine, one query) per-phase breakdown."""
+        timer = PhaseTimer()
+        timer.record(PHASE_EVAL, self.dpf_eval_seconds(num_records, threads=self.config.total_threads))
+        # A single query's scan is issued by a few cooperative threads: it gets
+        # the full single-stream bandwidth but not the whole DRAM system.
+        streams = min(8, self.config.total_threads)
+        db_bytes = num_records * record_size
+        per_stream = self.cache.streaming_bandwidth(db_bytes, concurrent_streams=streams)
+        timer.record(PHASE_DPXOR, db_bytes / per_stream.aggregate_bandwidth if db_bytes else 0.0)
+        return timer
+
+    def batch_estimate(self, num_records: int, record_size: int, batch_size: int) -> CPUBatchEstimate:
+        """Batch-mode estimate: one thread per query, ``batch_size`` queries.
+
+        The makespan is the largest of three lower bounds:
+
+        * the compute bound — total evaluation work divided over the query
+          threads;
+        * the bandwidth bound — total bytes scanned divided by the contended
+          DRAM bandwidth;
+        * the critical path — one query's evaluation plus its own scan at the
+          unloaded streaming rate (no batch can finish before its last query).
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        threads = min(self.config.query_threads, batch_size)
+        db_bytes = num_records * record_size
+
+        eval_per_query = self.dpf_eval_seconds(num_records, threads=1)
+        compute_bound = batch_size * eval_per_query / threads
+
+        total_scan_bytes = batch_size * db_bytes
+        aggregate_bw = self.cache.streaming_bandwidth(db_bytes, concurrent_streams=threads)
+        bandwidth_bound = total_scan_bytes / aggregate_bw.aggregate_bandwidth if db_bytes else 0.0
+
+        dpxor_unloaded = self.dpxor_seconds(db_bytes, unloaded=True)
+        critical_path = eval_per_query + dpxor_unloaded
+
+        latency = max(compute_bound, bandwidth_bound, critical_path)
+        throughput = batch_size / latency if latency > 0 else float("inf")
+
+        # Average thread-seconds one query occupied, split into its two phases:
+        # evaluation is compute-bound and unaffected by contention, so whatever
+        # else the thread spent waiting is attributed to the memory-bound scan.
+        thread_seconds_per_query = latency * threads / batch_size
+        dpxor_effective = max(dpxor_unloaded, thread_seconds_per_query - eval_per_query)
+        per_query = PhaseTimer()
+        per_query.record(PHASE_EVAL, eval_per_query)
+        per_query.record(PHASE_DPXOR, dpxor_effective)
+        return CPUBatchEstimate(
+            batch_size=batch_size,
+            latency_seconds=latency,
+            throughput_qps=throughput,
+            compute_bound_seconds=compute_bound,
+            bandwidth_bound_seconds=bandwidth_bound,
+            critical_path_seconds=critical_path,
+            per_query_breakdown=per_query,
+        )

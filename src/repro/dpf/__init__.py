@@ -1,0 +1,51 @@
+"""Distributed point functions: PRF/PRG backends, GGM tree, DPF, traversals."""
+
+from repro.dpf.dpf import DPF, DPFKey, EvalStats, verify_keys
+from repro.dpf.ggm import CorrectionWord, GGMTree, descend_one, expand_level
+from repro.dpf.naive import NaiveShare, NaiveXorQueryScheme, xor_select
+from repro.dpf.prf import (
+    BLOCKS_PER_EXPAND,
+    SEED_BYTES,
+    AESPRG,
+    LengthDoublingPRG,
+    NumpyPRG,
+    aes128_encrypt_block,
+    make_prg,
+)
+from repro.dpf.traversal import (
+    BranchParallelTraversal,
+    LevelByLevelTraversal,
+    MemoryBoundedTraversal,
+    TraversalStats,
+    TraversalStrategy,
+    available_strategies,
+    make_traversal,
+)
+
+__all__ = [
+    "DPF",
+    "DPFKey",
+    "EvalStats",
+    "verify_keys",
+    "CorrectionWord",
+    "GGMTree",
+    "descend_one",
+    "expand_level",
+    "NaiveShare",
+    "NaiveXorQueryScheme",
+    "xor_select",
+    "BLOCKS_PER_EXPAND",
+    "SEED_BYTES",
+    "AESPRG",
+    "LengthDoublingPRG",
+    "NumpyPRG",
+    "aes128_encrypt_block",
+    "make_prg",
+    "BranchParallelTraversal",
+    "LevelByLevelTraversal",
+    "MemoryBoundedTraversal",
+    "TraversalStats",
+    "TraversalStrategy",
+    "available_strategies",
+    "make_traversal",
+]

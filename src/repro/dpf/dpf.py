@@ -1,0 +1,333 @@
+"""Two-party distributed point function (DPF) with correction words.
+
+This is the construction of Boyle, Gilboa and Ishai (CCS'16) as deployed by
+Google's ``distributed_point_functions`` library (the paper's CPU baseline)
+and by Lam et al. (the GPU baseline): keys consist of a random root seed plus
+one correction word per tree level and a final output correction word.  Each
+key individually is pseudorandom and hides both the target index ``alpha`` and
+the payload ``beta``; XORing the two parties' evaluations yields the point
+function
+
+    P(x) = beta  if x == alpha else 0.
+
+The payload lives in the XOR group of ``output_bits``-bit strings (1 bit by
+default, which is what the PIR selector vectors need; up to 64 bits are
+supported so the same code covers payload-carrying DPFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import KeyMismatchError
+from repro.common.rng import make_rng
+from repro.dpf.ggm import CorrectionWord, expand_level
+from repro.dpf.prf import SEED_BYTES, LengthDoublingPRG, make_prg
+
+MAX_OUTPUT_BITS = 64
+
+
+def _convert(seeds: np.ndarray, output_bits: int) -> np.ndarray:
+    """Map seeds to elements of the output group (low ``output_bits`` bits).
+
+    ``seeds`` is ``(m, 16)`` uint8; the result is ``(m,)`` uint64.
+    """
+    lanes = np.ascontiguousarray(seeds, dtype=np.uint8).view(np.uint64).reshape(-1, 2)
+    values = lanes[:, 0]
+    if output_bits >= 64:
+        return values.copy()
+    mask = np.uint64((1 << output_bits) - 1)
+    return values & mask
+
+
+@dataclass(frozen=True)
+class DPFKey:
+    """One party's DPF key.
+
+    Attributes
+    ----------
+    party:
+        0 or 1; evaluation is symmetric but the two keys differ.
+    domain_bits:
+        The domain is ``[0, 2**domain_bits)``.
+    root_seed:
+        This party's 16-byte root seed.
+    correction_words:
+        One :class:`~repro.dpf.ggm.CorrectionWord` per tree level.
+    final_correction:
+        Output-group correction applied at the leaves when the control bit is
+        set.
+    output_bits:
+        Width of the payload group in bits (1..64).
+    """
+
+    party: int
+    domain_bits: int
+    root_seed: bytes
+    correction_words: Tuple[CorrectionWord, ...]
+    final_correction: int
+    output_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.party not in (0, 1):
+            raise ValueError("party must be 0 or 1")
+        if self.domain_bits < 0:
+            raise ValueError("domain_bits must be non-negative")
+        if len(self.root_seed) != SEED_BYTES:
+            raise ValueError("root seed must be 16 bytes")
+        if len(self.correction_words) != self.domain_bits:
+            raise ValueError("need exactly one correction word per level")
+        if not 1 <= self.output_bits <= MAX_OUTPUT_BITS:
+            raise ValueError("output_bits must be in [1, 64]")
+
+    @property
+    def domain_size(self) -> int:
+        """Number of points in the DPF domain."""
+        return 1 << self.domain_bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized key size: seed + per-level correction words + final word.
+
+        Matches the paper's observation that keys are O(lambda * log N) — the
+        quantity shipped from the client to each server.
+        """
+        per_level = SEED_BYTES + 2  # seed correction + two control-bit corrections
+        return SEED_BYTES + 1 + len(self.correction_words) * per_level + 8
+
+    def root_seed_array(self) -> np.ndarray:
+        """Root seed as a ``(16,)`` uint8 array."""
+        return np.frombuffer(self.root_seed, dtype=np.uint8)
+
+
+@dataclass
+class EvalStats:
+    """Operation counts gathered during a full-domain evaluation."""
+
+    prg_expansions: int = 0
+    aes_block_equivalents: int = 0
+    peak_nodes_in_memory: int = 0
+    leaves_evaluated: int = 0
+
+    def merge(self, other: "EvalStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.prg_expansions += other.prg_expansions
+        self.aes_block_equivalents += other.aes_block_equivalents
+        self.peak_nodes_in_memory = max(self.peak_nodes_in_memory, other.peak_nodes_in_memory)
+        self.leaves_evaluated += other.leaves_evaluated
+
+
+class DPF:
+    """Key generation and evaluation for the two-party correction-word DPF."""
+
+    def __init__(
+        self,
+        domain_bits: int,
+        output_bits: int = 1,
+        prg: Optional[LengthDoublingPRG] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if domain_bits < 0:
+            raise ValueError("domain_bits must be non-negative")
+        if not 1 <= output_bits <= MAX_OUTPUT_BITS:
+            raise ValueError("output_bits must be in [1, 64]")
+        self.domain_bits = domain_bits
+        self.output_bits = output_bits
+        self.prg = prg if prg is not None else make_prg("numpy")
+        self._rng = make_rng(seed)
+
+    # -- key generation -----------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        """Number of points in the DPF domain."""
+        return 1 << self.domain_bits
+
+    def gen(self, alpha: int, beta: int = 1) -> Tuple[DPFKey, DPFKey]:
+        """Generate the two keys hiding the point function ``P_{alpha,beta}``.
+
+        ``alpha`` must lie in the domain and ``beta`` must fit in
+        ``output_bits`` bits (and be non-zero, otherwise the function is
+        identically zero and reconstruction becomes ambiguous).
+        """
+        if not 0 <= alpha < self.domain_size:
+            raise ValueError(f"alpha={alpha} outside domain of size {self.domain_size}")
+        if beta == 0:
+            raise ValueError("beta must be non-zero")
+        if beta >= (1 << self.output_bits):
+            raise ValueError(f"beta={beta} does not fit in {self.output_bits} bits")
+
+        seed0 = self._rng.integers(0, 256, size=SEED_BYTES, dtype=np.uint8)
+        seed1 = self._rng.integers(0, 256, size=SEED_BYTES, dtype=np.uint8)
+        s = [seed0.copy(), seed1.copy()]
+        t = [0, 1]
+
+        correction_words: List[CorrectionWord] = []
+        for level in range(self.domain_bits):
+            bit = (alpha >> (self.domain_bits - 1 - level)) & 1
+            expansions = []
+            for b in (0, 1):
+                left, right, t_left, t_right = self.prg.expand(s[b].reshape(1, SEED_BYTES))
+                expansions.append((left[0], right[0], int(t_left[0]), int(t_right[0])))
+
+            if bit == 0:
+                keep, lose = "left", "right"
+            else:
+                keep, lose = "right", "left"
+
+            def _part(b: int, side: str) -> Tuple[np.ndarray, int]:
+                left, right, t_left, t_right = expansions[b]
+                if side == "left":
+                    return left, t_left
+                return right, t_right
+
+            s0_lose, _ = _part(0, lose)
+            s1_lose, _ = _part(1, lose)
+            seed_cw = (s0_lose ^ s1_lose).astype(np.uint8)
+
+            _, t0_left = _part(0, "left")
+            _, t1_left = _part(1, "left")
+            _, t0_right = _part(0, "right")
+            _, t1_right = _part(1, "right")
+            t_left_cw = t0_left ^ t1_left ^ bit ^ 1
+            t_right_cw = t0_right ^ t1_right ^ bit
+            correction = CorrectionWord(seed_cw.tobytes(), t_left_cw, t_right_cw)
+            correction_words.append(correction)
+
+            t_keep_cw = t_left_cw if keep == "left" else t_right_cw
+            for b in (0, 1):
+                s_keep, t_keep = _part(b, keep)
+                if t[b]:
+                    s[b] = (s_keep ^ seed_cw).astype(np.uint8)
+                    t[b] = t_keep ^ t_keep_cw
+                else:
+                    s[b] = s_keep.astype(np.uint8).copy()
+                    t[b] = t_keep
+
+        convert0 = int(_convert(s[0].reshape(1, SEED_BYTES), self.output_bits)[0])
+        convert1 = int(_convert(s[1].reshape(1, SEED_BYTES), self.output_bits)[0])
+        final_correction = convert0 ^ convert1 ^ beta
+
+        keys = tuple(
+            DPFKey(
+                party=b,
+                domain_bits=self.domain_bits,
+                root_seed=(seed0 if b == 0 else seed1).tobytes(),
+                correction_words=tuple(correction_words),
+                final_correction=final_correction,
+                output_bits=self.output_bits,
+            )
+            for b in (0, 1)
+        )
+        return keys[0], keys[1]
+
+    # -- point evaluation ----------------------------------------------------
+
+    def _check_key(self, key: DPFKey) -> None:
+        if key.domain_bits != self.domain_bits or key.output_bits != self.output_bits:
+            raise KeyMismatchError(
+                "key parameters do not match this DPF instance "
+                f"(key: {key.domain_bits} bits/{key.output_bits}-bit output, "
+                f"instance: {self.domain_bits} bits/{self.output_bits}-bit output)"
+            )
+
+    def eval(self, key: DPFKey, x: int) -> int:
+        """Evaluate one party's share at a single point ``x``."""
+        self._check_key(key)
+        if not 0 <= x < self.domain_size:
+            raise ValueError(f"x={x} outside domain of size {self.domain_size}")
+
+        seed = key.root_seed_array().copy()
+        control = key.party
+        for level in range(self.domain_bits):
+            bit = (x >> (self.domain_bits - 1 - level)) & 1
+            seeds, bits = expand_level(
+                self.prg,
+                seed.reshape(1, SEED_BYTES),
+                np.asarray([control], dtype=np.uint8),
+                key.correction_words[level],
+            )
+            seed = seeds[bit].copy()
+            control = int(bits[bit])
+
+        value = int(_convert(seed.reshape(1, SEED_BYTES), self.output_bits)[0])
+        if control:
+            value ^= key.final_correction
+        return value
+
+    def eval_points(self, key: DPFKey, points: Sequence[int]) -> np.ndarray:
+        """Evaluate one party's share at several points (returns uint64 array)."""
+        return np.asarray([self.eval(key, int(x)) for x in points], dtype=np.uint64)
+
+    # -- full-domain evaluation ----------------------------------------------
+
+    def eval_full(
+        self,
+        key: DPFKey,
+        num_points: Optional[int] = None,
+        stats: Optional[EvalStats] = None,
+    ) -> np.ndarray:
+        """Evaluate the share on the whole domain (level-by-level traversal).
+
+        Returns a uint64 array of length ``num_points`` (default: the full
+        domain).  This is the host-side "Eval" step of Algorithm 1; the
+        strategies discussed in §3.2 are available through
+        :mod:`repro.dpf.traversal`.
+        """
+        self._check_key(key)
+        if num_points is None:
+            num_points = self.domain_size
+        if not 0 <= num_points <= self.domain_size:
+            raise ValueError("num_points outside the DPF domain")
+
+        before = self.prg.expand_calls
+        seeds = key.root_seed_array().reshape(1, SEED_BYTES).copy()
+        controls = np.asarray([key.party], dtype=np.uint8)
+        peak_nodes = 1
+        for level in range(self.domain_bits):
+            seeds, controls = expand_level(self.prg, seeds, controls, key.correction_words[level])
+            peak_nodes = max(peak_nodes, seeds.shape[0])
+
+        values = _convert(seeds, self.output_bits)
+        if controls.any():
+            values = values ^ (controls.astype(np.uint64) * np.uint64(key.final_correction))
+        values = values[:num_points]
+
+        if stats is not None:
+            expansions = self.prg.expand_calls - before
+            stats.merge(
+                EvalStats(
+                    prg_expansions=expansions,
+                    aes_block_equivalents=expansions * self.prg.blocks_per_expand,
+                    peak_nodes_in_memory=peak_nodes,
+                    leaves_evaluated=num_points,
+                )
+            )
+        return values.astype(np.uint64)
+
+    def eval_full_bits(self, key: DPFKey, num_points: Optional[int] = None) -> np.ndarray:
+        """Full-domain evaluation returned as a uint8 0/1 selector vector.
+
+        Only valid for single-bit payloads; this is the representation shipped
+        to the DPUs for the dpXOR stage.
+        """
+        if self.output_bits != 1:
+            raise KeyMismatchError("selector vectors require a 1-bit output group")
+        return self.eval_full(key, num_points=num_points).astype(np.uint8)
+
+
+def verify_keys(dpf: DPF, key0: DPFKey, key1: DPFKey, alpha: int, beta: int = 1) -> bool:
+    """Check that two keys reconstruct ``P_{alpha,beta}`` over the full domain.
+
+    Intended for tests and examples; a real client never holds both keys of a
+    deployed server pair.
+    """
+    full0 = dpf.eval_full(key0)
+    full1 = dpf.eval_full(key1)
+    combined = full0 ^ full1
+    expected = np.zeros(dpf.domain_size, dtype=np.uint64)
+    expected[alpha] = beta
+    return bool(np.array_equal(combined, expected))

@@ -1,0 +1,189 @@
+"""GGM computation-tree helpers shared by DPF evaluation strategies.
+
+The paper (§3.2, Fig. 6) evaluates the DPF through a Goldreich-Goldwasser-
+Micali (GGM) binary tree: every node holds a 128-bit seed and a control bit,
+and expanding a node with the length-doubling PRG yields its two children.
+Correction words (one per level, part of the DPF key) are conditionally mixed
+into the children depending on the parent's control bit.
+
+This module provides the vectorised "expand one level" primitive that the
+correction-word DPF (:mod:`repro.dpf.dpf`) and the traversal strategies
+(:mod:`repro.dpf.traversal`) both build on, plus a small :class:`GGMTree`
+convenience used in tests and analysis to reason about node counts and depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dpf.prf import SEED_BYTES, LengthDoublingPRG
+
+
+@dataclass(frozen=True)
+class CorrectionWord:
+    """Per-level correction word of the correction-word DPF.
+
+    Attributes
+    ----------
+    seed:
+        16-byte seed correction XORed into a child when the parent's control
+        bit is set.
+    t_left, t_right:
+        Control-bit corrections for the left and right child respectively.
+    """
+
+    seed: bytes
+    t_left: int
+    t_right: int
+
+    def __post_init__(self) -> None:
+        if len(self.seed) != SEED_BYTES:
+            raise ValueError("correction word seed must be 16 bytes")
+        if self.t_left not in (0, 1) or self.t_right not in (0, 1):
+            raise ValueError("control-bit corrections must be 0 or 1")
+
+    def seed_array(self) -> np.ndarray:
+        """The seed correction as a ``(16,)`` uint8 array."""
+        return np.frombuffer(self.seed, dtype=np.uint8)
+
+
+def expand_level(
+    prg: LengthDoublingPRG,
+    seeds: np.ndarray,
+    control_bits: np.ndarray,
+    correction: CorrectionWord,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand one GGM level for a batch of nodes.
+
+    Parameters
+    ----------
+    prg:
+        Length-doubling PRG backend.
+    seeds:
+        ``(m, 16)`` uint8 array holding the seeds of ``m`` sibling-ordered
+        nodes at the current level.
+    control_bits:
+        ``(m,)`` uint8 array of the nodes' control bits.
+    correction:
+        The level's correction word from the DPF key.
+
+    Returns
+    -------
+    (child_seeds, child_bits):
+        ``(2m, 16)`` and ``(2m,)`` arrays with children interleaved as
+        ``[node0.left, node0.right, node1.left, node1.right, ...]`` so that
+        leaf order equals natural index order when bits are consumed MSB
+        first.
+    """
+    seeds = np.ascontiguousarray(seeds, dtype=np.uint8)
+    control_bits = np.ascontiguousarray(control_bits, dtype=np.uint8)
+    if seeds.ndim != 2 or seeds.shape[1] != SEED_BYTES:
+        raise ValueError("seeds must have shape (m, 16)")
+    if control_bits.shape != (seeds.shape[0],):
+        raise ValueError("control_bits must have shape (m,)")
+
+    left, right, t_left, t_right = prg.expand(seeds)
+
+    mask = control_bits.astype(bool)
+    if mask.any():
+        cw_seed = correction.seed_array()
+        left[mask] ^= cw_seed
+        right[mask] ^= cw_seed
+        t_left = t_left.copy()
+        t_right = t_right.copy()
+        t_left[mask] ^= np.uint8(correction.t_left)
+        t_right[mask] ^= np.uint8(correction.t_right)
+
+    count = seeds.shape[0]
+    child_seeds = np.empty((2 * count, SEED_BYTES), dtype=np.uint8)
+    child_bits = np.empty(2 * count, dtype=np.uint8)
+    child_seeds[0::2] = left
+    child_seeds[1::2] = right
+    child_bits[0::2] = t_left
+    child_bits[1::2] = t_right
+    return child_seeds, child_bits
+
+
+def descend_one(
+    prg: LengthDoublingPRG,
+    seed: np.ndarray,
+    control_bit: int,
+    correction: CorrectionWord,
+    direction: int,
+) -> Tuple[np.ndarray, int]:
+    """Expand a single node and keep only one child.
+
+    ``direction`` is 0 for the left child and 1 for the right child.  Used by
+    the branch-parallel and memory-bounded traversals, which walk single paths
+    rather than whole levels.
+    """
+    if direction not in (0, 1):
+        raise ValueError("direction must be 0 (left) or 1 (right)")
+    seeds = np.ascontiguousarray(seed, dtype=np.uint8).reshape(1, SEED_BYTES)
+    bits = np.asarray([control_bit], dtype=np.uint8)
+    child_seeds, child_bits = expand_level(prg, seeds, bits, correction)
+    index = direction
+    return child_seeds[index].copy(), int(child_bits[index])
+
+
+@dataclass
+class GGMTree:
+    """Shape of the GGM computation tree for a domain of ``2**depth`` leaves.
+
+    The class does not hold node values; it answers structural questions the
+    paper's parallelisation discussion relies on (how many nodes a level has,
+    how many PRG calls a traversal performs, how much memory a level needs).
+    """
+
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ValueError("depth must be non-negative")
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves (domain size)."""
+        return 1 << self.depth
+
+    @property
+    def num_internal_nodes(self) -> int:
+        """Number of non-leaf nodes."""
+        return (1 << self.depth) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including leaves."""
+        return (1 << (self.depth + 1)) - 1
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of nodes at ``level`` (0 is the root)."""
+        if not 0 <= level <= self.depth:
+            raise ValueError(f"level must be in [0, {self.depth}]")
+        return 1 << level
+
+    def level_memory_bytes(self, level: int, per_node_bytes: int = SEED_BYTES + 1) -> int:
+        """Bytes required to materialise all nodes of ``level``."""
+        return self.nodes_at_level(level) * per_node_bytes
+
+    def prg_calls_level_by_level(self) -> int:
+        """PRG expansions for a full level-by-level traversal (one per internal node)."""
+        return self.num_internal_nodes
+
+    def prg_calls_branch_parallel(self) -> int:
+        """PRG expansions when every leaf path is recomputed independently."""
+        return self.num_leaves * self.depth
+
+    def prg_calls_memory_bounded(self, chunk_leaves: int) -> int:
+        """PRG expansions for the memory-bounded traversal with ``chunk_leaves``-leaf chunks."""
+        if chunk_leaves <= 0:
+            raise ValueError("chunk_leaves must be positive")
+        chunk_leaves = min(chunk_leaves, self.num_leaves)
+        chunk_depth = max(0, (chunk_leaves - 1).bit_length())
+        descent_depth = self.depth - chunk_depth
+        num_chunks = -(-self.num_leaves // chunk_leaves)
+        per_chunk_internal = (1 << chunk_depth) - 1
+        return num_chunks * (descent_depth + per_chunk_internal)

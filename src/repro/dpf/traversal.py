@@ -1,0 +1,240 @@
+"""Full-domain DPF evaluation strategies (paper §3.2, Fig. 7).
+
+The paper contrasts three ways of evaluating every leaf of the GGM tree:
+
+* **branch-parallel** — each worker recomputes the full root-to-leaf path of
+  its leaves.  Maximally parallel and needs almost no shared state, but every
+  level is recomputed once per leaf (``N * log N`` PRG calls) and the working
+  set per worker is the whole path.  The paper rules it out for UPMEM DPUs
+  because the per-DPU WRAM (64 KB) cannot hold the needed buffers.
+* **level-by-level** — expand the tree breadth-first, keeping one whole level
+  in memory (``N - 1`` PRG calls but ``O(N * lambda)`` intermediate memory and
+  a synchronisation barrier per level).  On UPMEM this would require
+  inter-DPU communication through the host, which the paper shows is
+  prohibitive.
+* **memory-bounded** — the hybrid used by Lam et al.: split the leaf range
+  into fixed-size chunks, descend from the root to each chunk's subtree root,
+  then expand that subtree level by level.  Memory is bounded by the chunk
+  size at the cost of re-descending ``log(N / chunk)`` levels per chunk.
+
+All three produce bit-identical outputs; they differ only in PRG-call count
+and peak memory, which :class:`TraversalStats` captures so the trade-off can
+be demonstrated quantitatively (see ``benchmarks/bench_ablation_traversal.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.dpf.dpf import DPF, DPFKey, _convert
+from repro.dpf.ggm import expand_level
+from repro.dpf.prf import SEED_BYTES
+
+
+@dataclass
+class TraversalStats:
+    """Cost profile of one full-domain evaluation."""
+
+    prg_calls: int = 0
+    peak_nodes_in_memory: int = 0
+    leaves_evaluated: int = 0
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Approximate peak working-set size (seed + control bit per node)."""
+        return self.peak_nodes_in_memory * (SEED_BYTES + 1)
+
+    @property
+    def redundancy_factor(self) -> float:
+        """PRG calls relative to the level-by-level optimum (``leaves - 1``)."""
+        optimum = max(1, self.leaves_evaluated - 1)
+        return self.prg_calls / optimum
+
+
+class TraversalStrategy:
+    """Base class: evaluate a DPF key over the full domain, tracking costs."""
+
+    name = "abstract"
+
+    def eval_full(
+        self,
+        dpf: DPF,
+        key: DPFKey,
+        num_points: Optional[int] = None,
+        stats: Optional[TraversalStats] = None,
+    ) -> np.ndarray:
+        """Return the uint64 share vector of length ``num_points``."""
+        raise NotImplementedError
+
+    def _finalize(
+        self,
+        dpf: DPF,
+        key: DPFKey,
+        seeds: np.ndarray,
+        controls: np.ndarray,
+    ) -> np.ndarray:
+        """Convert leaf seeds/controls into output-group values."""
+        values = _convert(seeds, dpf.output_bits)
+        correction = np.uint64(key.final_correction)
+        return (values ^ (controls.astype(np.uint64) * correction)).astype(np.uint64)
+
+
+class LevelByLevelTraversal(TraversalStrategy):
+    """Breadth-first expansion keeping one full level resident."""
+
+    name = "level_by_level"
+
+    def eval_full(
+        self,
+        dpf: DPF,
+        key: DPFKey,
+        num_points: Optional[int] = None,
+        stats: Optional[TraversalStats] = None,
+    ) -> np.ndarray:
+        num_points = dpf.domain_size if num_points is None else num_points
+        before = dpf.prg.expand_calls
+        seeds = key.root_seed_array().reshape(1, SEED_BYTES).copy()
+        controls = np.asarray([key.party], dtype=np.uint8)
+        peak = 1
+        for level in range(dpf.domain_bits):
+            seeds, controls = expand_level(dpf.prg, seeds, controls, key.correction_words[level])
+            peak = max(peak, seeds.shape[0])
+        values = self._finalize(dpf, key, seeds, controls)[:num_points]
+        if stats is not None:
+            stats.prg_calls += dpf.prg.expand_calls - before
+            stats.peak_nodes_in_memory = max(stats.peak_nodes_in_memory, peak)
+            stats.leaves_evaluated += num_points
+        return values
+
+
+class BranchParallelTraversal(TraversalStrategy):
+    """Recompute the root-to-leaf path independently for every leaf.
+
+    The evaluation is vectorised across leaves per level, but unlike the
+    level-by-level strategy every leaf carries its own copy of the path state,
+    so the PRG is invoked once per (leaf, level) pair — the redundancy the
+    paper points out.
+    """
+
+    name = "branch_parallel"
+
+    def eval_full(
+        self,
+        dpf: DPF,
+        key: DPFKey,
+        num_points: Optional[int] = None,
+        stats: Optional[TraversalStats] = None,
+    ) -> np.ndarray:
+        num_points = dpf.domain_size if num_points is None else num_points
+        before = dpf.prg.expand_calls
+        leaves = np.arange(num_points, dtype=np.uint64)
+        seeds = np.repeat(key.root_seed_array().reshape(1, SEED_BYTES), num_points, axis=0).copy()
+        controls = np.full(num_points, key.party, dtype=np.uint8)
+        peak = num_points
+        for level in range(dpf.domain_bits):
+            child_seeds, child_controls = expand_level(
+                dpf.prg, seeds, controls, key.correction_words[level]
+            )
+            bits = ((leaves >> np.uint64(dpf.domain_bits - 1 - level)) & np.uint64(1)).astype(np.int64)
+            pick = np.arange(num_points, dtype=np.int64) * 2 + bits
+            seeds = child_seeds[pick]
+            controls = child_controls[pick]
+            peak = max(peak, child_seeds.shape[0])
+        values = self._finalize(dpf, key, seeds, controls)
+        if stats is not None:
+            stats.prg_calls += dpf.prg.expand_calls - before
+            stats.peak_nodes_in_memory = max(stats.peak_nodes_in_memory, peak)
+            stats.leaves_evaluated += num_points
+        return values
+
+
+class MemoryBoundedTraversal(TraversalStrategy):
+    """Chunked traversal bounding peak memory to ``chunk_leaves`` nodes."""
+
+    name = "memory_bounded"
+
+    def __init__(self, chunk_leaves: int = 4096) -> None:
+        if chunk_leaves <= 0:
+            raise ValueError("chunk_leaves must be positive")
+        if chunk_leaves & (chunk_leaves - 1):
+            raise ValueError("chunk_leaves must be a power of two")
+        self.chunk_leaves = chunk_leaves
+
+    def eval_full(
+        self,
+        dpf: DPF,
+        key: DPFKey,
+        num_points: Optional[int] = None,
+        stats: Optional[TraversalStats] = None,
+    ) -> np.ndarray:
+        num_points = dpf.domain_size if num_points is None else num_points
+        before = dpf.prg.expand_calls
+        chunk = min(self.chunk_leaves, dpf.domain_size)
+        chunk_depth = chunk.bit_length() - 1
+        descent_depth = dpf.domain_bits - chunk_depth
+
+        output = np.zeros(num_points, dtype=np.uint64)
+        peak = 0
+        num_chunks = -(-num_points // chunk)
+        for chunk_index in range(num_chunks):
+            start = chunk_index * chunk
+            stop = min(start + chunk, num_points)
+
+            # Descend from the root to the chunk's subtree root along one path.
+            seed = key.root_seed_array().copy()
+            control = np.uint8(key.party)
+            for level in range(descent_depth):
+                bit = (chunk_index >> (descent_depth - 1 - level)) & 1
+                child_seeds, child_controls = expand_level(
+                    dpf.prg,
+                    seed.reshape(1, SEED_BYTES),
+                    np.asarray([control], dtype=np.uint8),
+                    key.correction_words[level],
+                )
+                seed = child_seeds[bit].copy()
+                control = child_controls[bit]
+
+            # Expand the subtree level by level.
+            seeds = seed.reshape(1, SEED_BYTES)
+            controls = np.asarray([control], dtype=np.uint8)
+            for level in range(descent_depth, dpf.domain_bits):
+                seeds, controls = expand_level(dpf.prg, seeds, controls, key.correction_words[level])
+            peak = max(peak, seeds.shape[0])
+            values = self._finalize(dpf, key, seeds, controls)
+            output[start:stop] = values[: stop - start]
+
+        if stats is not None:
+            stats.prg_calls += dpf.prg.expand_calls - before
+            stats.peak_nodes_in_memory = max(stats.peak_nodes_in_memory, peak)
+            stats.leaves_evaluated += num_points
+        return output
+
+
+_STRATEGIES: Dict[str, Type[TraversalStrategy]] = {
+    LevelByLevelTraversal.name: LevelByLevelTraversal,
+    BranchParallelTraversal.name: BranchParallelTraversal,
+    MemoryBoundedTraversal.name: MemoryBoundedTraversal,
+}
+
+
+def make_traversal(name: str, **kwargs) -> TraversalStrategy:
+    """Instantiate a traversal strategy by name.
+
+    Valid names: ``"level_by_level"``, ``"branch_parallel"``,
+    ``"memory_bounded"`` (the latter accepts ``chunk_leaves=...``).
+    """
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traversal strategy {name!r}; valid: {sorted(_STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_strategies() -> tuple:
+    """Names of all registered traversal strategies."""
+    return tuple(sorted(_STRATEGIES))

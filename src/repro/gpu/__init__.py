@@ -1,0 +1,26 @@
+"""GPU-accelerated baseline: GPU cost model and GPU-PIR server."""
+
+from repro.gpu.config import GPU_BASELINE_CONFIG, GPUConfig
+from repro.gpu.gpu_pir import GPUBatchResult, GPUPIRServer, GPUQueryResult
+from repro.gpu.model import (
+    PHASE_DPXOR,
+    PHASE_EVAL,
+    PHASE_LAUNCH,
+    PHASE_PCIE,
+    GPUBatchEstimate,
+    GPUModel,
+)
+
+__all__ = [
+    "GPU_BASELINE_CONFIG",
+    "GPUConfig",
+    "GPUBatchResult",
+    "GPUPIRServer",
+    "GPUQueryResult",
+    "PHASE_DPXOR",
+    "PHASE_EVAL",
+    "PHASE_LAUNCH",
+    "PHASE_PCIE",
+    "GPUBatchEstimate",
+    "GPUModel",
+]

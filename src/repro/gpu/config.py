@@ -1,0 +1,68 @@
+"""Configuration of the GPU-PIR baseline platform.
+
+The paper compares against the GPU-accelerated DPF-PIR of Lam et al.
+(ASPLOS'24) running on an NVIDIA GeForce RTX 4090: 24 GB of GDDR6X at about
+1.01 TB/s, a 72 MB L2 cache, and PCIe 4.0 x16 to the host.  Like the CPU
+baseline it is processor-centric: the database must stream from VRAM to the
+SMs for every query, and anything that does not fit in VRAM has to be staged
+over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, MIB
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """GPU-PIR platform parameters (RTX 4090 in the paper)."""
+
+    vram_bytes: int = 24 * GIB
+    l2_bytes: int = 72 * MIB
+    memory_bandwidth: float = 1.01e12
+    #: Fraction of peak VRAM bandwidth the select-and-XOR kernel sustains
+    #: (irregular per-record predication keeps it below STREAM-like rates).
+    memory_efficiency: float = 0.72
+    sm_count: int = 128
+    frequency_hz: float = 2.235e9
+    #: Effective PRG expansion rate for full-domain DPF evaluation on the GPU
+    #: (AES-128 block equivalents per second, all SMs).  GPUs lack AES-NI; the
+    #: bit-sliced/table implementations used by GPU DPF libraries land in the
+    #: low billions of blocks per second.
+    prg_blocks_per_second: float = 1.5e9
+    #: Host<->device bandwidth (PCIe 4.0 x16, effective).
+    pcie_bandwidth: float = 12.5e9
+    #: Fixed kernel-launch + synchronisation cost per query.
+    kernel_launch_overhead_s: float = 50e-6
+    #: Queries processed concurrently by one kernel wave (batched execution).
+    concurrent_queries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.vram_bytes <= 0 or self.l2_bytes <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if self.memory_bandwidth <= 0 or self.pcie_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise ConfigurationError("memory_efficiency must be in (0, 1]")
+        if self.prg_blocks_per_second <= 0:
+            raise ConfigurationError("prg_blocks_per_second must be positive")
+        if self.concurrent_queries <= 0:
+            raise ConfigurationError("concurrent_queries must be positive")
+
+    @property
+    def effective_memory_bandwidth(self) -> float:
+        """Sustained VRAM bandwidth for the dpXOR kernel."""
+        return self.memory_bandwidth * self.memory_efficiency
+
+    def fits_in_vram(self, db_bytes: int, reserve_fraction: float = 0.15) -> bool:
+        """Whether a database of ``db_bytes`` fits in VRAM with working headroom."""
+        if db_bytes < 0:
+            raise ConfigurationError("db_bytes must be non-negative")
+        return db_bytes <= self.vram_bytes * (1.0 - reserve_fraction)
+
+
+#: The paper's GPU platform.
+GPU_BASELINE_CONFIG = GPUConfig()

@@ -1,0 +1,100 @@
+"""GPU-PIR: the GPU-accelerated baseline server (functional + cost model).
+
+Functionally identical to the reference server — the GPU changes *where* the
+work runs, not *what* is computed — with the GPU cost model attached so the
+comparison benchmarks (Fig. 12) can report simulated latencies/throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.events import PhaseTimer
+from repro.dpf.prf import LengthDoublingPRG
+from repro.gpu.config import GPUConfig
+from repro.gpu.model import GPUBatchEstimate, GPUModel
+from repro.pir.database import Database
+from repro.pir.messages import PIRAnswer
+from repro.pir.server import PIRServer, Query
+
+
+@dataclass
+class GPUQueryResult:
+    """A functional answer plus the simulated per-phase cost of producing it."""
+
+    answer: PIRAnswer
+    breakdown: PhaseTimer
+
+    @property
+    def latency_seconds(self) -> float:
+        """Simulated server-side latency of this query."""
+        return self.breakdown.total
+
+
+@dataclass
+class GPUBatchResult:
+    """Functional answers plus the simulated makespan for a query batch."""
+
+    answers: List[PIRAnswer]
+    estimate: GPUBatchEstimate
+
+    @property
+    def latency_seconds(self) -> float:
+        """Simulated makespan of the batch."""
+        return self.estimate.latency_seconds
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per simulated second."""
+        return self.estimate.throughput_qps
+
+
+class GPUPIRServer:
+    """GPU baseline server: reference functional path + GPU cost model."""
+
+    def __init__(
+        self,
+        database: Database,
+        server_id: int = 0,
+        config: Optional[GPUConfig] = None,
+        prg: Optional[LengthDoublingPRG] = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else GPUConfig()
+        self.model = GPUModel(self.config)
+        self._server = PIRServer(database, server_id=server_id, prg=prg)
+
+    @property
+    def server_id(self) -> int:
+        """Identifier of the replica this server plays."""
+        return self._server.server_id
+
+    @property
+    def vram_resident(self) -> bool:
+        """Whether the database fits in VRAM (otherwise queries stream over PCIe)."""
+        return self.config.fits_in_vram(self.database.size_bytes)
+
+    def answer(self, query: Query) -> PIRAnswer:
+        """Answer a query functionally (no timing attached)."""
+        return self._server.answer(query)
+
+    def answer_with_breakdown(self, query: Query) -> GPUQueryResult:
+        """Answer a query and report its per-phase simulated latency."""
+        answer = self._server.answer(query)
+        breakdown = self.model.single_query_breakdown(
+            self.database.num_records, self.database.record_size
+        )
+        return GPUQueryResult(answer=answer, breakdown=breakdown)
+
+    def answer_batch(self, queries: Sequence[Query]) -> GPUBatchResult:
+        """Answer a batch functionally and attach the batch-mode makespan estimate."""
+        answers = [self._server.answer(query) for query in queries]
+        estimate = self.model.batch_estimate(
+            self.database.num_records, self.database.record_size, batch_size=len(queries)
+        )
+        return GPUBatchResult(answers=answers, estimate=estimate)
+
+    def estimate_batch(self, num_records: int, record_size: int, batch_size: int) -> GPUBatchEstimate:
+        """Batch estimate for an arbitrary database shape (no functional run)."""
+        return self.model.batch_estimate(num_records, record_size, batch_size)

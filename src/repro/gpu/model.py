@@ -1,0 +1,102 @@
+"""GPU cost model for the DPF-PIR baseline of Lam et al.
+
+The GPU executes both protocol phases itself (the database is preloaded into
+VRAM): full-domain DPF evaluation on the SMs, then the dpXOR scan at VRAM
+bandwidth.  Per query the host ships the DPF key (tiny) and receives the
+32-byte sub-result, so PCIe only matters when the database itself exceeds
+VRAM and must be streamed per query — the capacity cliff the model exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import PhaseTimer
+from repro.gpu.config import GPUConfig
+
+#: Same fixed-key single-AES-per-child DPF construction as the other servers.
+BLOCKS_PER_LEAF = 1.0
+
+PHASE_EVAL = "eval"
+PHASE_DPXOR = "dpxor"
+PHASE_PCIE = "pcie_stream"
+PHASE_LAUNCH = "kernel_launch"
+
+
+@dataclass
+class GPUBatchEstimate:
+    """Latency/throughput estimate for a batch of queries on the GPU baseline."""
+
+    batch_size: int
+    latency_seconds: float
+    throughput_qps: float
+    per_query_breakdown: PhaseTimer
+    vram_resident: bool
+
+
+class GPUModel:
+    """Analytic cost model for GPU-PIR."""
+
+    def __init__(self, config: GPUConfig | None = None) -> None:
+        self.config = config if config is not None else GPUConfig()
+
+    def dpf_eval_seconds(self, num_leaves: int, blocks_per_leaf: float = BLOCKS_PER_LEAF) -> float:
+        """Full-domain DPF evaluation time for one query on the GPU."""
+        if num_leaves < 0:
+            raise ConfigurationError("num_leaves must be non-negative")
+        return num_leaves * blocks_per_leaf / self.config.prg_blocks_per_second
+
+    def dpxor_seconds(self, db_bytes: int) -> float:
+        """dpXOR scan time for one query with a VRAM-resident database."""
+        if db_bytes < 0:
+            raise ConfigurationError("db_bytes must be non-negative")
+        return db_bytes / self.config.effective_memory_bandwidth
+
+    def pcie_stream_seconds(self, db_bytes: int) -> float:
+        """Time to stream ``db_bytes`` from host memory over PCIe (VRAM overflow)."""
+        if db_bytes < 0:
+            raise ConfigurationError("db_bytes must be non-negative")
+        return db_bytes / self.config.pcie_bandwidth
+
+    def single_query_breakdown(self, num_records: int, record_size: int) -> PhaseTimer:
+        """Per-phase latency of one query."""
+        db_bytes = num_records * record_size
+        timer = PhaseTimer()
+        timer.record(PHASE_EVAL, self.dpf_eval_seconds(num_records))
+        timer.record(PHASE_DPXOR, self.dpxor_seconds(db_bytes))
+        timer.record(PHASE_LAUNCH, self.config.kernel_launch_overhead_s)
+        if not self.config.fits_in_vram(db_bytes):
+            timer.record(PHASE_PCIE, self.pcie_stream_seconds(db_bytes))
+        return timer
+
+    def batch_estimate(self, num_records: int, record_size: int, batch_size: int) -> GPUBatchEstimate:
+        """Batch makespan: ``concurrent_queries`` queries share the GPU per wave.
+
+        Queries in a wave run concurrently but share the memory system, so a
+        wave takes roughly the per-query time (evaluation parallelises across
+        SMs, the scans serialise on bandwidth).  Waves execute back to back.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        per_query = self.single_query_breakdown(num_records, record_size)
+        wave_size = min(self.config.concurrent_queries, batch_size)
+        num_waves = -(-batch_size // wave_size)
+
+        # Within a wave: evaluation of the wave's queries shares the SMs (so it
+        # scales with wave size only until the PRG rate saturates), while the
+        # dpXOR scans are bandwidth-bound and strictly additive.
+        eval_wave = per_query.get(PHASE_EVAL) * wave_size
+        scan_wave = (per_query.get(PHASE_DPXOR) + per_query.get(PHASE_PCIE)) * wave_size
+        launch_wave = self.config.kernel_launch_overhead_s
+        wave_seconds = max(eval_wave, scan_wave) + launch_wave
+
+        latency = num_waves * wave_seconds
+        throughput = batch_size / latency if latency > 0 else float("inf")
+        return GPUBatchEstimate(
+            batch_size=batch_size,
+            latency_seconds=latency,
+            throughput_qps=throughput,
+            per_query_breakdown=per_query,
+            vram_resident=self.config.fits_in_vram(num_records * record_size),
+        )

@@ -1,0 +1,230 @@
+"""UPMEM PIM hardware configuration.
+
+Default values follow the paper's evaluation platform (§5.2): a server with
+20 PIM-enabled modules totalling 2,560 DPUs at 350 MHz, 64 MB of MRAM and
+64 KB of WRAM per DPU, ~700 MB/s of MRAM<->WRAM bandwidth per DPU, and a host
+with two 8-core Xeon Silver 4110 CPUs.  Experiments use 2,048 DPUs with 16
+tasklets each unless stated otherwise, exactly as the paper does.
+
+The UPMEM topology is hierarchical: a module holds two ranks, a rank holds
+eight PIM chips, and a chip holds eight DPUs — so one 8 GB module exposes 128
+DPUs.  The topology matters for capacity accounting and for the CPU<->DPU
+transfer engine, which moves data rank-by-rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, KIB, MIB
+
+DPUS_PER_CHIP = 8
+CHIPS_PER_RANK = 8
+RANKS_PER_MODULE = 2
+DPUS_PER_RANK = DPUS_PER_CHIP * CHIPS_PER_RANK
+DPUS_PER_MODULE = DPUS_PER_RANK * RANKS_PER_MODULE
+
+
+@dataclass(frozen=True)
+class DPUConfig:
+    """Per-DPU hardware parameters."""
+
+    mram_bytes: int = 64 * MIB
+    wram_bytes: int = 64 * KIB
+    iram_bytes: int = 24 * KIB
+    frequency_hz: float = 350e6
+    hardware_threads: int = 24
+    tasklets: int = 16
+    #: Sustained MRAM<->WRAM DMA bandwidth for one DPU (paper: ~700 MB/s at 350 MHz).
+    mram_wram_bandwidth: float = 700e6
+    #: Pipeline utilisation: with >= 11 tasklets the DPU retires about one
+    #: instruction per cycle; fewer tasklets leave bubbles in the 14-stage
+    #: pipeline (Gomez-Luna et al. characterisation).
+    full_pipeline_tasklets: int = 11
+    #: Minimum efficient DMA transfer size; smaller transfers pay the same cost.
+    dma_granularity_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mram_bytes <= 0 or self.wram_bytes <= 0 or self.iram_bytes <= 0:
+            raise ConfigurationError("DPU memory sizes must be positive")
+        if not 1 <= self.tasklets <= self.hardware_threads:
+            raise ConfigurationError(
+                f"tasklets must be in [1, {self.hardware_threads}], got {self.tasklets}"
+            )
+        if self.frequency_hz <= 0 or self.mram_wram_bandwidth <= 0:
+            raise ConfigurationError("frequency and bandwidth must be positive")
+
+    @property
+    def pipeline_efficiency(self) -> float:
+        """Fraction of the 1-instruction/cycle peak the tasklet count achieves."""
+        return min(1.0, self.tasklets / self.full_pipeline_tasklets)
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Effective retired-instruction rate for the configured tasklet count."""
+        return self.frequency_hz * self.pipeline_efficiency
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host-CPU parameters of the PIM server (Xeon Silver 4110 in the paper)."""
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    threads_per_core: int = 2
+    frequency_hz: float = 2.1e9
+    llc_bytes: int = 11 * MIB
+    dram_bytes: int = 256 * GIB
+    #: Aggregate host DRAM bandwidth (6-channel DDR4-2400 per socket, derated).
+    dram_bandwidth: float = 68e9
+    #: Pipelined AES-NI throughput per hardware thread (blocks/second).  A
+    #: Skylake-SP core at 2.1 GHz retires roughly one AESENC per cycle once
+    #: eight independent blocks are in flight, i.e. ~210 M blocks/s for
+    #: 10-round AES-128; IM-PIR's host evaluation batches AES calls across
+    #: sibling nodes (§3.2) which keeps it close to that peak.
+    aes_blocks_per_second_per_thread: float = 210e6
+    #: Fraction of ideal scaling achieved when all threads cooperate on a
+    #: *single* key's evaluation (latency mode): the per-level subtree handoff
+    #: and the shared output vector introduce barriers and cache-line sharing
+    #: that cost roughly half the ideal speedup.  Independent per-key worker
+    #: threads (batch mode) do not pay this penalty.
+    thread_scaling_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0 or self.threads_per_core <= 0:
+            raise ConfigurationError("host core topology values must be positive")
+        if self.frequency_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ConfigurationError("host frequency and bandwidth must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads available on the host."""
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def aggregate_aes_blocks_per_second(self) -> float:
+        """AES-NI throughput with every hardware thread active."""
+        return (
+            self.aes_blocks_per_second_per_thread
+            * self.total_threads
+            * self.thread_scaling_efficiency
+        )
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """CPU <-> DPU data-movement parameters.
+
+    UPMEM exposes no direct DPU-DPU path: every transfer is staged through the
+    host.  The per-query selector shares are *scatter* transfers (a different
+    buffer per DPU), which sustain markedly less bandwidth than same-buffer
+    broadcasts; the values below follow the UPMEM characterisation literature
+    the paper cites (Gomez-Luna et al., Hyun et al.).
+    """
+
+    #: Scatter (different data per DPU) host->MRAM bandwidth, aggregate.
+    host_to_dpu_bandwidth: float = 5.0e9
+    #: Broadcast (same data to every DPU) host->MRAM bandwidth, aggregate.
+    host_broadcast_bandwidth: float = 6.0e9
+    dpu_to_host_bandwidth: float = 4.7e9
+    #: Fixed software cost of initiating a batched transfer to a DPU set.
+    transfer_latency_s: float = 120e-6
+    #: Kernel-launch cost: a fixed driver component plus a per-DPU component
+    #: (binary load / boot fan-out across ranks).
+    launch_base_s: float = 250e-6
+    launch_per_dpu_s: float = 2.3e-6
+
+    def __post_init__(self) -> None:
+        if self.host_to_dpu_bandwidth <= 0 or self.dpu_to_host_bandwidth <= 0:
+            raise ConfigurationError("transfer bandwidths must be positive")
+        if self.host_broadcast_bandwidth <= 0:
+            raise ConfigurationError("broadcast bandwidth must be positive")
+        if self.transfer_latency_s < 0 or self.launch_base_s < 0 or self.launch_per_dpu_s < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def launch_overhead_s(self, num_dpus: int) -> float:
+        """Kernel-launch overhead for a set of ``num_dpus`` DPUs."""
+        if num_dpus <= 0:
+            raise ConfigurationError("num_dpus must be positive")
+        return self.launch_base_s + self.launch_per_dpu_s * num_dpus
+
+
+@dataclass(frozen=True)
+class PIMConfig:
+    """Full PIM-server configuration used by the simulator and cost models."""
+
+    num_dpus: int = 2048
+    dpu: DPUConfig = field(default_factory=DPUConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    transfer: TransferConfig = field(default_factory=TransferConfig)
+    #: Total DPUs physically present (20 modules in the paper's server).
+    available_dpus: int = 2560
+
+    def __post_init__(self) -> None:
+        if self.num_dpus <= 0:
+            raise ConfigurationError("num_dpus must be positive")
+        if self.num_dpus > self.available_dpus:
+            raise ConfigurationError(
+                f"requested {self.num_dpus} DPUs but the system only has {self.available_dpus}"
+            )
+
+    @property
+    def num_modules(self) -> int:
+        """PIM modules needed to expose ``available_dpus``."""
+        return -(-self.available_dpus // DPUS_PER_MODULE)
+
+    @property
+    def total_mram_bytes(self) -> int:
+        """MRAM capacity across the DPUs used by experiments."""
+        return self.num_dpus * self.dpu.mram_bytes
+
+    @property
+    def aggregate_mram_bandwidth(self) -> float:
+        """Sum of the per-DPU MRAM<->WRAM bandwidths (the paper's ~1.79 TB/s)."""
+        return self.num_dpus * self.dpu.mram_wram_bandwidth
+
+    def with_dpus(self, num_dpus: int) -> "PIMConfig":
+        """A copy of this configuration using ``num_dpus`` DPUs."""
+        return PIMConfig(
+            num_dpus=num_dpus,
+            dpu=self.dpu,
+            host=self.host,
+            transfer=self.transfer,
+            available_dpus=self.available_dpus,
+        )
+
+    def with_tasklets(self, tasklets: int) -> "PIMConfig":
+        """A copy of this configuration with a different tasklet count per DPU."""
+        dpu = DPUConfig(
+            mram_bytes=self.dpu.mram_bytes,
+            wram_bytes=self.dpu.wram_bytes,
+            iram_bytes=self.dpu.iram_bytes,
+            frequency_hz=self.dpu.frequency_hz,
+            hardware_threads=self.dpu.hardware_threads,
+            tasklets=tasklets,
+            mram_wram_bandwidth=self.dpu.mram_wram_bandwidth,
+            full_pipeline_tasklets=self.dpu.full_pipeline_tasklets,
+            dma_granularity_bytes=self.dpu.dma_granularity_bytes,
+        )
+        return PIMConfig(
+            num_dpus=self.num_dpus,
+            dpu=dpu,
+            host=self.host,
+            transfer=self.transfer,
+            available_dpus=self.available_dpus,
+        )
+
+
+#: The paper's evaluation platform: 2,048 of 2,560 DPUs, 16 tasklets each.
+UPMEM_PAPER_CONFIG = PIMConfig()
+
+
+def scaled_down_config(num_dpus: int = 8, tasklets: int = 4) -> PIMConfig:
+    """A small configuration for functional tests and examples.
+
+    The hardware parameters are unchanged — only the population is reduced so
+    end-to-end functional runs stay fast in pure Python.
+    """
+    base = PIMConfig(num_dpus=num_dpus, available_dpus=max(num_dpus, 2560))
+    return base.with_tasklets(tasklets)

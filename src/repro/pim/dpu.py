@@ -1,0 +1,110 @@
+"""The DPU: a 32-bit in-order core bolted onto a 64 MB MRAM bank.
+
+A :class:`DPU` owns its MRAM and WRAM, tracks how long it has been busy in
+simulated time, and executes kernels (callables following the
+:class:`~repro.pim.kernels.Kernel` protocol).  Kernel launches are the only
+way work happens on a DPU — exactly like the real hardware, where the host
+loads a binary and calls ``dpu_launch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import KernelError
+from repro.pim.config import DPUConfig
+from repro.pim.mram import MRAM
+from repro.pim.wram import WRAM
+
+
+@dataclass
+class DPUExecutionReport:
+    """Outcome of one kernel launch on one DPU."""
+
+    dpu_id: int
+    kernel_name: str
+    simulated_seconds: float
+    instructions: int
+    dma_bytes: int
+    tasklets_used: int
+    result: Any = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class DPU:
+    """One DRAM processing unit with its private memories."""
+
+    def __init__(self, dpu_id: int, config: Optional[DPUConfig] = None) -> None:
+        if dpu_id < 0:
+            raise KernelError("dpu_id must be non-negative")
+        self.dpu_id = dpu_id
+        self.config = config if config is not None else DPUConfig()
+        self.mram = MRAM(self.config.mram_bytes)
+        self.wram = WRAM(self.config.wram_bytes)
+        self.busy_seconds = 0.0
+        self.launches = 0
+        self._loaded_program: Optional[str] = None
+
+    # -- program management -----------------------------------------------------
+
+    def load_program(self, name: str) -> None:
+        """Record which kernel binary is resident in IRAM.
+
+        The simulator does not model instruction bytes, but keeping the loaded
+        program explicit lets tests assert that the host loads binaries before
+        launching, as the UPMEM SDK requires.
+        """
+        self._loaded_program = name
+
+    @property
+    def loaded_program(self) -> Optional[str]:
+        """Name of the currently loaded kernel binary, if any."""
+        return self._loaded_program
+
+    # -- MRAM convenience ---------------------------------------------------------
+
+    def store(self, name: str, array: np.ndarray) -> int:
+        """Allocate (if needed) and write a named MRAM buffer; returns bytes written."""
+        flat = np.ascontiguousarray(array, dtype=np.uint8).reshape(-1)
+        if not self.mram.has_buffer(name):
+            self.mram.allocate(name, flat.size)
+        return self.mram.write(name, flat)
+
+    def load(self, name: str, size_bytes: Optional[int] = None) -> np.ndarray:
+        """Read a named MRAM buffer back as a flat uint8 array."""
+        return self.mram.read(name, size_bytes=size_bytes)
+
+    # -- execution ----------------------------------------------------------------
+
+    def launch(self, kernel: "Kernel", **kwargs: Any) -> DPUExecutionReport:
+        """Run ``kernel`` on this DPU and advance its busy time."""
+        if self._loaded_program is not None and self._loaded_program != kernel.name:
+            raise KernelError(
+                f"DPU {self.dpu_id} has program {self._loaded_program!r} loaded, "
+                f"cannot launch {kernel.name!r}"
+            )
+        self.wram.release_all()
+        report = kernel.run(self, **kwargs)
+        self.busy_seconds += report.simulated_seconds
+        self.launches += 1
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DPU(id={self.dpu_id}, busy={self.busy_seconds:.6f}s, launches={self.launches})"
+
+
+class Kernel:
+    """Protocol for DPU kernels.
+
+    Subclasses implement :meth:`run`, performing the functional computation on
+    the DPU's MRAM buffers and returning a :class:`DPUExecutionReport` whose
+    ``simulated_seconds`` comes from the shared timing model.
+    """
+
+    name = "abstract-kernel"
+
+    def run(self, dpu: DPU, **kwargs: Any) -> DPUExecutionReport:
+        raise NotImplementedError

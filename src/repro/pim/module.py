@@ -1,0 +1,117 @@
+"""UPMEM topology: chips, ranks and modules.
+
+The hierarchy only matters for capacity accounting and transfer scheduling
+(transfers are issued per rank), but modelling it explicitly keeps the
+simulator faithful to the hardware the paper describes: 8 DPUs per PIM chip,
+8 chips per rank, 2 ranks per module, 128 DPUs and 8 GB of MRAM per module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.pim.config import CHIPS_PER_RANK, DPUS_PER_CHIP, RANKS_PER_MODULE
+from repro.pim.dpu import DPU
+
+
+@dataclass
+class PIMChip:
+    """Eight DPUs sharing one PIM chip."""
+
+    chip_id: int
+    dpus: List[DPU] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.dpus) > DPUS_PER_CHIP:
+            raise ConfigurationError(
+                f"a PIM chip holds at most {DPUS_PER_CHIP} DPUs, got {len(self.dpus)}"
+            )
+
+    @property
+    def num_dpus(self) -> int:
+        """DPUs present on this chip."""
+        return len(self.dpus)
+
+
+@dataclass
+class PIMRank:
+    """Eight PIM chips forming one DRAM rank (the unit of host transfers)."""
+
+    rank_id: int
+    chips: List[PIMChip] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.chips) > CHIPS_PER_RANK:
+            raise ConfigurationError(
+                f"a rank holds at most {CHIPS_PER_RANK} chips, got {len(self.chips)}"
+            )
+
+    @property
+    def dpus(self) -> List[DPU]:
+        """All DPUs in this rank, chip order."""
+        return [dpu for chip in self.chips for dpu in chip.dpus]
+
+    @property
+    def num_dpus(self) -> int:
+        """DPUs present in this rank."""
+        return sum(chip.num_dpus for chip in self.chips)
+
+
+@dataclass
+class PIMModule:
+    """One PIM-enabled DIMM: two ranks, up to 128 DPUs, 8 GB of MRAM."""
+
+    module_id: int
+    ranks: List[PIMRank] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.ranks) > RANKS_PER_MODULE:
+            raise ConfigurationError(
+                f"a module holds at most {RANKS_PER_MODULE} ranks, got {len(self.ranks)}"
+            )
+
+    @property
+    def dpus(self) -> List[DPU]:
+        """All DPUs in this module, rank order."""
+        return [dpu for rank in self.ranks for dpu in rank.dpus]
+
+    @property
+    def num_dpus(self) -> int:
+        """DPUs present in this module."""
+        return sum(rank.num_dpus for rank in self.ranks)
+
+    @property
+    def mram_bytes(self) -> int:
+        """Total MRAM capacity of the module."""
+        return sum(dpu.config.mram_bytes for dpu in self.dpus)
+
+
+def build_topology(dpus: List[DPU]) -> List[PIMModule]:
+    """Group a flat DPU list into the chip/rank/module hierarchy."""
+    modules: List[PIMModule] = []
+    dpus_per_module = DPUS_PER_CHIP * CHIPS_PER_RANK * RANKS_PER_MODULE
+    for module_index in range(0, len(dpus), dpus_per_module):
+        module_dpus = dpus[module_index:module_index + dpus_per_module]
+        ranks: List[PIMRank] = []
+        dpus_per_rank = DPUS_PER_CHIP * CHIPS_PER_RANK
+        for rank_index in range(0, len(module_dpus), dpus_per_rank):
+            rank_dpus = module_dpus[rank_index:rank_index + dpus_per_rank]
+            chips = [
+                PIMChip(
+                    chip_id=chip_index // DPUS_PER_CHIP,
+                    dpus=rank_dpus[chip_index:chip_index + DPUS_PER_CHIP],
+                )
+                for chip_index in range(0, len(rank_dpus), DPUS_PER_CHIP)
+            ]
+            ranks.append(PIMRank(rank_id=rank_index // dpus_per_rank, chips=chips))
+        modules.append(PIMModule(module_id=module_index // dpus_per_module, ranks=ranks))
+    return modules
+
+
+def iter_dpus(modules: List[PIMModule]) -> Iterator[DPU]:
+    """Iterate over every DPU in a module list, in topology order."""
+    for module in modules:
+        for dpu in module.dpus:
+            yield dpu

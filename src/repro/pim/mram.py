@@ -1,0 +1,130 @@
+"""MRAM: the 64 MB DRAM bank private to each DPU.
+
+The simulator keeps MRAM as a dictionary of named buffers backed by numpy
+arrays.  Capacity accounting is strict (allocating past 64 MB raises
+:class:`~repro.common.errors.CapacityError`) but storage is lazy: only buffers
+that are actually written occupy host memory, which is what lets functional
+tests instantiate thousands of DPUs cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import CapacityError, TransferError
+from repro.common.units import format_bytes
+
+
+@dataclass
+class MRAMBuffer:
+    """A named, fixed-size region of a DPU's MRAM."""
+
+    name: str
+    offset: int
+    size_bytes: int
+    data: Optional[np.ndarray] = None
+
+    def materialize(self) -> np.ndarray:
+        """Return the backing array, creating a zeroed one on first access."""
+        if self.data is None:
+            self.data = np.zeros(self.size_bytes, dtype=np.uint8)
+        return self.data
+
+
+class MRAM:
+    """Capacity-checked buffer store standing in for one DPU's MRAM bank."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CapacityError("MRAM capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._buffers: Dict[str, MRAMBuffer] = {}
+        self._next_offset = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated (whether or not they have been written)."""
+        return sum(buffer.size_bytes for buffer in self._buffers.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining allocatable capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, name: str, size_bytes: int) -> MRAMBuffer:
+        """Reserve ``size_bytes`` under ``name``; idempotent re-allocation is an error."""
+        if size_bytes <= 0:
+            raise CapacityError(f"buffer {name!r} must have a positive size")
+        if name in self._buffers:
+            raise CapacityError(f"MRAM buffer {name!r} already allocated")
+        if size_bytes > self.free_bytes:
+            raise CapacityError(
+                f"allocating {format_bytes(size_bytes)} for {name!r} exceeds MRAM capacity "
+                f"({format_bytes(self.free_bytes)} free of {format_bytes(self.capacity_bytes)})"
+            )
+        buffer = MRAMBuffer(name=name, offset=self._next_offset, size_bytes=size_bytes)
+        self._buffers[name] = buffer
+        self._next_offset += size_bytes
+        return buffer
+
+    def free(self, name: str) -> None:
+        """Release the buffer ``name`` (no-op compaction; offsets are not reused)."""
+        if name not in self._buffers:
+            raise TransferError(f"MRAM buffer {name!r} does not exist")
+        del self._buffers[name]
+
+    def has_buffer(self, name: str) -> bool:
+        """Whether ``name`` is currently allocated."""
+        return name in self._buffers
+
+    def buffer_names(self) -> tuple:
+        """Names of all allocated buffers."""
+        return tuple(self._buffers)
+
+    # -- data movement ----------------------------------------------------------
+
+    def write(self, name: str, array: np.ndarray, offset: int = 0) -> int:
+        """Copy ``array`` (flattened to bytes) into buffer ``name`` at ``offset``.
+
+        Returns the number of bytes written.  The buffer must already be
+        allocated and large enough.
+        """
+        buffer = self._require(name)
+        flat = np.ascontiguousarray(array, dtype=np.uint8).reshape(-1)
+        if offset < 0 or offset + flat.size > buffer.size_bytes:
+            raise TransferError(
+                f"write of {flat.size} bytes at offset {offset} overflows buffer {name!r} "
+                f"({buffer.size_bytes} bytes)"
+            )
+        backing = buffer.materialize()
+        backing[offset:offset + flat.size] = flat
+        return int(flat.size)
+
+    def read(self, name: str, offset: int = 0, size_bytes: Optional[int] = None) -> np.ndarray:
+        """Read ``size_bytes`` from buffer ``name`` starting at ``offset``."""
+        buffer = self._require(name)
+        if size_bytes is None:
+            size_bytes = buffer.size_bytes - offset
+        if offset < 0 or size_bytes < 0 or offset + size_bytes > buffer.size_bytes:
+            raise TransferError(
+                f"read of {size_bytes} bytes at offset {offset} overflows buffer {name!r}"
+            )
+        backing = buffer.materialize()
+        return backing[offset:offset + size_bytes].copy()
+
+    def _require(self, name: str) -> MRAMBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise TransferError(f"MRAM buffer {name!r} does not exist") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MRAM(used={format_bytes(self.used_bytes)}/{format_bytes(self.capacity_bytes)}, "
+            f"buffers={list(self._buffers)})"
+        )

@@ -1,0 +1,66 @@
+"""WRAM: the 64 KB scratchpad shared by a DPU's tasklets.
+
+The dpXOR kernel streams MRAM-resident data through WRAM in DMA blocks; the
+simulator does not need to physically stage every block, but it does enforce
+the capacity constraint — the same constraint that makes the branch-parallel
+DPF traversal infeasible on DPUs (§3.2) — and accounts the bytes that would
+cross the MRAM<->WRAM interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import CapacityError
+from repro.common.units import format_bytes
+
+
+@dataclass
+class WRAM:
+    """Capacity accounting for one DPU's working RAM."""
+
+    capacity_bytes: int
+    _reservations: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise CapacityError("WRAM capacity must be positive")
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently reserved by kernel working sets."""
+        return sum(self._reservations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining reservable capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, name: str, size_bytes: int) -> None:
+        """Reserve a named working-set region; raises if WRAM would overflow."""
+        if size_bytes <= 0:
+            raise CapacityError(f"WRAM reservation {name!r} must have a positive size")
+        if name in self._reservations:
+            raise CapacityError(f"WRAM reservation {name!r} already exists")
+        if size_bytes > self.free_bytes:
+            raise CapacityError(
+                f"reserving {format_bytes(size_bytes)} for {name!r} exceeds WRAM capacity "
+                f"({format_bytes(self.free_bytes)} free of {format_bytes(self.capacity_bytes)})"
+            )
+        self._reservations[name] = size_bytes
+
+    def release(self, name: str) -> None:
+        """Release a named reservation (missing names are ignored)."""
+        self._reservations.pop(name, None)
+
+    def release_all(self) -> None:
+        """Release every reservation (called between kernel launches)."""
+        self._reservations.clear()
+
+    def fits(self, size_bytes: int) -> bool:
+        """Whether a working set of ``size_bytes`` could currently be reserved."""
+        return 0 < size_bytes <= self.free_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WRAM(used={format_bytes(self.used_bytes)}/{format_bytes(self.capacity_bytes)})"

@@ -1,0 +1,55 @@
+"""Multi-server PIR protocol: database, messages, client, server, driver."""
+
+from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, ClientStats, PIRClient
+from repro.pir.database import DEFAULT_RECORD_SIZE, Database
+from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
+from repro.pir.protocol import MultiServerPIRProtocol, RetrievalTrace
+from repro.pir.serialization import (
+    deserialize_answer,
+    deserialize_key,
+    deserialize_query,
+    serialize_answer,
+    serialize_key,
+    serialize_query,
+    wire_sizes,
+)
+from repro.pir.server import PIRServer, ServerStats
+from repro.pir.xor_ops import (
+    DpXorStats,
+    dpxor,
+    dpxor_chunked,
+    dpxor_two_stage,
+    inner_product_mod,
+    xor_bytes,
+    xor_fold,
+)
+
+__all__ = [
+    "SCHEME_DPF",
+    "SCHEME_NAIVE",
+    "ClientStats",
+    "PIRClient",
+    "DEFAULT_RECORD_SIZE",
+    "Database",
+    "DPFQuery",
+    "NaiveQuery",
+    "PIRAnswer",
+    "MultiServerPIRProtocol",
+    "RetrievalTrace",
+    "deserialize_answer",
+    "deserialize_key",
+    "deserialize_query",
+    "serialize_answer",
+    "serialize_key",
+    "serialize_query",
+    "wire_sizes",
+    "PIRServer",
+    "ServerStats",
+    "DpXorStats",
+    "dpxor",
+    "dpxor_chunked",
+    "dpxor_two_stage",
+    "inner_product_mod",
+    "xor_bytes",
+    "xor_fold",
+]

@@ -1,0 +1,88 @@
+"""Wire messages exchanged between the PIR client and servers.
+
+Queries carry either a DPF key (the compact O(lambda log N) encoding used by
+IM-PIR and both baselines) or a dense selector-bit share (the naive scheme of
+§2.3).  Answers carry the server's XOR sub-result.  Sizes are exposed so the
+examples and benchmarks can report upload/download communication costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ProtocolError
+from repro.dpf.dpf import DPFKey
+from repro.dpf.naive import NaiveShare
+
+
+@dataclass(frozen=True)
+class DPFQuery:
+    """A DPF-encoded query for one server."""
+
+    query_id: int
+    server_id: int
+    key: DPFKey
+    num_records: int
+
+    def __post_init__(self) -> None:
+        if self.server_id not in (0, 1):
+            raise ProtocolError("DPF queries are defined for a two-server deployment")
+        if self.num_records <= 0:
+            raise ProtocolError("num_records must be positive")
+        if self.num_records > self.key.domain_size:
+            raise ProtocolError(
+                f"database of {self.num_records} records does not fit in a "
+                f"{self.key.domain_bits}-bit DPF domain"
+            )
+
+    @property
+    def upload_bytes(self) -> int:
+        """Bytes sent from the client to this server."""
+        return self.key.size_bytes
+
+
+@dataclass(frozen=True)
+class NaiveQuery:
+    """A dense selector-share query for one server (naive scheme)."""
+
+    query_id: int
+    server_id: int
+    share: NaiveShare
+    num_records: int
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ProtocolError("server_id must be non-negative")
+        if self.share.num_items != self.num_records:
+            raise ProtocolError("selector share length must match the database size")
+
+    @property
+    def upload_bytes(self) -> int:
+        """Bytes sent from the client to this server."""
+        return self.share.size_bytes
+
+
+@dataclass(frozen=True)
+class PIRAnswer:
+    """A server's sub-result for one query."""
+
+    query_id: int
+    server_id: int
+    payload: bytes
+    simulated_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ProtocolError("answer payload must not be empty")
+
+    @property
+    def download_bytes(self) -> int:
+        """Bytes sent from this server back to the client."""
+        return len(self.payload)
+
+    def payload_array(self) -> np.ndarray:
+        """The payload as a uint8 numpy array."""
+        return np.frombuffer(self.payload, dtype=np.uint8)

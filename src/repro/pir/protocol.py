@@ -1,0 +1,98 @@
+"""End-to-end protocol driver wiring one client to a set of replica servers.
+
+`MultiServerPIRProtocol` is the simplest way to run the complete flow of
+Algorithm 1 (key generation -> per-server evaluation -> reconstruction) in a
+single process.  It is used by the quickstart example, by the integration
+tests, and as the correctness oracle against which the architecture-specific
+servers (CPU, GPU, IM-PIR) are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ProtocolError
+from repro.dpf.prf import LengthDoublingPRG, make_prg
+from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, PIRClient
+from repro.pir.database import Database
+from repro.pir.messages import PIRAnswer
+from repro.pir.server import PIRServer
+
+
+@dataclass
+class RetrievalTrace:
+    """Everything that happened while retrieving one record (for reporting)."""
+
+    index: int
+    record: bytes
+    upload_bytes: int
+    download_bytes: int
+    answers: List[PIRAnswer] = field(default_factory=list)
+
+
+class MultiServerPIRProtocol:
+    """A client plus ``num_servers`` replicas of the same database.
+
+    The servers are plain reference servers; architecture-aware deployments
+    (IM-PIR, CPU-PIR, GPU-PIR) plug their own server objects into the same
+    client/message types.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        num_servers: int = 2,
+        scheme: str = SCHEME_DPF,
+        prg_backend: str = "numpy",
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_servers < 2:
+            raise ProtocolError("multi-server PIR requires at least two servers")
+        if scheme not in (SCHEME_DPF, SCHEME_NAIVE):
+            raise ProtocolError(f"unknown scheme {scheme!r}")
+        self.database = database
+        self.num_servers = num_servers
+        self.scheme = scheme
+        # The client and every server must share the PRG construction, but the
+        # instances are separate: a real deployment has no shared state.
+        self.client = PIRClient(
+            num_records=database.num_records,
+            record_size=database.record_size,
+            num_servers=num_servers,
+            scheme=scheme,
+            prg=make_prg(prg_backend),
+            seed=seed,
+        )
+        self.servers = [
+            PIRServer(database, server_id=i, prg=make_prg(prg_backend))
+            for i in range(num_servers)
+        ]
+
+    def retrieve(self, index: int) -> bytes:
+        """Privately retrieve the record at ``index``."""
+        return self.retrieve_with_trace(index).record
+
+    def retrieve_with_trace(self, index: int) -> RetrievalTrace:
+        """Retrieve a record and report the per-message communication costs."""
+        queries = self.client.query(index)
+        answers = [self.servers[q.server_id].answer(q) for q in queries]
+        record = self.client.reconstruct(answers)
+        return RetrievalTrace(
+            index=index,
+            record=record,
+            upload_bytes=sum(q.upload_bytes for q in queries),
+            download_bytes=sum(a.download_bytes for a in answers),
+            answers=answers,
+        )
+
+    def retrieve_batch(self, indices: Sequence[int]) -> List[bytes]:
+        """Retrieve several records (queries are processed sequentially)."""
+        return [self.retrieve(index) for index in indices]
+
+    def verify_against_database(self, indices: Sequence[int]) -> bool:
+        """Check PIR answers against direct database reads (testing helper)."""
+        for index in indices:
+            if self.retrieve(index) != self.database.record(index):
+                return False
+        return True

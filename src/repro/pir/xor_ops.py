@@ -1,0 +1,207 @@
+"""dpXOR kernels: the linear "select-and-XOR" scan at the heart of the server.
+
+The paper calls the combination of the inner product with the selector vector
+and the XOR accumulation "dpXOR".  For an XOR-group database the operation is
+
+    r = XOR_{j : v[j] = 1}  D[j]
+
+which every PIR server must evaluate over the *entire* database for every
+query (the all-for-one principle).  This module provides the reference numpy
+implementations plus the chunked/two-stage variants mirroring how the work is
+split across DPUs and tasklets, and a small operation counter used by the
+cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import DatabaseError
+
+
+@dataclass
+class DpXorStats:
+    """Byte/record traffic of a dpXOR evaluation, consumed by the cost models."""
+
+    records_scanned: int = 0
+    records_selected: int = 0
+    db_bytes_read: int = 0
+    selector_bytes_read: int = 0
+    output_bytes_written: int = 0
+
+    def merge(self, other: "DpXorStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.records_scanned += other.records_scanned
+        self.records_selected += other.records_selected
+        self.db_bytes_read += other.db_bytes_read
+        self.selector_bytes_read += other.selector_bytes_read
+        self.output_bytes_written += other.output_bytes_written
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """All bytes that crossed the memory interface."""
+        return self.db_bytes_read + self.selector_bytes_read + self.output_bytes_written
+
+
+def _validate(database: np.ndarray, selector: np.ndarray) -> tuple:
+    database = np.asarray(database, dtype=np.uint8)
+    selector = np.asarray(selector, dtype=np.uint8)
+    if database.ndim != 2:
+        raise DatabaseError("database chunk must be 2-D (records x bytes)")
+    if selector.ndim != 1 or selector.shape[0] != database.shape[0]:
+        raise DatabaseError(
+            f"selector length {selector.shape} does not match database rows {database.shape[0]}"
+        )
+    return database, selector
+
+
+def dpxor(
+    database: np.ndarray,
+    selector: np.ndarray,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """Reference dpXOR: XOR of database rows whose selector bit is set.
+
+    ``database`` is ``(N, record_size)`` uint8, ``selector`` is ``(N,)`` of
+    0/1 values.  Returns the ``(record_size,)`` XOR accumulator.  The whole
+    database is charged to ``stats`` regardless of how many bits are set: the
+    all-for-one principle means a real server touches every record.
+    """
+    database, selector = _validate(database, selector)
+    mask = selector.astype(bool)
+    if mask.any():
+        result = np.bitwise_xor.reduce(database[mask], axis=0)
+    else:
+        result = np.zeros(database.shape[1], dtype=np.uint8)
+    if stats is not None:
+        stats.merge(
+            DpXorStats(
+                records_scanned=database.shape[0],
+                records_selected=int(mask.sum()),
+                db_bytes_read=database.shape[0] * database.shape[1],
+                selector_bytes_read=database.shape[0],
+                output_bytes_written=database.shape[1],
+            )
+        )
+    return result.astype(np.uint8)
+
+
+def dpxor_chunked(
+    database: np.ndarray,
+    selector: np.ndarray,
+    num_chunks: int,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """dpXOR evaluated as ``num_chunks`` partial scans folded together.
+
+    Mirrors the distribution of the database across DPUs: each chunk produces
+    a partial result and the partials are XOR-folded, which is exactly the
+    aggregation step ➏ of Algorithm 1.  The result is bit-identical to
+    :func:`dpxor`.
+    """
+    database, selector = _validate(database, selector)
+    if num_chunks <= 0:
+        raise DatabaseError("num_chunks must be positive")
+    partials = []
+    bounds = np.linspace(0, database.shape[0], num_chunks + 1, dtype=np.int64)
+    for chunk_index in range(num_chunks):
+        start, stop = int(bounds[chunk_index]), int(bounds[chunk_index + 1])
+        partials.append(dpxor(database[start:stop], selector[start:stop], stats=stats))
+    return xor_fold(partials)
+
+
+def dpxor_two_stage(
+    database: np.ndarray,
+    selector: np.ndarray,
+    num_workers: int,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """Two-stage parallel reduction (Algorithm 1, TASKLETXOR + MASTERXOR).
+
+    Stage 1 splits the chunk across ``num_workers`` tasklets that each produce
+    a partial result; stage 2 has the master tasklet XOR-fold the partials.
+    Functionally identical to :func:`dpxor`; kept separate so the DPU kernel
+    and its tests exercise the exact structure of the paper's kernel.
+    """
+    database, selector = _validate(database, selector)
+    if num_workers <= 0:
+        raise DatabaseError("num_workers must be positive")
+    partials = []
+    num_records = database.shape[0]
+    per_worker = -(-num_records // num_workers) if num_records else 0
+    for worker in range(num_workers):
+        start = min(worker * per_worker, num_records)
+        stop = min(start + per_worker, num_records)
+        if start == stop:
+            partials.append(np.zeros(database.shape[1], dtype=np.uint8))
+            continue
+        partials.append(dpxor(database[start:stop], selector[start:stop], stats=stats))
+    return xor_fold(partials)
+
+
+def xor_fold(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """XOR-fold a sequence of equal-length byte vectors into one."""
+    if len(partials) == 0:
+        raise DatabaseError("cannot fold an empty list of partial results")
+    arrays = [np.asarray(p, dtype=np.uint8) for p in partials]
+    length = arrays[0].shape[0]
+    for i, array in enumerate(arrays):
+        if array.ndim != 1 or array.shape[0] != length:
+            raise DatabaseError(f"partial result {i} has mismatched shape {array.shape}")
+    result = np.zeros(length, dtype=np.uint8)
+    for array in arrays:
+        result ^= array
+    return result
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR two equal-length byte strings (client-side reconstruction step)."""
+    if len(left) != len(right):
+        raise DatabaseError("cannot XOR byte strings of different lengths")
+    left_arr = np.frombuffer(left, dtype=np.uint8)
+    right_arr = np.frombuffer(right, dtype=np.uint8)
+    return (left_arr ^ right_arr).tobytes()
+
+
+def inner_product_mod(
+    database: np.ndarray,
+    weights: np.ndarray,
+    modulus: int,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """Weighted sum of database rows modulo ``modulus``.
+
+    The paper's formal model works over a field F_p; XOR is the special case
+    p = 2 applied bitwise.  This generalised inner product backs the n-server
+    additive-sharing variant of the protocol and the F_p examples.
+    """
+    database = np.asarray(database, dtype=np.uint8)
+    weights = np.asarray(weights)
+    if database.ndim != 2:
+        raise DatabaseError("database chunk must be 2-D (records x bytes)")
+    if weights.shape != (database.shape[0],):
+        raise DatabaseError("weights length must equal the number of records")
+    if modulus < 2:
+        raise DatabaseError("modulus must be at least 2")
+    accumulator = (
+        database.astype(np.uint64) * weights.astype(np.uint64)[:, None]
+    ).sum(axis=0) % np.uint64(modulus)
+    if stats is not None:
+        stats.merge(
+            DpXorStats(
+                records_scanned=database.shape[0],
+                records_selected=int(np.count_nonzero(weights)),
+                db_bytes_read=database.shape[0] * database.shape[1],
+                selector_bytes_read=weights.nbytes,
+                output_bytes_written=database.shape[1] * 8,
+            )
+        )
+    return accumulator.astype(np.uint64)
+
+
+def partial_results_to_list(partials: Sequence[np.ndarray]) -> List[bytes]:
+    """Convert partial-result arrays to raw bytes (what DPUs ship to the host)."""
+    return [np.asarray(p, dtype=np.uint8).tobytes() for p in partials]

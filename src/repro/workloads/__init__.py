@@ -1,0 +1,42 @@
+"""Workloads: synthetic databases, domain scenarios and query traces."""
+
+from repro.workloads.certificate_transparency import (
+    CertificateTransparencyLog,
+    build_ct_workload,
+)
+from repro.workloads.credentials import (
+    CompromisedCredentialCorpus,
+    build_credential_workload,
+    hash_credential,
+)
+from repro.workloads.generator import (
+    HASH_RECORD_SIZE,
+    DatabaseSpec,
+    paper_batch_sizes,
+    paper_breakdown_sizes_gib,
+    paper_db_sizes_gib,
+    random_hash_database,
+    scaled_functional_spec,
+    sha256_database,
+)
+from repro.workloads.traces import QueryTrace, sequential_trace, uniform_trace, zipf_trace
+
+__all__ = [
+    "CertificateTransparencyLog",
+    "build_ct_workload",
+    "CompromisedCredentialCorpus",
+    "build_credential_workload",
+    "hash_credential",
+    "HASH_RECORD_SIZE",
+    "DatabaseSpec",
+    "paper_batch_sizes",
+    "paper_breakdown_sizes_gib",
+    "paper_db_sizes_gib",
+    "random_hash_database",
+    "scaled_functional_spec",
+    "sha256_database",
+    "QueryTrace",
+    "sequential_trace",
+    "uniform_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,110 @@
+"""Certificate-transparency auditing workload.
+
+One of the paper's motivating applications (§5.2): CT log auditors store
+SHA-256 digests of issued TLS certificates; a domain owner (or monitor) wants
+to check whether a particular certificate appears in the log *without
+revealing which certificate they are interested in* — leaking the query would
+reveal which domains they operate or investigate.
+
+This module synthesises a CT-log-shaped database (SHA-256 digests of
+deterministic synthetic certificate entries), provides the digest->index
+mapping an auditor would obtain from the log's Merkle metadata, and builds
+audit query traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.pir.database import Database
+from repro.workloads.generator import HASH_RECORD_SIZE, sha256_database
+from repro.workloads.traces import QueryTrace, zipf_trace
+
+
+def _certificate_entry(index: int) -> bytes:
+    """Canonical byte encoding of synthetic certificate number ``index``."""
+    serial = index + 1
+    domain = f"host{index % 100000}.example{index % 997}.org"
+    issuer = f"Synthetic CA {index % 17}"
+    not_before = 1577836800 + (index % 3650) * 86400  # spread over ~10 years
+    return f"serial={serial};cn={domain};issuer={issuer};nb={not_before}".encode()
+
+
+@dataclass
+class CertificateTransparencyLog:
+    """A synthetic CT log exposed as a PIR database of certificate digests."""
+
+    num_certificates: int
+    record_size: int = HASH_RECORD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_certificates <= 0:
+            raise ConfigurationError("num_certificates must be positive")
+        if self.record_size <= 0:
+            raise ConfigurationError("record_size must be positive")
+        self._database: Optional[Database] = None
+        self._index: Optional[Dict[bytes, int]] = None
+
+    # -- database construction ------------------------------------------------------
+
+    def build_database(self) -> Database:
+        """The log as a PIR database (record ``i`` = digest of certificate ``i``)."""
+        if self._database is None:
+            self._database = sha256_database(
+                self.num_certificates, _certificate_entry, record_size=self.record_size
+            )
+        return self._database
+
+    def digest_of(self, certificate_index: int) -> bytes:
+        """The full SHA-256 digest of certificate ``certificate_index``."""
+        if not 0 <= certificate_index < self.num_certificates:
+            raise ConfigurationError("certificate index out of range")
+        return hashlib.sha256(_certificate_entry(certificate_index)).digest()
+
+    def lookup_index(self, digest: bytes) -> Optional[int]:
+        """Map a digest to its log position (what the public log metadata provides)."""
+        if self._index is None:
+            self._index = {
+                self.digest_of(i)[: self.record_size]: i for i in range(self.num_certificates)
+            }
+        return self._index.get(digest[: self.record_size])
+
+    # -- query traces ------------------------------------------------------------------
+
+    def audit_trace(
+        self, num_audits: int, skew: float = 1.2, seed: Optional[int] = None
+    ) -> QueryTrace:
+        """Audit lookups skewed toward recently issued certificates."""
+        trace = zipf_trace(self.num_certificates, num_audits, exponent=skew, seed=seed)
+        # Zipf ranks favour small indices; map rank r to a recent certificate.
+        recent_first = tuple(self.num_certificates - 1 - index for index in trace.indices)
+        return QueryTrace(indices=recent_first, num_records=self.num_certificates)
+
+    def monitor_trace(self, num_domains: int, seed: Optional[int] = None) -> QueryTrace:
+        """A monitor re-checking a fixed set of domains (uniformly spread)."""
+        if num_domains <= 0:
+            raise ConfigurationError("num_domains must be positive")
+        rng = make_rng(seed)
+        picks = rng.choice(
+            self.num_certificates, size=min(num_domains, self.num_certificates), replace=False
+        )
+        return QueryTrace(indices=tuple(int(p) for p in picks), num_records=self.num_certificates)
+
+    def verify_inclusion(self, database: Database, certificate_index: int, record: bytes) -> bool:
+        """Check that a privately retrieved record matches the expected digest."""
+        expected = database.record(certificate_index)
+        return record == expected
+
+
+def build_ct_workload(
+    num_certificates: int = 4096, num_audits: int = 32, seed: Optional[int] = None
+) -> tuple:
+    """Convenience: (log, database, audit trace) for examples and tests."""
+    log = CertificateTransparencyLog(num_certificates=num_certificates)
+    database = log.build_database()
+    trace = log.audit_trace(num_audits, seed=seed)
+    return log, database, trace

@@ -1,0 +1,119 @@
+"""Compromised-credential checking workload (Have-I-Been-Pwned style).
+
+The paper's second motivating application: breach-notification services store
+SHA-256 hashes of leaked passwords; a password manager wants to check whether
+a user's credential appears in the corpus without revealing the credential
+(or even its hash prefix) to the service.  PIR gives exactly that guarantee.
+
+The workload synthesises a breached-credential corpus, hashes candidate
+credentials the same way, and produces check traces mixing hits (credentials
+that are in the corpus) and misses (fresh credentials).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.pir.database import Database
+from repro.workloads.generator import HASH_RECORD_SIZE, sha256_database
+from repro.workloads.traces import QueryTrace
+
+_COMMON_PASSWORDS = (
+    "123456", "password", "qwerty", "letmein", "dragon", "monkey", "sunshine",
+    "iloveyou", "admin", "welcome", "football", "princess", "shadow", "master",
+)
+
+
+def _leaked_credential(index: int) -> bytes:
+    """Canonical encoding of leaked credential number ``index``."""
+    base = _COMMON_PASSWORDS[index % len(_COMMON_PASSWORDS)]
+    return f"{base}{index}".encode()
+
+
+def hash_credential(credential: bytes, record_size: int = HASH_RECORD_SIZE) -> bytes:
+    """SHA-256 digest of a credential, truncated to the database record size."""
+    if record_size <= 0:
+        raise ConfigurationError("record_size must be positive")
+    return hashlib.sha256(credential).digest()[:record_size]
+
+
+@dataclass
+class CompromisedCredentialCorpus:
+    """A synthetic breached-credential corpus exposed as a PIR database."""
+
+    num_credentials: int
+    record_size: int = HASH_RECORD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_credentials <= 0:
+            raise ConfigurationError("num_credentials must be positive")
+        self._database: Optional[Database] = None
+
+    def build_database(self) -> Database:
+        """The corpus as a PIR database of credential hashes."""
+        if self._database is None:
+            self._database = sha256_database(
+                self.num_credentials, _leaked_credential, record_size=self.record_size
+            )
+        return self._database
+
+    def credential_at(self, index: int) -> bytes:
+        """The plaintext credential stored at corpus position ``index``."""
+        if not 0 <= index < self.num_credentials:
+            raise ConfigurationError("credential index out of range")
+        return _leaked_credential(index)
+
+    # -- client-side checking ----------------------------------------------------------
+
+    def check_trace(
+        self,
+        num_checks: int,
+        hit_fraction: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> Tuple[QueryTrace, List[bytes], List[bool]]:
+        """Build a credential-check trace.
+
+        Returns ``(trace, candidate_credentials, expected_hits)``: for a hit
+        the trace queries the credential's true corpus position; for a miss it
+        queries a random position (the client still learns "not present"
+        because the returned hash will not match).
+        """
+        if num_checks <= 0:
+            raise ConfigurationError("num_checks must be positive")
+        if not 0.0 <= hit_fraction <= 1.0:
+            raise ConfigurationError("hit_fraction must be in [0, 1]")
+        rng = make_rng(seed)
+        indices: List[int] = []
+        candidates: List[bytes] = []
+        expected: List[bool] = []
+        for check in range(num_checks):
+            is_hit = rng.random() < hit_fraction
+            if is_hit:
+                index = int(rng.integers(0, self.num_credentials))
+                candidates.append(self.credential_at(index))
+                indices.append(index)
+                expected.append(True)
+            else:
+                candidates.append(f"fresh-credential-{check}-{int(rng.integers(1 << 30))}".encode())
+                indices.append(int(rng.integers(0, self.num_credentials)))
+                expected.append(False)
+        trace = QueryTrace(indices=tuple(indices), num_records=self.num_credentials)
+        return trace, candidates, expected
+
+    def is_compromised(self, candidate: bytes, retrieved_record: bytes) -> bool:
+        """Client-side verdict: does the retrieved hash match the candidate's?"""
+        return hash_credential(candidate, record_size=self.record_size) == retrieved_record
+
+
+def build_credential_workload(
+    num_credentials: int = 4096, num_checks: int = 32, seed: Optional[int] = None
+) -> tuple:
+    """Convenience: (corpus, database, trace, candidates, expected) bundle."""
+    corpus = CompromisedCredentialCorpus(num_credentials=num_credentials)
+    database = corpus.build_database()
+    trace, candidates, expected = corpus.check_trace(num_checks, seed=seed)
+    return corpus, database, trace, candidates, expected

@@ -1,0 +1,114 @@
+"""Synthetic PIR database generators.
+
+The paper's evaluation database consists of random 32-byte records standing
+in for SHA-256 digests, "a data format widely used across security- and
+integrity-critical applications" (§5.2).  The generators here produce the
+same shape deterministically, either as purely random bytes or as actual
+SHA-256 digests of structured synthetic entries (used by the domain-specific
+workloads).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.common.units import GIB
+from repro.pir.database import Database
+
+HASH_RECORD_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """Shape of a synthetic PIR database."""
+
+    num_records: int
+    record_size: int = HASH_RECORD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_records <= 0 or self.record_size <= 0:
+            raise ConfigurationError("num_records and record_size must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total database size."""
+        return self.num_records * self.record_size
+
+    @classmethod
+    def from_size_bytes(cls, size_bytes: int, record_size: int = HASH_RECORD_SIZE) -> "DatabaseSpec":
+        """Spec for a database of approximately ``size_bytes`` (paper axis values)."""
+        if size_bytes <= 0:
+            raise ConfigurationError("size_bytes must be positive")
+        num_records = max(1, size_bytes // record_size)
+        return cls(num_records=num_records, record_size=record_size)
+
+    @classmethod
+    def from_size_gib(cls, size_gib: float, record_size: int = HASH_RECORD_SIZE) -> "DatabaseSpec":
+        """Spec for a database of ``size_gib`` GiB (the paper's x-axis unit)."""
+        return cls.from_size_bytes(int(size_gib * GIB), record_size)
+
+
+def random_hash_database(spec: DatabaseSpec, seed: Optional[int] = None) -> Database:
+    """A database of uniformly random ``record_size``-byte records."""
+    return Database.random(spec.num_records, spec.record_size, seed=seed)
+
+
+def sha256_database(
+    num_records: int,
+    entry_builder: Callable[[int], bytes],
+    record_size: int = HASH_RECORD_SIZE,
+) -> Database:
+    """A database whose records are SHA-256 digests of synthetic entries.
+
+    ``entry_builder(i)`` returns the canonical byte encoding of logical entry
+    ``i`` (a certificate, a leaked credential, ...); its digest becomes record
+    ``i``.  Digests are truncated/padded to ``record_size`` bytes so non-32-byte
+    layouts remain possible for experimentation.
+    """
+    if num_records <= 0 or record_size <= 0:
+        raise ConfigurationError("num_records and record_size must be positive")
+    records = np.empty((num_records, record_size), dtype=np.uint8)
+    for index in range(num_records):
+        digest = hashlib.sha256(entry_builder(index)).digest()
+        padded = (digest * (record_size // len(digest) + 1))[:record_size]
+        records[index] = np.frombuffer(padded, dtype=np.uint8)
+    return Database(records)
+
+
+def scaled_functional_spec(
+    target_spec: DatabaseSpec, max_records: int = 4096
+) -> DatabaseSpec:
+    """A shrunken spec preserving the record size, for functional validation runs.
+
+    Paper-scale databases (GBs) cannot be materialised in this environment;
+    the benchmark harness validates correctness on a database with the same
+    record format but at most ``max_records`` records, while the cost model is
+    evaluated at the target size.
+    """
+    if max_records <= 0:
+        raise ConfigurationError("max_records must be positive")
+    return DatabaseSpec(
+        num_records=min(target_spec.num_records, max_records),
+        record_size=target_spec.record_size,
+    )
+
+
+def paper_db_sizes_gib() -> List[float]:
+    """Database sizes (GiB) swept by the paper's Fig. 9 throughput experiment."""
+    return [0.5, 1.0, 2.0, 4.0, 8.0]
+
+
+def paper_breakdown_sizes_gib() -> List[float]:
+    """Database sizes (GiB) swept by the paper's Fig. 10 breakdown experiment."""
+    return [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+
+
+def paper_batch_sizes() -> List[int]:
+    """Query batch sizes swept by the paper's Fig. 9(b)/(d) experiment."""
+    return [4, 8, 16, 32, 64, 128, 256, 512]

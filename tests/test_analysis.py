@@ -1,0 +1,160 @@
+"""Analysis helpers: roofline, breakdown tables, sweep metrics."""
+
+import pytest
+
+from repro.analysis.breakdown import BreakdownTable, compare_fraction_tables
+from repro.analysis.metrics import (
+    SweepSeries,
+    compute_speedup,
+    format_series_table,
+    geometric_mean,
+)
+from repro.analysis.roofline import (
+    KernelCharacteristics,
+    RooflineModel,
+    dpf_eval_characteristics,
+    dpxor_characteristics,
+    key_gen_characteristics,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.events import PhaseTimer
+from repro.common.units import GIB
+
+
+class TestRoofline:
+    @pytest.fixture()
+    def roofline(self):
+        return RooflineModel(peak_gops=500.0, memory_bandwidth_gbps=75.0)
+
+    def test_ridge_point(self, roofline):
+        assert roofline.ridge_point == pytest.approx(500.0 / 75.0)
+
+    def test_attainable_performance_two_regimes(self, roofline):
+        assert roofline.attainable_gops(0.1) == pytest.approx(7.5)
+        assert roofline.attainable_gops(100.0) == pytest.approx(500.0)
+
+    def test_memory_bound_classification(self, roofline):
+        assert roofline.is_memory_bound(0.1)
+        assert not roofline.is_memory_bound(100.0)
+
+    def test_dpxor_is_memory_bound(self, roofline):
+        """The paper's Fig. 3(b): dpXOR has very low operational intensity."""
+        kernel = dpxor_characteristics(GIB, 32)
+        assert kernel.operational_intensity < 1.0
+        assert roofline.place(kernel).memory_bound
+
+    def test_eval_intensity_higher_than_dpxor(self):
+        dpxor = dpxor_characteristics(GIB, 32)
+        eval_kernel = dpf_eval_characteristics(GIB // 32)
+        gen_kernel = key_gen_characteristics(25)
+        assert dpxor.operational_intensity < eval_kernel.operational_intensity
+        assert eval_kernel.operational_intensity < gen_kernel.operational_intensity
+
+    def test_place_all(self, roofline):
+        points = roofline.place_all([dpxor_characteristics(GIB, 32), dpf_eval_characteristics(1 << 25)])
+        assert len(points) == 2
+        assert all(p.attainable_gops > 0 for p in points)
+
+    def test_ceiling_series_monotone(self, roofline):
+        series = roofline.ceiling_series([0.01, 0.1, 1.0, 10.0, 100.0])
+        assert series == sorted(series)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RooflineModel(0, 10)
+        with pytest.raises(ConfigurationError):
+            KernelCharacteristics("x", -1, 10)
+        with pytest.raises(ConfigurationError):
+            dpxor_characteristics(0)
+
+
+class TestBreakdownTable:
+    def test_rows_and_fractions(self):
+        table = BreakdownTable(["eval", "dpxor"])
+        timer = PhaseTimer()
+        timer.record("eval", 1.0)
+        timer.record("dpxor", 3.0)
+        row = table.add_row("1 GB", timer)
+        assert row.total == pytest.approx(4.0)
+        assert row.fractions()["dpxor"] == pytest.approx(0.75)
+
+    def test_missing_phase_counts_as_zero(self):
+        table = BreakdownTable(["eval", "dpxor", "copy"])
+        row = table.add_row("x", {"eval": 2.0})
+        assert row.phases["copy"] == 0.0
+
+    def test_average_fractions(self):
+        table = BreakdownTable(["a", "b"])
+        table.add_row("r1", {"a": 1.0, "b": 1.0})
+        table.add_row("r2", {"a": 3.0, "b": 1.0})
+        average = table.average_fractions()
+        assert average["a"] == pytest.approx((0.5 + 0.75) / 2)
+        assert sum(average.values()) == pytest.approx(1.0)
+
+    def test_totals_order(self):
+        table = BreakdownTable(["a"])
+        table.add_row("r1", {"a": 1.0})
+        table.add_row("r2", {"a": 2.0})
+        assert table.totals() == [1.0, 2.0]
+
+    def test_text_rendering(self):
+        table = BreakdownTable(["a", "b"])
+        table.add_row("1 GB", {"a": 0.001, "b": 0.002})
+        text = table.to_text()
+        assert "1 GB" in text and "total" in text
+        assert "a=" in table.fractions_to_text() or "%" in table.fractions_to_text()
+
+    def test_empty_phase_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BreakdownTable([])
+
+    def test_compare_fraction_tables(self):
+        diff = compare_fraction_tables({"a": 0.7, "b": 0.3}, {"a": 0.75, "b": 0.25})
+        assert diff["a"] == pytest.approx(5.0)
+        assert diff["b"] == pytest.approx(5.0)
+
+
+class TestSweepSeries:
+    def _series(self, name, values):
+        series = SweepSeries(name, "db_size_gib")
+        for x, (latency, throughput) in values.items():
+            series.add(x, latency, throughput)
+        return series
+
+    def test_accessors(self):
+        series = self._series("A", {1.0: (0.5, 64.0), 2.0: (1.0, 32.0)})
+        assert series.xs == [1.0, 2.0]
+        assert series.latencies == [0.5, 1.0]
+        assert series.throughputs == [64.0, 32.0]
+        assert series.point_at(2.0).throughput_qps == pytest.approx(32.0)
+
+    def test_point_at_missing_x(self):
+        series = self._series("A", {1.0: (0.5, 64.0)})
+        with pytest.raises(KeyError):
+            series.point_at(3.0)
+
+    def test_speedup_report(self):
+        fast = self._series("IM-PIR", {1.0: (0.5, 100.0), 8.0: (2.0, 16.0)})
+        slow = self._series("CPU-PIR", {1.0: (1.0, 50.0), 8.0: (8.0, 4.0)})
+        report = compute_speedup(fast, slow)
+        assert report.throughput_speedups[1.0] == pytest.approx(2.0)
+        assert report.throughput_speedups[8.0] == pytest.approx(4.0)
+        assert report.max_throughput_speedup == pytest.approx(4.0)
+        assert report.min_throughput_speedup == pytest.approx(2.0)
+        assert report.latency_speedups[8.0] == pytest.approx(4.0)
+        assert 2.0 < report.mean_throughput_speedup < 4.0
+
+    def test_speedup_requires_same_axis(self):
+        a = SweepSeries("A", "db_size_gib")
+        b = SweepSeries("B", "batch_size")
+        with pytest.raises(ConfigurationError):
+            compute_speedup(a, b)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_format_series_table(self):
+        series = self._series("A", {1.0: (0.5, 64.0)})
+        text = format_series_table([series])
+        assert "A" in text and "64" in text

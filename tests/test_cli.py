@@ -1,0 +1,43 @@
+"""CLI for regenerating figures."""
+
+import pytest
+
+from repro.bench.cli import available_targets, main, run_target
+
+
+class TestRunTarget:
+    def test_all_targets_produce_text(self):
+        for name in available_targets():
+            text = run_target(name)
+            assert isinstance(text, str) and len(text) > 50
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_target("fig99")
+
+    def test_fig9_mentions_speedup(self):
+        assert "speedup" in run_target("fig9")
+
+    def test_table1_mentions_paper_row(self):
+        assert "paper" in run_target("table1")
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "all" in out
+
+    def test_single_target(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_unknown_target_exit_code(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_all(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 3", "Figure 9", "Table 1", "Figure 11", "Figure 12"):
+            assert marker in out

@@ -1,0 +1,152 @@
+"""PIR client and reference server."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.dpf.prf import make_prg
+from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, PIRClient
+from repro.pir.database import Database
+from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
+from repro.pir.server import PIRServer
+
+
+@pytest.fixture()
+def client(small_db):
+    return PIRClient(small_db.num_records, small_db.record_size, seed=7, prg=make_prg("numpy"))
+
+
+@pytest.fixture()
+def servers(small_db):
+    return [PIRServer(small_db, server_id=i, prg=make_prg("numpy")) for i in range(2)]
+
+
+class TestClientConstruction:
+    def test_rejects_single_server(self, small_db):
+        with pytest.raises(ProtocolError):
+            PIRClient(small_db.num_records, 32, num_servers=1)
+
+    def test_rejects_dpf_with_three_servers(self, small_db):
+        with pytest.raises(ProtocolError):
+            PIRClient(small_db.num_records, 32, num_servers=3, scheme=SCHEME_DPF)
+
+    def test_naive_with_three_servers_allowed(self, small_db):
+        client = PIRClient(small_db.num_records, 32, num_servers=3, scheme=SCHEME_NAIVE)
+        assert len(client.query(5)) == 3
+
+    def test_unknown_scheme_rejected(self, small_db):
+        with pytest.raises(ProtocolError):
+            PIRClient(small_db.num_records, 32, scheme="fhe")
+
+    def test_domain_bits_cover_database(self, client, small_db):
+        assert 2**client.domain_bits >= small_db.num_records
+
+
+class TestQueryGeneration:
+    def test_dpf_queries_have_one_per_server(self, client):
+        queries = client.query(100)
+        assert [q.server_id for q in queries] == [0, 1]
+        assert all(isinstance(q, DPFQuery) for q in queries)
+        assert queries[0].query_id == queries[1].query_id
+
+    def test_query_ids_increment(self, client):
+        first = client.query(1)[0].query_id
+        second = client.query(2)[0].query_id
+        assert second == first + 1
+
+    def test_out_of_range_index_rejected(self, client, small_db):
+        with pytest.raises(ProtocolError):
+            client.query(small_db.num_records)
+
+    def test_naive_queries(self, small_db):
+        client = PIRClient(small_db.num_records, 32, scheme=SCHEME_NAIVE, seed=1)
+        queries = client.query(9)
+        assert all(isinstance(q, NaiveQuery) for q in queries)
+
+    def test_query_batch(self, client):
+        batches = client.query_batch([1, 2, 3])
+        assert len(batches) == 3
+        assert client.stats.queries_generated >= 3
+
+    def test_upload_bytes_accounted(self, client):
+        before = client.stats.upload_bytes
+        client.query(0)
+        assert client.stats.upload_bytes > before
+
+
+class TestServerAnswering:
+    def test_two_server_retrieval(self, client, servers, small_db):
+        for index in (0, 17, 512, small_db.num_records - 1):
+            queries = client.query(index)
+            answers = [servers[q.server_id].answer(q) for q in queries]
+            assert client.reconstruct(answers) == small_db.record(index)
+
+    def test_server_rejects_wrong_addressee(self, client, servers):
+        queries = client.query(5)
+        with pytest.raises(ProtocolError):
+            servers[1].answer(queries[0])
+
+    def test_server_rejects_wrong_database_size(self, client, tiny_db):
+        other_server = PIRServer(tiny_db, server_id=0, prg=make_prg("numpy"))
+        queries = client.query(5)
+        with pytest.raises(ProtocolError):
+            other_server.answer(queries[0])
+
+    def test_server_stats_accumulate(self, client, servers, small_db):
+        queries = client.query(3)
+        servers[0].answer(queries[0])
+        stats = servers[0].stats
+        assert stats.queries_answered == 1
+        assert stats.dpxor.records_scanned == small_db.num_records
+        assert stats.eval.leaves_evaluated == small_db.num_records
+
+    def test_answer_batch(self, client, servers):
+        queries = [client.query(i)[0] for i in range(4)]
+        answers = servers[0].answer_batch(queries)
+        assert len(answers) == 4
+
+    def test_naive_scheme_end_to_end(self, small_db):
+        client = PIRClient(small_db.num_records, 32, scheme=SCHEME_NAIVE, seed=3)
+        servers = [PIRServer(small_db, server_id=i) for i in range(2)]
+        queries = client.query(77)
+        answers = [servers[q.server_id].answer(q) for q in queries]
+        assert client.reconstruct(answers) == small_db.record(77)
+
+
+class TestReconstruction:
+    def test_rejects_wrong_answer_count(self, client, servers):
+        queries = client.query(5)
+        answers = [servers[0].answer(queries[0])]
+        with pytest.raises(ProtocolError):
+            client.reconstruct(answers)
+
+    def test_rejects_mixed_query_ids(self, client, servers):
+        q1 = client.query(5)
+        q2 = client.query(6)
+        answers = [servers[0].answer(q1[0]), servers[1].answer(q2[1])]
+        with pytest.raises(ProtocolError):
+            client.reconstruct(answers)
+
+    def test_rejects_duplicate_servers(self, client, servers):
+        queries = client.query(5)
+        answer = servers[0].answer(queries[0])
+        with pytest.raises(ProtocolError):
+            client.reconstruct([answer, answer])
+
+    def test_rejects_wrong_payload_size(self, client):
+        answers = [
+            PIRAnswer(query_id=0, server_id=0, payload=b"ab"),
+            PIRAnswer(query_id=0, server_id=1, payload=b"cd"),
+        ]
+        with pytest.raises(ProtocolError):
+            client.reconstruct(answers)
+
+    def test_group_answers(self, client):
+        answers = [
+            PIRAnswer(query_id=0, server_id=0, payload=b"a" * 32),
+            PIRAnswer(query_id=1, server_id=0, payload=b"b" * 32),
+            PIRAnswer(query_id=0, server_id=1, payload=b"c" * 32),
+        ]
+        grouped = client.group_answers(answers)
+        assert set(grouped) == {0, 1}
+        assert len(grouped[0]) == 2

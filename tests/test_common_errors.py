@@ -1,0 +1,36 @@
+"""Exception hierarchy sanity checks."""
+
+import pytest
+
+from repro.common import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.CapacityError,
+    errors.ProtocolError,
+    errors.KeyMismatchError,
+    errors.DatabaseError,
+    errors.SchedulingError,
+    errors.TransferError,
+    errors.KernelError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_key_mismatch_is_protocol_error():
+    assert issubclass(errors.KeyMismatchError, errors.ProtocolError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_errors_can_carry_messages(exc):
+    with pytest.raises(errors.ReproError, match="something went wrong"):
+        raise exc("something went wrong")

@@ -1,0 +1,98 @@
+"""Simulated-time ledger: PhaseTimer and SimClock."""
+
+import pytest
+
+from repro.common.events import PhaseTimer, SimClock
+
+
+class TestPhaseTimer:
+    def test_record_accumulates(self):
+        timer = PhaseTimer()
+        timer.record("eval", 1.0)
+        timer.record("eval", 0.5)
+        assert timer.get("eval") == pytest.approx(1.5)
+
+    def test_total_sums_phases(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 2.0)
+        assert timer.total == pytest.approx(3.0)
+
+    def test_missing_phase_is_zero(self):
+        assert PhaseTimer().get("nothing") == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().record("x", -0.1)
+
+    def test_merge_adds_phases(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.record("x", 1.0)
+        b.record("x", 2.0)
+        b.record("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(3.0)
+
+    def test_merge_parallel_takes_max(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.record("x", 1.0)
+        b.record("x", 2.5)
+        a.merge_parallel(b)
+        assert a.get("x") == pytest.approx(2.5)
+
+    def test_scaled(self):
+        timer = PhaseTimer()
+        timer.record("x", 2.0)
+        assert timer.scaled(0.5).get("x") == pytest.approx(1.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().scaled(-1.0)
+
+    def test_fractions_sum_to_one(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 3.0)
+        fractions = timer.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert PhaseTimer().fractions() == {}
+
+    def test_copy_is_independent(self):
+        timer = PhaseTimer()
+        timer.record("a", 1.0)
+        copy = timer.copy()
+        copy.record("a", 1.0)
+        assert timer.get("a") == pytest.approx(1.0)
+
+    def test_insertion_order_preserved(self):
+        timer = PhaseTimer()
+        for phase in ("eval", "copy", "dpxor"):
+            timer.record(phase, 1.0)
+        assert [p for p, _ in timer.items()] == ["eval", "copy", "dpxor"]
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == pytest.approx(1.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future_only(self):
+        clock = SimClock(now=5.0)
+        clock.advance_to(3.0)
+        assert clock.now == pytest.approx(5.0)
+        clock.advance_to(7.0)
+        assert clock.now == pytest.approx(7.0)
+
+    def test_reset(self):
+        clock = SimClock(now=9.0)
+        clock.reset()
+        assert clock.now == 0.0

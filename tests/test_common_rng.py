@@ -1,0 +1,66 @@
+"""Deterministic randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import derive_seed, make_rng, random_bit_vector, random_bytes
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        a = make_rng().integers(0, 1 << 30, size=8)
+        b = make_rng().integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, size=8)
+        b = make_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        assert np.array_equal(
+            make_rng(77).integers(0, 256, size=32), make_rng(77).integers(0, 256, size=32)
+        )
+
+
+class TestRandomBytes:
+    def test_length(self):
+        assert len(random_bytes(33)) == 33
+
+    def test_zero_length(self):
+        assert random_bytes(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_bytes(-1)
+
+    def test_uses_provided_rng(self):
+        assert random_bytes(16, make_rng(5)) == random_bytes(16, make_rng(5))
+
+
+class TestRandomBitVector:
+    def test_values_are_bits(self):
+        bits = random_bit_vector(1000, make_rng(1))
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_roughly_balanced(self):
+        bits = random_bit_vector(4096, make_rng(2))
+        assert 1500 < int(bits.sum()) < 2600
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_bit_vector(-5)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(123, 4, 5) == derive_seed(123, 4, 5)
+
+    def test_label_order_matters(self):
+        assert derive_seed(123, 4, 5) != derive_seed(123, 5, 4)
+
+    def test_different_base_seeds_differ(self):
+        assert derive_seed(1, 9) != derive_seed(2, 9)
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(2**63, 2**62) < 2**64

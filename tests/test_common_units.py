@@ -1,0 +1,59 @@
+"""Unit helpers: byte units, formatting, throughput."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestByteUnits:
+    def test_powers_of_two_convention(self):
+        assert units.KB == 2**10
+        assert units.MB == 2**20
+        assert units.GB == 2**30
+
+    def test_gib_round_trip(self):
+        assert units.gib(1) == units.GIB
+        assert units.bytes_to_gib(units.gib(3)) == pytest.approx(3.0)
+
+    def test_mib_and_kib(self):
+        assert units.mib(64) == 64 * units.MIB
+        assert units.kib(24) == 24 * units.KIB
+
+    def test_fractional_gib(self):
+        assert units.gib(0.5) == units.GIB // 2
+
+    def test_bytes_to_mib(self):
+        assert units.bytes_to_mib(3 * units.MIB) == pytest.approx(3.0)
+
+
+class TestFormatting:
+    def test_format_bytes_kb(self):
+        assert units.format_bytes(2048) == "2.00 KB"
+
+    def test_format_bytes_gb(self):
+        assert units.format_bytes(3 * units.GIB) == "3.00 GB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(12) == "12 B"
+
+    def test_format_seconds_ms(self):
+        assert units.format_seconds(0.0032) == "3.200 ms"
+
+    def test_format_seconds_seconds(self):
+        assert units.format_seconds(2.5).endswith(" s")
+
+    def test_format_seconds_microseconds(self):
+        assert units.format_seconds(4e-6).endswith(" us")
+
+
+class TestThroughput:
+    def test_throughput_qps(self):
+        assert units.throughput_qps(32, 2.0) == pytest.approx(16.0)
+
+    def test_throughput_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.throughput_qps(10, 0.0)
+
+    def test_throughput_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            units.throughput_qps(10, -1.0)

@@ -1,0 +1,171 @@
+"""Correction-word DPF: key generation and evaluation correctness."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import KeyMismatchError
+from repro.dpf.dpf import DPF, DPFKey, EvalStats, verify_keys
+from repro.dpf.prf import make_prg
+
+
+class TestGen:
+    def test_keys_have_expected_structure(self):
+        dpf = DPF(domain_bits=8, seed=1)
+        key0, key1 = dpf.gen(37, 1)
+        assert key0.party == 0 and key1.party == 1
+        assert len(key0.correction_words) == 8
+        assert key0.correction_words == key1.correction_words
+        assert key0.root_seed != key1.root_seed
+
+    def test_key_size_grows_logarithmically(self):
+        small = DPF(domain_bits=8, seed=1).gen(3)[0].size_bytes
+        large = DPF(domain_bits=20, seed=1).gen(3)[0].size_bytes
+        assert large > small
+        assert large < 4 * small  # log-scale growth, not linear
+
+    def test_alpha_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            DPF(domain_bits=4, seed=1).gen(16)
+
+    def test_zero_beta_rejected(self):
+        with pytest.raises(ValueError):
+            DPF(domain_bits=4, seed=1).gen(3, beta=0)
+
+    def test_beta_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            DPF(domain_bits=4, output_bits=4, seed=1).gen(3, beta=16)
+
+    def test_invalid_output_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DPF(domain_bits=4, output_bits=65)
+
+
+class TestPointEval:
+    @pytest.mark.parametrize("alpha", [0, 1, 100, 255])
+    def test_xor_of_shares_is_point_function(self, alpha):
+        dpf = DPF(domain_bits=8, seed=7)
+        key0, key1 = dpf.gen(alpha, 1)
+        for x in (0, alpha, 255, (alpha + 1) % 256):
+            combined = dpf.eval(key0, x) ^ dpf.eval(key1, x)
+            assert combined == (1 if x == alpha else 0)
+
+    def test_point_out_of_domain_rejected(self):
+        dpf = DPF(domain_bits=4, seed=1)
+        key0, _ = dpf.gen(3)
+        with pytest.raises(ValueError):
+            dpf.eval(key0, 16)
+
+    def test_eval_points_batch(self):
+        dpf = DPF(domain_bits=6, seed=2)
+        key0, _ = dpf.gen(9)
+        values = dpf.eval_points(key0, [0, 9, 63])
+        full = dpf.eval_full(key0)
+        assert values[0] == full[0] and values[1] == full[9] and values[2] == full[63]
+
+    def test_mismatched_key_rejected(self):
+        dpf_a = DPF(domain_bits=4, seed=1)
+        dpf_b = DPF(domain_bits=6, seed=1)
+        key0, _ = dpf_a.gen(2)
+        with pytest.raises(KeyMismatchError):
+            dpf_b.eval(key0, 1)
+
+
+class TestFullDomainEval:
+    def test_verify_keys_helper(self):
+        dpf = DPF(domain_bits=10, seed=5)
+        key0, key1 = dpf.gen(517, 1)
+        assert verify_keys(dpf, key0, key1, 517, 1)
+
+    def test_full_eval_truncation(self):
+        dpf = DPF(domain_bits=7, seed=3)
+        key0, _ = dpf.gen(12)
+        assert dpf.eval_full(key0, num_points=100).shape == (100,)
+
+    def test_full_eval_matches_point_eval(self):
+        dpf = DPF(domain_bits=8, seed=11)
+        key0, _ = dpf.gen(200)
+        full = dpf.eval_full(key0)
+        for x in (0, 1, 37, 200, 255):
+            assert full[x] == dpf.eval(key0, x)
+
+    def test_bits_helper_returns_uint8(self):
+        dpf = DPF(domain_bits=6, seed=4)
+        key0, key1 = dpf.gen(10)
+        bits = dpf.eval_full_bits(key0) ^ dpf.eval_full_bits(key1)
+        assert bits.dtype == np.uint8
+        assert bits.sum() == 1 and bits[10] == 1
+
+    def test_bits_helper_rejects_wide_output(self):
+        dpf = DPF(domain_bits=6, output_bits=8, seed=4)
+        key0, _ = dpf.gen(10, beta=5)
+        with pytest.raises(KeyMismatchError):
+            dpf.eval_full_bits(key0)
+
+    def test_stats_accumulation(self):
+        dpf = DPF(domain_bits=8, seed=1)
+        key0, _ = dpf.gen(7)
+        stats = EvalStats()
+        dpf.eval_full(key0, stats=stats)
+        assert stats.leaves_evaluated == 256
+        assert stats.prg_expansions == 255  # level-by-level: one per internal node
+        assert stats.aes_block_equivalents == 2 * 255
+        assert stats.peak_nodes_in_memory == 256
+
+    def test_domain_bits_zero(self):
+        dpf = DPF(domain_bits=0, seed=1)
+        key0, key1 = dpf.gen(0, 1)
+        assert (dpf.eval(key0, 0) ^ dpf.eval(key1, 0)) == 1
+
+
+class TestPayloads:
+    @pytest.mark.parametrize("output_bits,beta", [(8, 0xAB), (32, 0xDEADBEEF), (64, (1 << 63) + 5)])
+    def test_wide_payloads(self, output_bits, beta):
+        dpf = DPF(domain_bits=7, output_bits=output_bits, seed=9)
+        alpha = 66
+        key0, key1 = dpf.gen(alpha, beta)
+        combined = dpf.eval_full(key0) ^ dpf.eval_full(key1)
+        assert int(combined[alpha]) == beta
+        assert np.count_nonzero(combined) == 1
+
+
+class TestAESBackedDPF:
+    def test_correctness_with_real_aes(self):
+        dpf = DPF(domain_bits=5, prg=make_prg("aes"), seed=21)
+        alpha = 19
+        key0, key1 = dpf.gen(alpha, 1)
+        combined = dpf.eval_full(key0) ^ dpf.eval_full(key1)
+        expected = np.zeros(32, dtype=np.uint64)
+        expected[alpha] = 1
+        assert np.array_equal(combined, expected)
+
+
+class TestKeyValidation:
+    def test_key_rejects_wrong_seed_length(self):
+        with pytest.raises(ValueError):
+            DPFKey(
+                party=0,
+                domain_bits=0,
+                root_seed=b"short",
+                correction_words=(),
+                final_correction=0,
+            )
+
+    def test_key_rejects_bad_party(self):
+        with pytest.raises(ValueError):
+            DPFKey(
+                party=2,
+                domain_bits=0,
+                root_seed=bytes(16),
+                correction_words=(),
+                final_correction=0,
+            )
+
+    def test_key_rejects_wrong_correction_count(self):
+        with pytest.raises(ValueError):
+            DPFKey(
+                party=0,
+                domain_bits=3,
+                root_seed=bytes(16),
+                correction_words=(),
+                final_correction=0,
+            )

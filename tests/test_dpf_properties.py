@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the DPF and the naive sharing scheme."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dpf.dpf import DPF
+from repro.dpf.naive import NaiveXorQueryScheme, xor_select
+from repro.dpf.traversal import make_traversal
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestDPFProperties:
+    @settings(**_SETTINGS)
+    @given(
+        domain_bits=st.integers(min_value=1, max_value=9),
+        alpha_fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_shares_reconstruct_point_function(self, domain_bits, alpha_fraction, seed):
+        dpf = DPF(domain_bits, seed=seed)
+        alpha = int(alpha_fraction * dpf.domain_size)
+        key0, key1 = dpf.gen(alpha, 1)
+        combined = dpf.eval_full(key0) ^ dpf.eval_full(key1)
+        assert combined[alpha] == 1
+        assert int(combined.sum()) == 1
+
+    @settings(**_SETTINGS)
+    @given(
+        domain_bits=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_single_share_is_roughly_balanced(self, domain_bits, seed):
+        """One share alone should look pseudorandom (close to half the bits set)."""
+        dpf = DPF(domain_bits, seed=seed)
+        alpha = dpf.domain_size // 3
+        key0, _ = dpf.gen(alpha, 1)
+        share = dpf.eval_full(key0)
+        ones = int(share.sum())
+        n = dpf.domain_size
+        # Loose 4-sigma-style bound; tiny domains get a wide allowance.
+        slack = max(4, int(2.5 * np.sqrt(n)))
+        assert abs(ones - n / 2) <= slack
+
+    @settings(**_SETTINGS)
+    @given(
+        domain_bits=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+        beta=st.integers(min_value=1, max_value=2**16 - 1),
+    )
+    def test_payload_round_trip(self, domain_bits, seed, beta):
+        dpf = DPF(domain_bits, output_bits=16, seed=seed)
+        alpha = (seed * 7) % dpf.domain_size
+        key0, key1 = dpf.gen(alpha, beta)
+        combined = dpf.eval_full(key0) ^ dpf.eval_full(key1)
+        assert int(combined[alpha]) == beta
+
+    @settings(**_SETTINGS)
+    @given(
+        domain_bits=st.integers(min_value=2, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31),
+        chunk_exp=st.integers(min_value=0, max_value=5),
+    )
+    def test_traversals_agree(self, domain_bits, seed, chunk_exp):
+        dpf = DPF(domain_bits, seed=seed)
+        alpha = dpf.domain_size - 1
+        key0, _ = dpf.gen(alpha, 1)
+        reference = make_traversal("level_by_level").eval_full(dpf, key0)
+        branch = make_traversal("branch_parallel").eval_full(dpf, key0)
+        bounded = make_traversal("memory_bounded", chunk_leaves=2**chunk_exp).eval_full(dpf, key0)
+        assert np.array_equal(reference, branch)
+        assert np.array_equal(reference, bounded)
+
+
+class TestNaiveSchemeProperties:
+    @settings(**_SETTINGS)
+    @given(
+        num_items=st.integers(min_value=1, max_value=512),
+        num_servers=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31),
+        index_fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    def test_shares_xor_to_one_hot(self, num_items, num_servers, seed, index_fraction):
+        scheme = NaiveXorQueryScheme(num_items, num_servers=num_servers, seed=seed)
+        index = int(index_fraction * num_items)
+        shares = scheme.share(index)
+        assert scheme.recover_index(shares) == index
+
+    @settings(**_SETTINGS)
+    @given(
+        num_records=st.integers(min_value=1, max_value=200),
+        record_size=st.integers(min_value=1, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_xor_select_linear_in_shares(self, num_records, record_size, seed):
+        """dpXOR(v1) XOR dpXOR(v2) == the record selected by v1 XOR v2."""
+        rng = np.random.default_rng(seed)
+        database = rng.integers(0, 256, size=(num_records, record_size), dtype=np.uint8)
+        index = int(rng.integers(0, num_records))
+        scheme = NaiveXorQueryScheme(num_records, seed=seed)
+        share0, share1 = scheme.share(index)
+        answer = xor_select(database, share0.bits) ^ xor_select(database, share1.bits)
+        assert np.array_equal(answer, database[index])

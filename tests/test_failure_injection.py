@@ -1,0 +1,128 @@
+"""Failure injection: capacity limits, misuse and paper-scale boundary cases.
+
+These tests exercise the error paths a deployment would actually hit — a
+database that overflows MRAM, WRAM working sets that do not fit, transfers to
+missing buffers — and the capacity arithmetic at the paper's real sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CapacityError, KernelError, TransferError
+from repro.common.units import GIB, MIB
+from repro.core.config import IMPIRConfig
+from repro.core.partitioning import DatabasePartitioner, PartitionLayout
+from repro.pim.cluster import plan_clusters
+from repro.pim.config import DPUConfig, PIMConfig, scaled_down_config
+from repro.pim.dpu import DPU
+from repro.pim.kernels import DB_BUFFER, SELECTOR_BUFFER, DpXorKernel
+from repro.pim.system import UPMEMSystem
+from repro.pir.database import Database
+
+
+class _SizedDatabase:
+    """Stand-in exposing only what capacity planning reads (no huge buffers)."""
+
+    def __init__(self, size_bytes: int, record_size: int = 32):
+        self.size_bytes = size_bytes
+        self.record_size = record_size
+        self.num_records = size_bytes // record_size
+
+
+class TestPaperScaleCapacityArithmetic:
+    def test_paper_platform_holds_32_gib(self):
+        """2,048 DPUs x 64 MB (75% usable) comfortably hold the 32 GB sweep max."""
+        plan = plan_clusters(2048, 1, _SizedDatabase(32 * GIB), 64 * MIB)
+        assert plan.db_bytes_per_dpu <= int(64 * MIB * 0.75)
+
+    def test_eight_clusters_hold_one_gib(self):
+        """The Fig. 11 configuration: 8 clusters of 256 DPUs each hold 1 GB."""
+        plan = plan_clusters(2048, 8, _SizedDatabase(1 * GIB), 64 * MIB)
+        assert plan.dpus_per_cluster == 256
+        assert plan.db_bytes_per_dpu <= int(64 * MIB * 0.75)
+
+    def test_eight_clusters_cannot_hold_96_gib(self):
+        with pytest.raises(CapacityError):
+            plan_clusters(2048, 8, _SizedDatabase(96 * GIB), 64 * MIB)
+
+    def test_layout_capacity_check_at_paper_scale(self):
+        layout = PartitionLayout(
+            num_records=(8 * GIB) // 32,
+            record_size=32,
+            bounds=tuple(
+                (i * ((8 * GIB) // 32 // 2048), (i + 1) * ((8 * GIB) // 32 // 2048))
+                for i in range(2048)
+            ),
+        )
+        partitioner = DatabasePartitioner(Database.random(8, 32, seed=1))
+        partitioner.check_capacity(layout, mram_bytes_per_dpu=64 * MIB)
+        with pytest.raises(CapacityError):
+            partitioner.check_capacity(layout, mram_bytes_per_dpu=2 * MIB)
+
+
+class TestMRAMOverflowPaths:
+    def test_scatter_beyond_mram_capacity(self):
+        system = UPMEMSystem(scaled_down_config(num_dpus=2, tasklets=2))
+        dpu_set = system.allocate()
+        oversized = np.zeros(65 * MIB, dtype=np.uint8)
+        with pytest.raises(CapacityError):
+            dpu_set.scatter("big", [oversized, oversized])
+
+    def test_second_allocation_that_no_longer_fits(self):
+        dpu = DPU(0, config=DPUConfig())
+        dpu.store("a", np.zeros(60 * MIB, dtype=np.uint8))
+        with pytest.raises(CapacityError):
+            dpu.store("b", np.zeros(10 * MIB, dtype=np.uint8))
+
+    def test_rewriting_existing_buffer_with_larger_payload(self):
+        dpu = DPU(0, config=DPUConfig())
+        dpu.store("buf", np.zeros(1024, dtype=np.uint8))
+        with pytest.raises(TransferError):
+            dpu.store("buf", np.zeros(2048, dtype=np.uint8))
+
+    def test_gather_from_missing_buffer(self):
+        system = UPMEMSystem(scaled_down_config(num_dpus=2, tasklets=2))
+        dpu_set = system.allocate()
+        with pytest.raises(TransferError):
+            dpu_set.gather("never_written", 32)
+
+
+class TestWRAMOverflowPaths:
+    def test_kernel_with_giant_records_overflows_wram(self):
+        """Per-tasklet accumulators for multi-KB records exceed 64 KB WRAM."""
+        dpu = DPU(0, config=DPUConfig(tasklets=24))
+        record_size = 8192
+        num_records = 8
+        database = np.zeros((num_records, record_size), dtype=np.uint8)
+        dpu.store(DB_BUFFER, database.reshape(-1))
+        dpu.store(SELECTOR_BUFFER, np.packbits(np.ones(num_records, dtype=np.uint8)))
+        with pytest.raises(CapacityError):
+            dpu.launch(DpXorKernel(), num_records=num_records, record_size=record_size)
+
+    def test_same_records_fit_with_fewer_tasklets(self):
+        dpu = DPU(0, config=DPUConfig(tasklets=4))
+        record_size = 8192
+        num_records = 8
+        database = np.arange(num_records * record_size, dtype=np.uint8).reshape(num_records, record_size)
+        dpu.store(DB_BUFFER, database.reshape(-1))
+        dpu.store(SELECTOR_BUFFER, np.packbits(np.ones(num_records, dtype=np.uint8)))
+        report = dpu.launch(DpXorKernel(), num_records=num_records, record_size=record_size, tasklets=2)
+        assert report.result.shape == (record_size,)
+
+
+class TestConfigurationBoundaries:
+    def test_cannot_build_impir_on_zero_dpus(self):
+        with pytest.raises(Exception):
+            IMPIRConfig(pim=PIMConfig(num_dpus=0))
+
+    def test_cannot_exceed_available_dpus(self):
+        with pytest.raises(Exception):
+            PIMConfig(num_dpus=4096, available_dpus=2560)
+
+    def test_full_available_population_is_valid(self):
+        config = PIMConfig(num_dpus=2560, available_dpus=2560)
+        assert config.total_mram_bytes == 160 * GIB
+
+    def test_cluster_count_cannot_exceed_dpus(self):
+        with pytest.raises(Exception):
+            IMPIRConfig(pim=scaled_down_config(num_dpus=4), num_clusters=5)

@@ -1,0 +1,149 @@
+"""Figure generators: structure and headline claims of every table/figure."""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.bench.figures import (
+    fig3_motivation,
+    fig9_throughput_latency,
+    fig10_breakdown,
+    fig11_clustering,
+    fig12_gpu_comparison,
+    table1_phase_contributions,
+)
+from repro.bench.reporting import (
+    render_fig3,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_speedup,
+    render_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return fig9_throughput_latency(batch_sizes=(4, 16, 64, 256))
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_breakdown()
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_clustering(batch_sizes=(8, 32, 128))
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_gpu_comparison()
+
+
+class TestFig3:
+    def test_structure_and_claims(self):
+        result = fig3_motivation()
+        assert len(result.breakdowns) == 3
+        largest = result.breakdowns[-1]
+        assert largest.db_size_gib == 4.0
+        assert largest.dpxor_seconds > largest.eval_seconds > largest.gen_seconds
+        assert result.ridge_point > 0
+        dpxor_point = next(p for p in result.roofline_points if p.name == "dpXOR")
+        assert dpxor_point.memory_bound
+        assert "Figure 3" in render_fig3(result)
+
+
+class TestFig9:
+    def test_speedup_range_matches_paper_trend(self, fig9):
+        speedups = fig9.speedup_vs_db_size.throughput_speedups
+        assert speedups[0.5] == pytest.approx(paper.FIG9_SPEEDUP_AT_0_5_GIB, abs=0.6)
+        assert speedups[8.0] == pytest.approx(paper.FIG9_SPEEDUP_AT_8_GIB, abs=1.0)
+        assert speedups[8.0] > speedups[0.5]
+
+    def test_throughput_monotonically_decreasing_in_db_size(self, fig9):
+        for series in fig9.vs_db_size.values():
+            throughputs = series.throughputs
+            assert all(a >= b for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_latency_monotonically_increasing_in_db_size(self, fig9):
+        for series in fig9.vs_db_size.values():
+            latencies = series.latencies
+            assert all(a <= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_batch_sweep_mean_speedup(self, fig9):
+        mean = fig9.speedup_vs_batch_size.mean_throughput_speedup
+        assert mean == pytest.approx(paper.FIG9_MEAN_SPEEDUP_AT_1_GIB, abs=0.8)
+
+    def test_rendering(self, fig9):
+        text = render_fig9(fig9)
+        assert "Figure 9" in text and "speedup" in text
+        assert "IM-PIR" in render_speedup(fig9.speedup_vs_db_size)
+
+
+class TestFig10AndTable1:
+    def test_impir_breakdown_is_eval_dominant(self, fig10):
+        assert fig10.impir_fractions["eval"] > 0.55
+        assert fig10.impir_fractions["dpxor"] < 0.35
+        assert fig10.impir_fractions["copy_dpu_to_cpu"] < 0.02
+
+    def test_cpu_breakdown_is_dpxor_dominant(self, fig10):
+        assert fig10.cpu_fractions["dpxor"] > 0.6
+        assert fig10.cpu_fractions["eval"] < 0.4
+
+    def test_measured_fractions_close_to_paper(self, fig10):
+        """Within 15 percentage points of the paper's Table 1 for every phase."""
+        for phase, value in paper.TABLE1_IMPIR.items():
+            assert abs(fig10.impir_fractions[phase] - value) < 0.15
+        for phase, value in paper.TABLE1_CPU.items():
+            assert abs(fig10.cpu_fractions[phase] - value) < 0.15
+
+    def test_totals_grow_with_db_size(self, fig10):
+        assert fig10.impir_table.totals() == sorted(fig10.impir_table.totals())
+        assert fig10.cpu_table.totals() == sorted(fig10.cpu_table.totals())
+
+    def test_table1_reuses_fig10(self):
+        result = table1_phase_contributions(db_sizes_gib=(1.0, 4.0))
+        assert set(result.impir_fractions) == {
+            "eval",
+            "copy_cpu_to_dpu",
+            "dpxor",
+            "copy_dpu_to_cpu",
+            "aggregate",
+        }
+
+    def test_rendering(self, fig10):
+        assert "Figure 10" in render_fig10(fig10)
+        assert "Table 1" in render_table1(fig10)
+
+
+class TestFig11:
+    def test_more_clusters_never_hurt_throughput(self, fig11):
+        single = fig11.series_by_clusters[1]
+        for clusters, series in fig11.series_by_clusters.items():
+            for point, base in zip(series.points, single.points):
+                assert point.throughput_qps >= base.throughput_qps * 0.999
+
+    def test_clustering_gain_exists(self, fig11):
+        assert fig11.max_gain_over_single_cluster >= 1.1
+
+    def test_rendering(self, fig11):
+        assert "Figure 11" in render_fig11(fig11)
+
+
+class TestFig12:
+    def test_ordering_at_large_sizes(self, fig12):
+        """At >= 0.5 GB the paper's ordering holds: CPU < GPU < IM-PIR."""
+        for size in (0.5, 0.75, 1.0):
+            cpu = fig12.series["CPU-PIR"].point_at(size).throughput_qps
+            gpu = fig12.series["GPU-PIR"].point_at(size).throughput_qps
+            impir = fig12.series["IM-PIR"].point_at(size).throughput_qps
+            assert cpu < gpu < impir
+
+    def test_speedup_reports_present(self, fig12):
+        assert fig12.impir_over_gpu.max_throughput_speedup > 1.0
+        assert fig12.gpu_over_cpu.max_throughput_speedup > 1.0
+
+    def test_rendering(self, fig12):
+        assert "Figure 12" in render_fig12(fig12)

@@ -1,0 +1,123 @@
+"""GGM tree helpers: correction words, level expansion, tree arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.dpf.ggm import CorrectionWord, GGMTree, descend_one, expand_level
+from repro.dpf.prf import SEED_BYTES, NumpyPRG
+
+
+def _cw(seed_byte: int = 0, t_left: int = 0, t_right: int = 0) -> CorrectionWord:
+    return CorrectionWord(bytes([seed_byte] * SEED_BYTES), t_left, t_right)
+
+
+class TestCorrectionWord:
+    def test_valid_construction(self):
+        cw = _cw(7, 1, 0)
+        assert cw.t_left == 1 and cw.t_right == 0
+        assert cw.seed_array().shape == (SEED_BYTES,)
+
+    def test_rejects_short_seed(self):
+        with pytest.raises(ValueError):
+            CorrectionWord(b"short", 0, 0)
+
+    def test_rejects_non_bit_corrections(self):
+        with pytest.raises(ValueError):
+            CorrectionWord(bytes(SEED_BYTES), 2, 0)
+
+
+class TestExpandLevel:
+    def test_output_shapes(self):
+        prg = NumpyPRG()
+        seeds = np.zeros((3, SEED_BYTES), dtype=np.uint8)
+        bits = np.zeros(3, dtype=np.uint8)
+        child_seeds, child_bits = expand_level(prg, seeds, bits, _cw())
+        assert child_seeds.shape == (6, SEED_BYTES)
+        assert child_bits.shape == (6,)
+
+    def test_children_are_interleaved(self):
+        prg = NumpyPRG()
+        seeds = np.arange(2 * SEED_BYTES, dtype=np.uint8).reshape(2, SEED_BYTES)
+        bits = np.zeros(2, dtype=np.uint8)
+        child_seeds, _ = expand_level(prg, seeds, bits, _cw())
+        left, right, _, _ = NumpyPRG().expand(seeds)
+        assert np.array_equal(child_seeds[0], left[0])
+        assert np.array_equal(child_seeds[1], right[0])
+        assert np.array_equal(child_seeds[2], left[1])
+        assert np.array_equal(child_seeds[3], right[1])
+
+    def test_correction_applied_only_when_control_set(self):
+        prg_a, prg_b = NumpyPRG(), NumpyPRG()
+        seeds = np.arange(SEED_BYTES, dtype=np.uint8).reshape(1, SEED_BYTES)
+        correction = _cw(seed_byte=0xFF, t_left=1, t_right=1)
+        plain_seeds, plain_bits = expand_level(prg_a, seeds, np.asarray([0], dtype=np.uint8), correction)
+        fixed_seeds, fixed_bits = expand_level(prg_b, seeds, np.asarray([1], dtype=np.uint8), correction)
+        assert np.array_equal(plain_seeds ^ 0xFF, fixed_seeds)
+        assert np.array_equal(plain_bits ^ 1, fixed_bits)
+
+    def test_rejects_mismatched_control_bits(self):
+        with pytest.raises(ValueError):
+            expand_level(
+                NumpyPRG(),
+                np.zeros((2, SEED_BYTES), dtype=np.uint8),
+                np.zeros(3, dtype=np.uint8),
+                _cw(),
+            )
+
+    def test_descend_one_matches_expand_level(self):
+        prg = NumpyPRG()
+        seed = np.arange(SEED_BYTES, dtype=np.uint8)
+        correction = _cw(3, 1, 0)
+        for direction in (0, 1):
+            child_seed, child_bit = descend_one(NumpyPRG(), seed, 1, correction, direction)
+            seeds, bits = expand_level(prg, seed.reshape(1, -1), np.asarray([1], dtype=np.uint8), correction)
+            assert np.array_equal(child_seed, seeds[direction])
+            assert child_bit == int(bits[direction])
+
+    def test_descend_one_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            descend_one(NumpyPRG(), np.zeros(SEED_BYTES, dtype=np.uint8), 0, _cw(), 2)
+
+
+class TestGGMTree:
+    def test_leaf_and_node_counts(self):
+        tree = GGMTree(depth=4)
+        assert tree.num_leaves == 16
+        assert tree.num_internal_nodes == 15
+        assert tree.num_nodes == 31
+
+    def test_nodes_at_level(self):
+        tree = GGMTree(depth=3)
+        assert [tree.nodes_at_level(level) for level in range(4)] == [1, 2, 4, 8]
+
+    def test_nodes_at_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            GGMTree(depth=3).nodes_at_level(4)
+
+    def test_level_memory(self):
+        assert GGMTree(depth=5).level_memory_bytes(5) == 32 * (SEED_BYTES + 1)
+
+    def test_prg_call_counts(self):
+        tree = GGMTree(depth=6)
+        assert tree.prg_calls_level_by_level() == 63
+        assert tree.prg_calls_branch_parallel() == 64 * 6
+        assert tree.prg_calls_branch_parallel() > tree.prg_calls_level_by_level()
+
+    def test_memory_bounded_interpolates(self):
+        tree = GGMTree(depth=10)
+        full = tree.prg_calls_level_by_level()
+        bounded = tree.prg_calls_memory_bounded(chunk_leaves=64)
+        redundant = tree.prg_calls_branch_parallel()
+        assert full <= bounded <= redundant
+
+    def test_memory_bounded_full_chunk_equals_level_by_level_plus_zero_descent(self):
+        tree = GGMTree(depth=5)
+        assert tree.prg_calls_memory_bounded(chunk_leaves=32) == tree.prg_calls_level_by_level()
+
+    def test_memory_bounded_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            GGMTree(depth=3).prg_calls_memory_bounded(0)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            GGMTree(depth=-1)

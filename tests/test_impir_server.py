@@ -1,0 +1,183 @@
+"""IM-PIR server: functional correctness, breakdowns, batching, clustering."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CapacityError, ProtocolError
+from repro.core.config import IMPIRConfig
+from repro.core.impir import IMPIRDeployment, IMPIRServer
+from repro.core.results import (
+    PHASE_AGGREGATE,
+    PHASE_COPY_IN,
+    PHASE_COPY_OUT,
+    PHASE_DPXOR,
+    PHASE_EVAL,
+)
+from repro.dpf.prf import make_prg
+from repro.pim.config import scaled_down_config
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.server import PIRServer
+
+
+@pytest.fixture()
+def setup(small_db, small_impir_config):
+    client = PIRClient(small_db.num_records, small_db.record_size, seed=5, prg=make_prg("numpy"))
+    server = IMPIRServer(small_db, config=small_impir_config, server_id=0)
+    return client, server, small_db
+
+
+class TestConstruction:
+    def test_preload_partitions_database(self, setup):
+        _, server, db = setup
+        assert server.num_clusters == 1
+        layout = server.layout_for_cluster(0)
+        assert layout.validate_coverage()
+        assert server.preload_report is not None
+        assert server.preload_report.total > 0
+        assert 0 < server.mram_utilization() < 1
+
+    def test_database_too_large_for_platform_rejected(self):
+        # 2 DPUs x 64 MB with 25% reserve cannot hold a ~100 MB database... use
+        # a smaller synthetic: 2 DPUs, database bigger than usable MRAM.
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=2, tasklets=2))
+        too_big = Database.random((97 * (1 << 20)) // 1024, 1024, seed=1)
+        with pytest.raises(CapacityError):
+            IMPIRServer(too_big, config=config)
+
+    def test_invalid_server_id_rejected(self, small_db, small_impir_config):
+        with pytest.raises(ProtocolError):
+            IMPIRServer(small_db, config=small_impir_config, server_id=2)
+
+    def test_can_cluster_check(self, setup):
+        _, server, _ = setup
+        assert server.can_cluster(2)
+        assert not server.can_cluster(0)
+        assert not server.can_cluster(10_000)
+
+
+class TestSingleQuery:
+    def test_answers_match_reference_server(self, setup):
+        client, server, db = setup
+        reference = PIRServer(db, server_id=0, prg=make_prg("numpy"))
+        for index in (0, 100, db.num_records - 1):
+            query = client.query(index)[0]
+            assert server.answer(query).answer.payload == reference.answer(query).payload
+
+    def test_breakdown_has_all_phases(self, setup):
+        client, server, _ = setup
+        result = server.answer(client.query(50)[0])
+        for phase in (PHASE_EVAL, PHASE_COPY_IN, PHASE_DPXOR, PHASE_COPY_OUT, PHASE_AGGREGATE):
+            assert result.breakdown.get(phase) > 0
+        assert result.latency_seconds == pytest.approx(result.breakdown.total)
+        assert result.dpu_pipeline_seconds < result.latency_seconds
+
+    def test_phase_fractions_sum_to_one(self, setup):
+        client, server, _ = setup
+        fractions = server.answer(client.query(1)[0]).phase_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_rejects_wrong_server(self, setup):
+        client, server, _ = setup
+        query_for_other = client.query(3)[1]
+        with pytest.raises(ProtocolError):
+            server.answer(query_for_other)
+
+    def test_rejects_wrong_database_shape(self, setup, tiny_db):
+        client, server, _ = setup
+        other_client = PIRClient(tiny_db.num_records, tiny_db.record_size, seed=1)
+        with pytest.raises(ProtocolError):
+            server.answer(other_client.query(0)[0])
+
+    def test_rejects_bad_cluster_index(self, setup):
+        client, server, _ = setup
+        with pytest.raises(ProtocolError):
+            server.answer(client.query(0)[0], cluster_index=5)
+
+
+class TestBatch:
+    def test_batch_answers_are_correct(self, setup):
+        client, server, db = setup
+        reference = PIRServer(db, server_id=0, prg=make_prg("numpy"))
+        indices = [3, 77, 512, 1023, 0]
+        queries = [client.query(i)[0] for i in indices]
+        batch = server.answer_batch(queries)
+        assert batch.batch_size == len(indices)
+        for query, result in zip(queries, batch.results):
+            assert result.answer.payload == reference.answer(query).payload
+
+    def test_batch_schedule_consistency(self, setup):
+        client, server, _ = setup
+        queries = [client.query(i)[0] for i in range(8)]
+        batch = server.answer_batch(queries)
+        assert batch.latency_seconds > 0
+        assert batch.throughput_qps == pytest.approx(8 / batch.latency_seconds)
+        assert batch.latency_seconds < sum(r.latency_seconds for r in batch.results)
+
+    def test_batch_mean_breakdown(self, setup):
+        client, server, _ = setup
+        queries = [client.query(i)[0] for i in range(4)]
+        mean = server.answer_batch(queries).mean_breakdown()
+        assert mean.get(PHASE_EVAL) > 0
+        assert mean.get(PHASE_DPXOR) > 0
+
+    def test_empty_batch_rejected(self, setup):
+        _, server, _ = setup
+        with pytest.raises(ProtocolError):
+            server.answer_batch([])
+
+
+class TestClustering:
+    def test_clustered_server_is_correct(self, small_db):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=2), num_clusters=4)
+        server = IMPIRServer(small_db, config=config, server_id=0)
+        client = PIRClient(small_db.num_records, small_db.record_size, seed=2, prg=make_prg("numpy"))
+        reference = PIRServer(small_db, server_id=0, prg=make_prg("numpy"))
+        queries = [client.query(i)[0] for i in range(8)]
+        batch = server.answer_batch(queries)
+        assert {r.cluster_id for r in batch.results} == {0, 1, 2, 3}
+        for query, result in zip(queries, batch.results):
+            assert result.answer.payload == reference.answer(query).payload
+
+    def test_each_cluster_holds_full_database(self, small_db):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=2), num_clusters=2)
+        server = IMPIRServer(small_db, config=config, server_id=0)
+        for cluster_index in range(2):
+            assert server.layout_for_cluster(cluster_index).num_records == small_db.num_records
+
+    def test_clustering_improves_or_matches_batch_latency(self, small_db):
+        base = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=2))
+        client = PIRClient(small_db.num_records, small_db.record_size, seed=4, prg=make_prg("numpy"))
+        queries = [client.query(i)[0] for i in range(12)]
+        single = IMPIRServer(small_db, config=base, server_id=0).answer_batch(queries)
+        clustered = IMPIRServer(small_db, config=base.with_clusters(4), server_id=0).answer_batch(queries)
+        assert clustered.latency_seconds <= single.latency_seconds * 1.001
+
+
+class TestDeployment:
+    def test_end_to_end_retrieval(self, medium_db):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=4))
+        deployment = IMPIRDeployment(medium_db, config=config, client_seed=1)
+        for index in (0, 1234, medium_db.num_records - 1):
+            assert deployment.retrieve(index) == medium_db.record(index)
+
+    def test_end_to_end_batch(self, medium_db):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=4), num_clusters=2)
+        deployment = IMPIRDeployment(medium_db, config=config, client_seed=2)
+        indices = [5, 99, 2048, 4095]
+        records = deployment.retrieve_batch(indices)
+        assert records == [medium_db.record(i) for i in indices]
+
+
+class TestConfigValidation:
+    def test_rejects_more_clusters_than_dpus(self):
+        with pytest.raises(Exception):
+            IMPIRConfig(pim=scaled_down_config(num_dpus=4), num_clusters=8)
+
+    def test_with_clusters_copy(self, small_impir_config):
+        assert small_impir_config.with_clusters(2).num_clusters == 2
+        assert small_impir_config.num_clusters == 1
+
+    def test_effective_workers_default_to_host_threads(self, small_impir_config):
+        assert small_impir_config.effective_eval_workers == small_impir_config.pim.host.total_threads
+        assert small_impir_config.dpus_per_cluster == 8

@@ -1,0 +1,87 @@
+"""Wire messages: queries and answers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.dpf.dpf import DPF
+from repro.dpf.naive import NaiveShare
+from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
+
+
+@pytest.fixture(scope="module")
+def dpf_keys():
+    dpf = DPF(domain_bits=8, seed=5)
+    return dpf.gen(12, 1)
+
+
+class TestDPFQuery:
+    def test_valid_query(self, dpf_keys):
+        key0, _ = dpf_keys
+        query = DPFQuery(query_id=1, server_id=0, key=key0, num_records=200)
+        assert query.upload_bytes == key0.size_bytes
+
+    def test_rejects_bad_server_id(self, dpf_keys):
+        key0, _ = dpf_keys
+        with pytest.raises(ProtocolError):
+            DPFQuery(query_id=1, server_id=2, key=key0, num_records=200)
+
+    def test_rejects_database_larger_than_domain(self, dpf_keys):
+        key0, _ = dpf_keys
+        with pytest.raises(ProtocolError):
+            DPFQuery(query_id=1, server_id=0, key=key0, num_records=10_000)
+
+    def test_rejects_non_positive_records(self, dpf_keys):
+        key0, _ = dpf_keys
+        with pytest.raises(ProtocolError):
+            DPFQuery(query_id=1, server_id=0, key=key0, num_records=0)
+
+
+class TestNaiveQuery:
+    def test_valid_query(self):
+        share = NaiveShare(server_id=1, bits=np.zeros(64, dtype=np.uint8))
+        query = NaiveQuery(query_id=3, server_id=1, share=share, num_records=64)
+        assert query.upload_bytes == 8
+
+    def test_rejects_length_mismatch(self):
+        share = NaiveShare(server_id=0, bits=np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ProtocolError):
+            NaiveQuery(query_id=3, server_id=0, share=share, num_records=100)
+
+    def test_rejects_negative_server(self):
+        share = NaiveShare(server_id=0, bits=np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ProtocolError):
+            NaiveQuery(query_id=0, server_id=-1, share=share, num_records=4)
+
+
+class TestPIRAnswer:
+    def test_valid_answer(self):
+        answer = PIRAnswer(query_id=0, server_id=1, payload=b"\x00" * 32)
+        assert answer.download_bytes == 32
+        assert answer.payload_array().shape == (32,)
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ProtocolError):
+            PIRAnswer(query_id=0, server_id=0, payload=b"")
+
+    def test_optional_timing_attached(self):
+        answer = PIRAnswer(query_id=0, server_id=0, payload=b"x", simulated_seconds=0.5)
+        assert answer.simulated_seconds == pytest.approx(0.5)
+
+    def test_dpf_query_upload_much_smaller_than_naive(self, dpf_keys):
+        """The communication advantage of DPFs: O(lambda log N) vs O(N) bits."""
+        key0, _ = dpf_keys
+        num_records = 256
+        dpf_query = DPFQuery(query_id=0, server_id=0, key=key0, num_records=num_records)
+        naive_query = NaiveQuery(
+            query_id=0,
+            server_id=0,
+            share=NaiveShare(server_id=0, bits=np.zeros(num_records, dtype=np.uint8)),
+            num_records=num_records,
+        )
+        # At 256 records the DPF key is bigger; the advantage appears at scale.
+        big_dpf = DPF(domain_bits=24, seed=1).gen(5)[0]
+        big_query = DPFQuery(query_id=0, server_id=0, key=big_dpf, num_records=1 << 24)
+        assert big_query.upload_bytes < (1 << 24) // 8
+        assert naive_query.upload_bytes == num_records // 8
+        assert dpf_query.upload_bytes > 0

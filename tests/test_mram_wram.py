@@ -1,0 +1,139 @@
+"""DPU memory models: MRAM buffers and WRAM reservations."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CapacityError, TransferError
+from repro.pim.mram import MRAM
+from repro.pim.wram import WRAM
+
+
+class TestMRAMAllocation:
+    def test_allocate_and_account(self):
+        mram = MRAM(1024)
+        mram.allocate("db", 512)
+        assert mram.used_bytes == 512
+        assert mram.free_bytes == 512
+        assert mram.has_buffer("db")
+
+    def test_over_allocation_rejected(self):
+        mram = MRAM(1024)
+        mram.allocate("db", 1000)
+        with pytest.raises(CapacityError):
+            mram.allocate("extra", 100)
+
+    def test_duplicate_name_rejected(self):
+        mram = MRAM(1024)
+        mram.allocate("db", 10)
+        with pytest.raises(CapacityError):
+            mram.allocate("db", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CapacityError):
+            MRAM(1024).allocate("x", 0)
+
+    def test_free_releases_capacity(self):
+        mram = MRAM(1024)
+        mram.allocate("db", 512)
+        mram.free("db")
+        assert mram.used_bytes == 0
+        assert not mram.has_buffer("db")
+
+    def test_free_unknown_buffer(self):
+        with pytest.raises(TransferError):
+            MRAM(64).free("nope")
+
+    def test_buffer_names(self):
+        mram = MRAM(1024)
+        mram.allocate("a", 1)
+        mram.allocate("b", 1)
+        assert mram.buffer_names() == ("a", "b")
+
+
+class TestMRAMDataMovement:
+    def test_write_read_round_trip(self):
+        mram = MRAM(256)
+        mram.allocate("buf", 64)
+        data = np.arange(64, dtype=np.uint8)
+        assert mram.write("buf", data) == 64
+        assert np.array_equal(mram.read("buf"), data)
+
+    def test_partial_write_with_offset(self):
+        mram = MRAM(256)
+        mram.allocate("buf", 16)
+        mram.write("buf", np.full(4, 9, dtype=np.uint8), offset=4)
+        out = mram.read("buf")
+        assert list(out[4:8]) == [9, 9, 9, 9]
+        assert list(out[:4]) == [0, 0, 0, 0]
+
+    def test_write_overflow_rejected(self):
+        mram = MRAM(256)
+        mram.allocate("buf", 8)
+        with pytest.raises(TransferError):
+            mram.write("buf", np.zeros(16, dtype=np.uint8))
+
+    def test_read_overflow_rejected(self):
+        mram = MRAM(256)
+        mram.allocate("buf", 8)
+        with pytest.raises(TransferError):
+            mram.read("buf", offset=4, size_bytes=8)
+
+    def test_read_unknown_buffer(self):
+        with pytest.raises(TransferError):
+            MRAM(64).read("ghost")
+
+    def test_unwritten_buffer_reads_zeros(self):
+        mram = MRAM(64)
+        mram.allocate("buf", 8)
+        assert np.array_equal(mram.read("buf"), np.zeros(8, dtype=np.uint8))
+
+    def test_2d_array_flattened(self):
+        mram = MRAM(256)
+        mram.allocate("buf", 32)
+        mram.write("buf", np.arange(32, dtype=np.uint8).reshape(4, 8))
+        assert np.array_equal(mram.read("buf"), np.arange(32, dtype=np.uint8))
+
+
+class TestWRAM:
+    def test_reserve_and_release(self):
+        wram = WRAM(1024)
+        wram.reserve("stage", 512)
+        assert wram.used_bytes == 512
+        wram.release("stage")
+        assert wram.used_bytes == 0
+
+    def test_overflow_rejected(self):
+        wram = WRAM(64 * 1024)
+        wram.reserve("a", 60 * 1024)
+        with pytest.raises(CapacityError):
+            wram.reserve("b", 8 * 1024)
+
+    def test_duplicate_rejected(self):
+        wram = WRAM(1024)
+        wram.reserve("a", 10)
+        with pytest.raises(CapacityError):
+            wram.reserve("a", 10)
+
+    def test_release_all(self):
+        wram = WRAM(1024)
+        wram.reserve("a", 10)
+        wram.reserve("b", 10)
+        wram.release_all()
+        assert wram.used_bytes == 0
+
+    def test_fits(self):
+        wram = WRAM(100)
+        assert wram.fits(100)
+        assert not wram.fits(101)
+        assert not wram.fits(0)
+
+    def test_release_missing_is_noop(self):
+        WRAM(10).release("ghost")
+
+    def test_branch_parallel_working_set_does_not_fit(self):
+        """The paper's §3.2 argument: a 64 KB WRAM cannot hold the per-leaf
+        path state a branch-parallel DPF evaluation would need for a realistic
+        per-DPU block (e.g. 2^21 leaves x 17 bytes of node state)."""
+        wram = WRAM(64 * 1024)
+        branch_parallel_working_set = (2**21) * 17
+        assert not wram.fits(branch_parallel_working_set)

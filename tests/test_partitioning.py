@@ -1,0 +1,120 @@
+"""Database/selector partitioning across DPUs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CapacityError, ConfigurationError
+from repro.common.units import MIB
+from repro.core.partitioning import (
+    DatabasePartitioner,
+    fold_partials,
+    kwargs_for_kernel,
+)
+from repro.pir.database import Database
+
+
+@pytest.fixture()
+def partitioner(small_db):
+    return DatabasePartitioner(small_db)
+
+
+class TestLayout:
+    def test_layout_covers_database(self, partitioner, small_db):
+        layout = partitioner.layout(7)
+        assert layout.validate_coverage()
+        assert layout.num_dpus == 7
+        assert layout.num_records == small_db.num_records
+
+    def test_max_records_per_dpu_is_ceiling(self, partitioner, small_db):
+        layout = partitioner.layout(7)
+        assert layout.max_records_per_dpu == -(-small_db.num_records // 7)
+
+    def test_records_and_bytes_on_dpu(self, partitioner, small_db):
+        layout = partitioner.layout(4)
+        assert layout.records_on_dpu(0) == 256
+        assert layout.bytes_on_dpu(0) == 256 * small_db.record_size
+
+    def test_more_dpus_than_records(self):
+        db = Database.random(3, 8, seed=1)
+        layout = DatabasePartitioner(db).layout(8)
+        assert layout.validate_coverage()
+        assert sum(layout.records_on_dpu(i) for i in range(8)) == 3
+
+    def test_zero_dpus_rejected(self, partitioner):
+        with pytest.raises(ConfigurationError):
+            partitioner.layout(0)
+
+
+class TestCapacity:
+    def test_fits_in_paper_mram(self, partitioner):
+        layout = partitioner.layout(4)
+        partitioner.check_capacity(layout, mram_bytes_per_dpu=64 * MIB)
+
+    def test_overflow_detected(self, partitioner):
+        layout = partitioner.layout(1)
+        with pytest.raises(CapacityError):
+            partitioner.check_capacity(layout, mram_bytes_per_dpu=1024)
+
+
+class TestChunks:
+    def test_database_chunks_reassemble(self, partitioner, small_db):
+        layout = partitioner.layout(5)
+        chunks = partitioner.database_chunks(layout)
+        rebuilt = np.concatenate(chunks).reshape(small_db.num_records, small_db.record_size)
+        assert np.array_equal(rebuilt, small_db.records)
+
+    def test_selector_chunks_pack_bits(self, partitioner, small_db):
+        layout = partitioner.layout(5)
+        selector = np.random.default_rng(0).integers(0, 2, small_db.num_records, dtype=np.uint8)
+        chunks = partitioner.selector_chunks(layout, selector)
+        assert len(chunks) == 5
+        rebuilt = np.concatenate(
+            [
+                np.unpackbits(chunk, bitorder="big")[: stop - start]
+                for chunk, (start, stop) in zip(chunks, layout.bounds)
+            ]
+        )
+        assert np.array_equal(rebuilt, selector)
+
+    def test_selector_length_mismatch_rejected(self, partitioner):
+        layout = partitioner.layout(2)
+        with pytest.raises(ConfigurationError):
+            partitioner.selector_chunks(layout, np.zeros(10, dtype=np.uint8))
+
+    def test_packed_selector_bytes(self, partitioner):
+        layout = partitioner.layout(4)
+        total = partitioner.packed_selector_bytes(layout)
+        assert total == 4 * (256 // 8)
+
+    def test_kwargs_for_kernel(self, partitioner, small_db):
+        layout = partitioner.layout(3)
+        kwargs = kwargs_for_kernel(layout)
+        assert len(kwargs) == 3
+        assert all(kw["record_size"] == small_db.record_size for kw in kwargs)
+        assert sum(kw["num_records"] for kw in kwargs) == small_db.num_records
+
+
+class TestFoldPartials:
+    def test_fold_matches_xor(self):
+        parts = [np.array([1, 2, 3], dtype=np.uint8), np.array([3, 2, 1], dtype=np.uint8)]
+        assert np.array_equal(fold_partials(parts, 3), np.array([2, 0, 2], dtype=np.uint8))
+
+    def test_fold_rejects_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fold_partials([np.zeros(4, dtype=np.uint8)], 3)
+
+
+class TestPartitioningProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_records=st.integers(min_value=1, max_value=2000),
+        num_dpus=st.integers(min_value=1, max_value=64),
+    )
+    def test_layout_tiles_exactly(self, num_records, num_dpus):
+        db = Database.zeros(num_records, 4)
+        layout = DatabasePartitioner(db).layout(num_dpus)
+        assert layout.validate_coverage()
+        sizes = [layout.records_on_dpu(i) for i in range(num_dpus)]
+        assert sum(sizes) == num_records
+        assert max(sizes) - min(sizes) <= 1

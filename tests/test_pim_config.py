@@ -1,0 +1,106 @@
+"""UPMEM configuration objects and derived quantities."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, KIB, MIB
+from repro.pim.config import (
+    DPUS_PER_MODULE,
+    UPMEM_PAPER_CONFIG,
+    DPUConfig,
+    HostConfig,
+    PIMConfig,
+    TransferConfig,
+    scaled_down_config,
+)
+
+
+class TestDPUConfig:
+    def test_paper_defaults(self):
+        dpu = DPUConfig()
+        assert dpu.mram_bytes == 64 * MIB
+        assert dpu.wram_bytes == 64 * KIB
+        assert dpu.iram_bytes == 24 * KIB
+        assert dpu.frequency_hz == pytest.approx(350e6)
+        assert dpu.tasklets == 16
+
+    def test_pipeline_efficiency_saturates_at_eleven_tasklets(self):
+        full = DPUConfig(tasklets=16).pipeline_efficiency
+        partial = DPUConfig(tasklets=4).pipeline_efficiency
+        assert full == pytest.approx(1.0)
+        assert partial == pytest.approx(4 / 11)
+
+    def test_rejects_too_many_tasklets(self):
+        with pytest.raises(ConfigurationError):
+            DPUConfig(tasklets=25)
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ConfigurationError):
+            DPUConfig(mram_bytes=0)
+
+
+class TestHostConfig:
+    def test_thread_count(self):
+        assert HostConfig().total_threads == 2 * 8 * 2
+
+    def test_aggregate_aes_rate_scales_with_threads(self):
+        host = HostConfig()
+        assert host.aggregate_aes_blocks_per_second > host.aes_blocks_per_second_per_thread
+
+    def test_rejects_bad_topology(self):
+        with pytest.raises(ConfigurationError):
+            HostConfig(sockets=0)
+
+
+class TestTransferConfig:
+    def test_launch_overhead_scales_with_dpus(self):
+        transfer = TransferConfig()
+        assert transfer.launch_overhead_s(2048) > transfer.launch_overhead_s(256)
+        assert transfer.launch_overhead_s(1) >= transfer.launch_base_s
+
+    def test_launch_overhead_rejects_zero_dpus(self):
+        with pytest.raises(ConfigurationError):
+            TransferConfig().launch_overhead_s(0)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TransferConfig(host_to_dpu_bandwidth=0)
+
+
+class TestPIMConfig:
+    def test_paper_platform(self):
+        config = UPMEM_PAPER_CONFIG
+        assert config.num_dpus == 2048
+        assert config.available_dpus == 2560
+        assert config.total_mram_bytes == 2048 * 64 * MIB
+        # The paper quotes ~1.79 TB/s aggregate bandwidth for 2,560 DPUs at
+        # 700 MB/s; for the 2,048 DPUs used in experiments this is ~1.4 TB/s.
+        assert config.aggregate_mram_bandwidth == pytest.approx(2048 * 700e6)
+
+    def test_modules_for_available_dpus(self):
+        assert UPMEM_PAPER_CONFIG.num_modules == -(-2560 // DPUS_PER_MODULE)
+
+    def test_cannot_request_more_than_available(self):
+        with pytest.raises(ConfigurationError):
+            PIMConfig(num_dpus=3000, available_dpus=2560)
+
+    def test_with_dpus_copy(self):
+        smaller = UPMEM_PAPER_CONFIG.with_dpus(512)
+        assert smaller.num_dpus == 512
+        assert smaller.dpu == UPMEM_PAPER_CONFIG.dpu
+
+    def test_with_tasklets_copy(self):
+        changed = UPMEM_PAPER_CONFIG.with_tasklets(8)
+        assert changed.dpu.tasklets == 8
+        assert changed.num_dpus == UPMEM_PAPER_CONFIG.num_dpus
+
+    def test_scaled_down_config(self):
+        small = scaled_down_config(num_dpus=8, tasklets=4)
+        assert small.num_dpus == 8
+        assert small.dpu.tasklets == 4
+        assert small.dpu.mram_bytes == 64 * MIB  # hardware parameters unchanged
+
+    def test_total_mram_capacity_matches_paper_figure(self):
+        """20 modules (2,560 DPUs) hold 160 GB of MRAM."""
+        full = PIMConfig(num_dpus=2560)
+        assert full.total_mram_bytes == 160 * GIB

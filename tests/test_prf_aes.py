@@ -1,0 +1,83 @@
+"""Pure-Python AES-128 correctness (FIPS-197 / NIST known-answer tests)."""
+
+import numpy as np
+import pytest
+
+from repro.dpf.prf import SEED_BYTES, AESPRG, aes128_encrypt_block
+
+
+class TestKnownAnswers:
+    def test_fips197_appendix_c1(self):
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert aes128_encrypt_block(key, plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert aes128_encrypt_block(key, plaintext) == expected
+
+    def test_all_zero_key_and_block(self):
+        # Well-known AES-128(0, 0) value.
+        expected = bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+        assert aes128_encrypt_block(bytes(16), bytes(16)) == expected
+
+
+class TestBlockInterface:
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_block(b"short", bytes(16))
+
+    def test_rejects_short_block(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_block(bytes(16), b"short")
+
+    def test_deterministic(self):
+        key, block = bytes(range(16)), bytes(range(16, 32))
+        assert aes128_encrypt_block(key, block) == aes128_encrypt_block(key, block)
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        out1 = aes128_encrypt_block(bytes(16), block)
+        out2 = aes128_encrypt_block(bytes([1]) + bytes(15), block)
+        assert out1 != out2
+
+    def test_output_length(self):
+        assert len(aes128_encrypt_block(bytes(16), bytes(16))) == 16
+
+
+class TestAESPRG:
+    def test_expand_shapes(self):
+        prg = AESPRG()
+        seeds = np.arange(2 * SEED_BYTES, dtype=np.uint8).reshape(2, SEED_BYTES)
+        left, right, t_left, t_right = prg.expand(seeds)
+        assert left.shape == (2, SEED_BYTES)
+        assert right.shape == (2, SEED_BYTES)
+        assert t_left.shape == (2,)
+        assert t_right.shape == (2,)
+
+    def test_children_match_direct_aes(self):
+        prg = AESPRG()
+        seed = bytes(range(16))
+        left, right, _, _ = prg.expand(np.frombuffer(seed, dtype=np.uint8).reshape(1, 16))
+        assert left[0].tobytes() == aes128_encrypt_block(seed, bytes(16))
+        assert right[0].tobytes() == aes128_encrypt_block(seed, bytes([1] + [0] * 15))
+
+    def test_counter_increments(self):
+        prg = AESPRG()
+        seeds = np.zeros((3, SEED_BYTES), dtype=np.uint8)
+        prg.expand(seeds)
+        assert prg.expand_calls == 3
+        assert prg.blocks_consumed == 6
+
+    def test_expand_one(self):
+        prg = AESPRG()
+        left, right, t_left, t_right = prg.expand_one(bytes(16))
+        assert len(left) == 16 and len(right) == 16
+        assert t_left in (0, 1) and t_right in (0, 1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            AESPRG().expand(np.zeros((2, 8), dtype=np.uint8))

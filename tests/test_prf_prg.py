@@ -1,0 +1,104 @@
+"""Length-doubling PRG backends: determinism, structure, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dpf.prf import SEED_BYTES, AESPRG, NumpyPRG, make_prg
+
+
+class TestFactory:
+    def test_numpy_backend(self):
+        assert isinstance(make_prg("numpy"), NumpyPRG)
+        assert isinstance(make_prg("fast"), NumpyPRG)
+
+    def test_aes_backend(self):
+        assert isinstance(make_prg("aes"), AESPRG)
+        assert isinstance(make_prg("AES-128"), AESPRG)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_prg("md5")
+
+
+class TestNumpyPRG:
+    def test_deterministic(self):
+        seeds = np.arange(4 * SEED_BYTES, dtype=np.uint8).reshape(4, SEED_BYTES)
+        a = NumpyPRG().expand(seeds.copy())
+        b = NumpyPRG().expand(seeds.copy())
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_left_and_right_children_differ(self):
+        seeds = np.arange(SEED_BYTES, dtype=np.uint8).reshape(1, SEED_BYTES)
+        left, right, _, _ = NumpyPRG().expand(seeds)
+        assert not np.array_equal(left, right)
+
+    def test_distinct_seeds_give_distinct_children(self):
+        rng = np.random.default_rng(0)
+        seeds = rng.integers(0, 256, size=(64, SEED_BYTES), dtype=np.uint8)
+        left, _, _, _ = NumpyPRG().expand(seeds)
+        unique_rows = {row.tobytes() for row in left}
+        assert len(unique_rows) == 64
+
+    def test_control_bits_are_bits(self):
+        rng = np.random.default_rng(1)
+        seeds = rng.integers(0, 256, size=(256, SEED_BYTES), dtype=np.uint8)
+        _, _, t_left, t_right = NumpyPRG().expand(seeds)
+        assert set(np.unique(t_left)).issubset({0, 1})
+        assert set(np.unique(t_right)).issubset({0, 1})
+
+    def test_control_bits_roughly_balanced(self):
+        rng = np.random.default_rng(2)
+        seeds = rng.integers(0, 256, size=(2048, SEED_BYTES), dtype=np.uint8)
+        _, _, t_left, t_right = NumpyPRG().expand(seeds)
+        assert 800 < int(t_left.sum()) < 1250
+        assert 800 < int(t_right.sum()) < 1250
+
+    def test_output_bytes_look_uniform(self):
+        rng = np.random.default_rng(3)
+        seeds = rng.integers(0, 256, size=(512, SEED_BYTES), dtype=np.uint8)
+        left, right, _, _ = NumpyPRG().expand(seeds)
+        mean = float(np.concatenate([left, right]).mean())
+        assert 118.0 < mean < 137.0  # uniform bytes average ~127.5
+
+    def test_counter_increments(self):
+        prg = NumpyPRG()
+        seeds = np.zeros((5, SEED_BYTES), dtype=np.uint8)
+        prg.expand(seeds)
+        prg.expand(seeds)
+        assert prg.expand_calls == 10
+        assert prg.blocks_consumed == 20
+
+    def test_reset_counters(self):
+        prg = NumpyPRG()
+        prg.expand(np.zeros((5, SEED_BYTES), dtype=np.uint8))
+        prg.reset_counters()
+        assert prg.expand_calls == 0
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            NumpyPRG().expand(np.zeros((1, 8), dtype=np.uint8))
+
+    def test_expand_one_round_trip(self):
+        prg = NumpyPRG()
+        left, right, t_left, t_right = prg.expand_one(bytes(range(16)))
+        assert len(left) == SEED_BYTES and len(right) == SEED_BYTES
+        assert t_left in (0, 1) and t_right in (0, 1)
+
+
+class TestBackendAgreementOnStructure:
+    """Both backends implement the same interface contract."""
+
+    @pytest.mark.parametrize("backend", ["numpy", "aes"])
+    def test_same_seed_same_output(self, backend):
+        prg_a = make_prg(backend)
+        prg_b = make_prg(backend)
+        seed = np.arange(SEED_BYTES, dtype=np.uint8).reshape(1, SEED_BYTES)
+        out_a = prg_a.expand(seed)
+        out_b = prg_b.expand(seed)
+        assert np.array_equal(out_a[0], out_b[0])
+        assert np.array_equal(out_a[1], out_b[1])
+
+    @pytest.mark.parametrize("backend", ["numpy", "aes"])
+    def test_blocks_per_expand_constant(self, backend):
+        assert make_prg(backend).blocks_per_expand == 2

@@ -1,0 +1,53 @@
+"""Reporting helpers and paper reference constants."""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.bench.figures import fig12_gpu_comparison, fig9_throughput_latency
+from repro.bench.reporting import render_fig9, render_fig12, render_speedup
+
+
+class TestPaperReference:
+    def test_table1_rows_are_probability_like(self):
+        assert sum(paper.TABLE1_IMPIR.values()) == pytest.approx(1.0, abs=0.01)
+        assert sum(paper.TABLE1_CPU.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_headline_constants_consistent(self):
+        assert paper.FIG9_SPEEDUP_AT_8_GIB == paper.HEADLINE_THROUGHPUT_SPEEDUP
+        assert paper.FIG9_SPEEDUP_AT_0_5_GIB < paper.FIG9_SPEEDUP_AT_8_GIB
+
+    def test_sweep_constants_match_paper_setup(self):
+        assert paper.PAPER_NUM_DPUS == 2048
+        assert paper.PAPER_TASKLETS_PER_DPU == 16
+        assert paper.PAPER_RECORD_SIZE == 32
+        assert paper.PAPER_DEFAULT_BATCH == 32
+        assert 8.0 == paper.PAPER_FIG9_DB_SIZES_GIB[-1]
+        assert 32.0 == paper.PAPER_FIG10_DB_SIZES_GIB[-1]
+
+    def test_relative_error(self):
+        assert paper.relative_error(3.7, 3.7) == 0.0
+        assert paper.relative_error(4.0, 2.0) == pytest.approx(1.0)
+        assert paper.relative_error(0.0, 0.0) == 0.0
+        assert paper.relative_error(1.0, 0.0) == float("inf")
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return fig9_throughput_latency(
+            db_sizes_gib=(0.5, 1.0), batch_sizes=(8, 32), batch_for_db_sweep=8
+        )
+
+    def test_render_fig9_contains_both_series(self, fig9):
+        text = render_fig9(fig9)
+        assert "IM-PIR" in text and "CPU-PIR" in text
+        assert "paper" in text
+
+    def test_render_speedup_one_liner(self, fig9):
+        line = render_speedup(fig9.speedup_vs_db_size)
+        assert "min" in line and "max" in line and "x" in line
+
+    def test_render_fig12_small_sweep(self):
+        result = fig12_gpu_comparison(db_sizes_gib=(0.5, 1.0), batch_size=8)
+        text = render_fig12(result)
+        assert "GPU-PIR" in text and "Figure 12" in text

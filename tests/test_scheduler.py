@@ -1,0 +1,135 @@
+"""Batch scheduler: pipeline semantics, makespans, cluster scaling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SchedulingError
+from repro.core.scheduler import BatchScheduler, QueryTask
+
+
+def _uniform(batch, eval_s, dpu_s, workers, clusters):
+    return BatchScheduler(workers, clusters).schedule_uniform(batch, eval_s, dpu_s)
+
+
+class TestBasics:
+    def test_empty_schedule(self):
+        schedule = BatchScheduler(2, 1).schedule([])
+        assert schedule.makespan == 0.0
+        assert schedule.mean_latency == 0.0
+
+    def test_single_query(self):
+        schedule = _uniform(1, 1.0, 0.5, workers=4, clusters=2)
+        assert schedule.makespan == pytest.approx(1.5)
+        assert schedule.queries[0].queueing_delay == pytest.approx(0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            QueryTask(query_id=0, eval_seconds=-1.0, dpu_seconds=0.0)
+
+    def test_invalid_resources_rejected(self):
+        with pytest.raises(SchedulingError):
+            BatchScheduler(0, 1)
+        with pytest.raises(SchedulingError):
+            BatchScheduler(1, 0)
+
+    def test_zero_batch_uniform_rejected(self):
+        with pytest.raises(SchedulingError):
+            BatchScheduler(1, 1).schedule_uniform(0, 1.0, 1.0)
+
+    def test_deterministic(self):
+        a = _uniform(16, 0.3, 0.1, 4, 2)
+        b = _uniform(16, 0.3, 0.1, 4, 2)
+        assert a.makespan == b.makespan
+        assert [q.cluster_id for q in a.queries] == [q.cluster_id for q in b.queries]
+
+
+class TestPipelineSemantics:
+    def test_single_worker_serialises_eval(self):
+        schedule = _uniform(4, 1.0, 0.0, workers=1, clusters=4)
+        assert schedule.makespan == pytest.approx(4.0)
+
+    def test_single_cluster_serialises_dpu_stage(self):
+        schedule = _uniform(4, 0.0, 1.0, workers=4, clusters=1)
+        assert schedule.makespan == pytest.approx(4.0)
+
+    def test_eval_and_dpu_overlap_across_queries(self):
+        """With ample workers the dpXOR of query i overlaps the eval of i+1."""
+        schedule = _uniform(8, 1.0, 1.0, workers=8, clusters=8)
+        assert schedule.makespan == pytest.approx(2.0)
+
+    def test_eval_bound_batch(self):
+        """When evaluation dominates, the makespan is the eval wave plus drain."""
+        schedule = _uniform(32, 1.0, 0.01, workers=32, clusters=1)
+        assert schedule.makespan == pytest.approx(1.0 + 32 * 0.01, rel=0.05)
+
+    def test_dpu_bound_batch(self):
+        """When the DPU chain dominates, the single cluster is the bottleneck."""
+        schedule = _uniform(32, 0.01, 1.0, workers=32, clusters=1)
+        assert schedule.makespan == pytest.approx(0.01 + 32 * 1.0, rel=0.05)
+
+    def test_queueing_delay_reported(self):
+        schedule = _uniform(4, 0.1, 1.0, workers=4, clusters=1)
+        delays = [q.queueing_delay for q in schedule.queries]
+        assert delays[0] == pytest.approx(0.0)
+        assert delays[-1] > 0.0
+
+    def test_worker_and_cluster_busy_accounting(self):
+        schedule = _uniform(8, 0.5, 0.25, workers=4, clusters=2)
+        assert schedule.worker_busy_seconds == pytest.approx(8 * 0.5)
+        assert schedule.cluster_busy_seconds == pytest.approx(8 * 0.25)
+        assert 0.0 < schedule.cluster_utilization() <= 1.0
+
+
+class TestClusterScaling:
+    def test_more_clusters_never_slower(self):
+        one = _uniform(32, 0.05, 0.2, workers=32, clusters=1)
+        four = _uniform(32, 0.05, 0.2, workers=32, clusters=4)
+        assert four.makespan <= one.makespan
+        assert four.throughput_qps >= one.throughput_qps
+
+    def test_cluster_gain_bounded_by_eval(self):
+        """Once the dpXOR stage is spread wide enough, evaluation binds."""
+        eval_s, dpu_s = 0.4, 0.1
+        many = _uniform(32, eval_s, dpu_s, workers=32, clusters=16)
+        assert many.makespan >= eval_s
+
+    def test_queries_spread_across_clusters(self):
+        schedule = _uniform(8, 0.0, 1.0, workers=8, clusters=4)
+        used = {q.cluster_id for q in schedule.queries}
+        assert used == {0, 1, 2, 3}
+
+
+class TestHeterogeneousTasks:
+    def test_mixed_durations(self):
+        tasks = [
+            QueryTask(query_id=0, eval_seconds=1.0, dpu_seconds=0.1),
+            QueryTask(query_id=1, eval_seconds=0.1, dpu_seconds=1.0),
+            QueryTask(query_id=2, eval_seconds=0.5, dpu_seconds=0.5),
+        ]
+        schedule = BatchScheduler(2, 1).schedule(tasks)
+        assert schedule.makespan >= 1.1
+        assert len(schedule.queries) == 3
+        assert {q.query_id for q in schedule.queries} == {0, 1, 2}
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=64),
+        eval_ms=st.floats(min_value=0.0, max_value=50.0),
+        dpu_ms=st.floats(min_value=0.0, max_value=50.0),
+        workers=st.integers(min_value=1, max_value=32),
+        clusters=st.integers(min_value=1, max_value=8),
+    )
+    def test_makespan_bounds(self, batch, eval_ms, dpu_ms, workers, clusters):
+        """The makespan respects classic list-scheduling lower bounds."""
+        eval_s, dpu_s = eval_ms / 1e3, dpu_ms / 1e3
+        schedule = _uniform(batch, eval_s, dpu_s, workers, clusters)
+        lower_bound = max(
+            eval_s + dpu_s,  # one query's critical path
+            batch * eval_s / workers,  # eval work spread over workers
+            batch * dpu_s / clusters,  # dpu work spread over clusters
+        )
+        upper_bound = batch * (eval_s + dpu_s) + 1e-12
+        assert lower_bound - 1e-9 <= schedule.makespan <= upper_bound
+        assert len(schedule.queries) == batch

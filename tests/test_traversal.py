@@ -1,0 +1,108 @@
+"""Full-domain evaluation strategies: equivalence and cost profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dpf.dpf import DPF
+from repro.dpf.traversal import (
+    BranchParallelTraversal,
+    LevelByLevelTraversal,
+    MemoryBoundedTraversal,
+    TraversalStats,
+    available_strategies,
+    make_traversal,
+)
+
+
+@pytest.fixture(scope="module")
+def dpf_and_key():
+    dpf = DPF(domain_bits=9, seed=42)
+    key0, _ = dpf.gen(311, 1)
+    return dpf, key0
+
+
+class TestFactory:
+    def test_available_strategies(self):
+        assert set(available_strategies()) == {
+            "branch_parallel",
+            "level_by_level",
+            "memory_bounded",
+        }
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_traversal("depth_first_magic")
+
+    def test_memory_bounded_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            MemoryBoundedTraversal(chunk_leaves=100)
+
+    def test_memory_bounded_requires_positive_chunk(self):
+        with pytest.raises(ValueError):
+            MemoryBoundedTraversal(chunk_leaves=0)
+
+
+class TestEquivalence:
+    def test_all_strategies_agree(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        reference = LevelByLevelTraversal().eval_full(dpf, key)
+        assert np.array_equal(reference, BranchParallelTraversal().eval_full(dpf, key))
+        assert np.array_equal(
+            reference, MemoryBoundedTraversal(chunk_leaves=32).eval_full(dpf, key)
+        )
+
+    def test_agree_with_dpf_eval_full(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        assert np.array_equal(dpf.eval_full(key), LevelByLevelTraversal().eval_full(dpf, key))
+
+    def test_truncated_domain(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        reference = dpf.eval_full(key, num_points=300)
+        for strategy in (
+            LevelByLevelTraversal(),
+            BranchParallelTraversal(),
+            MemoryBoundedTraversal(chunk_leaves=64),
+        ):
+            assert np.array_equal(strategy.eval_full(dpf, key, num_points=300), reference)
+
+    def test_chunk_larger_than_domain(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        big_chunk = MemoryBoundedTraversal(chunk_leaves=4096).eval_full(dpf, key)
+        assert np.array_equal(big_chunk, dpf.eval_full(key))
+
+
+class TestCostProfiles:
+    def test_branch_parallel_is_redundant(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        level_stats, branch_stats = TraversalStats(), TraversalStats()
+        LevelByLevelTraversal().eval_full(dpf, key, stats=level_stats)
+        BranchParallelTraversal().eval_full(dpf, key, stats=branch_stats)
+        assert branch_stats.prg_calls > level_stats.prg_calls
+        assert branch_stats.redundancy_factor > 2.0
+        assert level_stats.redundancy_factor == pytest.approx(1.0, rel=0.02)
+
+    def test_memory_bounded_limits_peak_memory(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        level_stats, bounded_stats = TraversalStats(), TraversalStats()
+        LevelByLevelTraversal().eval_full(dpf, key, stats=level_stats)
+        MemoryBoundedTraversal(chunk_leaves=16).eval_full(dpf, key, stats=bounded_stats)
+        assert bounded_stats.peak_nodes_in_memory <= 16
+        assert level_stats.peak_nodes_in_memory == dpf.domain_size
+
+    def test_memory_bounded_cost_between_extremes(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        stats = {name: TraversalStats() for name in ("level", "bounded", "branch")}
+        LevelByLevelTraversal().eval_full(dpf, key, stats=stats["level"])
+        MemoryBoundedTraversal(chunk_leaves=16).eval_full(dpf, key, stats=stats["bounded"])
+        BranchParallelTraversal().eval_full(dpf, key, stats=stats["branch"])
+        assert stats["level"].prg_calls <= stats["bounded"].prg_calls <= stats["branch"].prg_calls
+
+    def test_stats_leaves_evaluated(self, dpf_and_key):
+        dpf, key = dpf_and_key
+        stats = TraversalStats()
+        LevelByLevelTraversal().eval_full(dpf, key, num_points=200, stats=stats)
+        assert stats.leaves_evaluated == 200
+
+    def test_peak_memory_bytes_property(self):
+        stats = TraversalStats(prg_calls=10, peak_nodes_in_memory=100, leaves_evaluated=64)
+        assert stats.peak_memory_bytes == 100 * 17

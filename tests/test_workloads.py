@@ -1,0 +1,162 @@
+"""Workloads: generators, traces, certificate transparency, credentials."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB
+from repro.workloads.certificate_transparency import CertificateTransparencyLog, build_ct_workload
+from repro.workloads.credentials import (
+    CompromisedCredentialCorpus,
+    build_credential_workload,
+    hash_credential,
+)
+from repro.workloads.generator import (
+    DatabaseSpec,
+    paper_batch_sizes,
+    paper_breakdown_sizes_gib,
+    paper_db_sizes_gib,
+    random_hash_database,
+    scaled_functional_spec,
+    sha256_database,
+)
+from repro.workloads.traces import QueryTrace, sequential_trace, uniform_trace, zipf_trace
+
+
+class TestDatabaseSpec:
+    def test_from_size(self):
+        spec = DatabaseSpec.from_size_gib(1.0)
+        assert spec.record_size == 32
+        assert spec.num_records == GIB // 32
+        assert spec.size_bytes == spec.num_records * 32
+
+    def test_from_size_bytes(self):
+        assert DatabaseSpec.from_size_bytes(4096, record_size=64).num_records == 64
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseSpec(num_records=0)
+        with pytest.raises(ConfigurationError):
+            DatabaseSpec.from_size_bytes(0)
+
+    def test_scaled_functional_spec(self):
+        target = DatabaseSpec.from_size_gib(8.0)
+        scaled = scaled_functional_spec(target, max_records=4096)
+        assert scaled.num_records == 4096
+        assert scaled.record_size == target.record_size
+
+    def test_paper_sweeps(self):
+        assert paper_db_sizes_gib() == [0.5, 1.0, 2.0, 4.0, 8.0]
+        assert 32.0 in paper_breakdown_sizes_gib()
+        assert paper_batch_sizes()[0] == 4 and paper_batch_sizes()[-1] == 512
+
+
+class TestGenerators:
+    def test_random_hash_database(self):
+        db = random_hash_database(DatabaseSpec(num_records=100), seed=1)
+        assert db.num_records == 100 and db.record_size == 32
+
+    def test_sha256_database_records_are_digests(self):
+        import hashlib
+
+        db = sha256_database(10, lambda i: f"entry-{i}".encode())
+        assert db.record(3) == hashlib.sha256(b"entry-3").digest()
+
+    def test_sha256_database_custom_record_size(self):
+        db = sha256_database(5, lambda i: bytes([i]), record_size=16)
+        assert db.record_size == 16
+
+
+class TestTraces:
+    def test_uniform_trace_in_range(self):
+        trace = uniform_trace(100, 50, seed=1)
+        assert len(trace) == 50
+        assert all(0 <= i < 100 for i in trace)
+
+    def test_zipf_trace_skewed(self):
+        trace = zipf_trace(1000, 500, exponent=1.5, seed=2)
+        counts = np.bincount(np.array(trace.indices), minlength=1000)
+        # The most popular record should be hit far more often than the median.
+        assert counts.max() >= 10
+
+    def test_zipf_requires_exponent_above_one(self):
+        with pytest.raises(ConfigurationError):
+            zipf_trace(10, 5, exponent=1.0)
+
+    def test_sequential_trace_wraps(self):
+        trace = sequential_trace(5, 7, start=3)
+        assert list(trace) == [3, 4, 0, 1, 2, 3, 4]
+
+    def test_batches(self):
+        trace = sequential_trace(100, 10)
+        batches = list(trace.batches(4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_trace_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            QueryTrace(indices=(5,), num_records=5)
+
+    def test_trace_rejects_zero_queries(self):
+        with pytest.raises(ConfigurationError):
+            uniform_trace(10, 0)
+
+
+class TestCertificateTransparency:
+    def test_database_and_lookup(self):
+        log = CertificateTransparencyLog(num_certificates=256)
+        db = log.build_database()
+        assert db.num_records == 256
+        digest = log.digest_of(100)
+        assert log.lookup_index(digest) == 100
+        assert log.lookup_index(b"\x00" * 32) is None
+
+    def test_audit_trace_prefers_recent_certificates(self):
+        log = CertificateTransparencyLog(num_certificates=1000)
+        trace = log.audit_trace(200, seed=3)
+        assert len(trace) == 200
+        assert np.mean(np.array(trace.indices)) > 500  # skewed toward the newest entries
+
+    def test_monitor_trace_unique(self):
+        log = CertificateTransparencyLog(num_certificates=64)
+        trace = log.monitor_trace(10, seed=1)
+        assert len(set(trace.indices)) == 10
+
+    def test_verify_inclusion(self):
+        log, db, trace = build_ct_workload(num_certificates=128, num_audits=4, seed=5)
+        index = trace.indices[0]
+        assert log.verify_inclusion(db, index, db.record(index))
+        assert not log.verify_inclusion(db, index, b"\x00" * 32)
+
+    def test_out_of_range_certificate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CertificateTransparencyLog(num_certificates=4).digest_of(9)
+
+
+class TestCredentials:
+    def test_corpus_database(self):
+        corpus = CompromisedCredentialCorpus(num_credentials=128)
+        db = corpus.build_database()
+        assert db.num_records == 128
+        credential = corpus.credential_at(17)
+        assert db.record(17) == hash_credential(credential)
+
+    def test_check_trace_mixes_hits_and_misses(self):
+        corpus = CompromisedCredentialCorpus(num_credentials=256)
+        trace, candidates, expected = corpus.check_trace(40, hit_fraction=0.5, seed=7)
+        assert len(trace) == len(candidates) == len(expected) == 40
+        assert any(expected) and not all(expected)
+
+    def test_is_compromised_verdicts(self):
+        corpus, db, trace, candidates, expected = build_credential_workload(
+            num_credentials=128, num_checks=20, seed=9
+        )
+        for index, candidate, hit in zip(trace.indices, candidates, expected):
+            verdict = corpus.is_compromised(candidate, db.record(index))
+            assert verdict == hit
+
+    def test_invalid_hit_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompromisedCredentialCorpus(num_credentials=8).check_trace(4, hit_fraction=1.5)
+
+    def test_hash_credential_record_size(self):
+        assert len(hash_credential(b"pw", record_size=16)) == 16

@@ -1,0 +1,173 @@
+"""dpXOR kernels: reference, chunked and two-stage variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DatabaseError
+from repro.pir.xor_ops import (
+    DpXorStats,
+    dpxor,
+    dpxor_chunked,
+    dpxor_two_stage,
+    inner_product_mod,
+    xor_bytes,
+    xor_fold,
+)
+
+
+@pytest.fixture()
+def db_and_selector():
+    rng = np.random.default_rng(11)
+    database = rng.integers(0, 256, size=(200, 32), dtype=np.uint8)
+    selector = rng.integers(0, 2, size=200, dtype=np.uint8)
+    return database, selector
+
+
+class TestDpxor:
+    def test_single_selection(self):
+        database = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        selector = np.zeros(8, dtype=np.uint8)
+        selector[4] = 1
+        assert np.array_equal(dpxor(database, selector), database[4])
+
+    def test_no_selection_is_zero(self):
+        database = np.ones((5, 3), dtype=np.uint8)
+        assert np.array_equal(dpxor(database, np.zeros(5, dtype=np.uint8)), np.zeros(3, dtype=np.uint8))
+
+    def test_matches_manual_reduction(self, db_and_selector):
+        database, selector = db_and_selector
+        expected = np.zeros(32, dtype=np.uint8)
+        for i in range(200):
+            if selector[i]:
+                expected ^= database[i]
+        assert np.array_equal(dpxor(database, selector), expected)
+
+    def test_stats_charge_full_database(self, db_and_selector):
+        database, selector = db_and_selector
+        stats = DpXorStats()
+        dpxor(database, selector, stats=stats)
+        assert stats.records_scanned == 200
+        assert stats.db_bytes_read == 200 * 32
+        assert stats.records_selected == int(selector.sum())
+        assert stats.total_bytes_moved > stats.db_bytes_read
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatabaseError):
+            dpxor(np.zeros((4, 2), dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestChunkedAndTwoStage:
+    @pytest.mark.parametrize("num_chunks", [1, 2, 3, 7, 200, 300])
+    def test_chunked_equals_reference(self, db_and_selector, num_chunks):
+        database, selector = db_and_selector
+        assert np.array_equal(
+            dpxor_chunked(database, selector, num_chunks), dpxor(database, selector)
+        )
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 5, 16, 200, 250])
+    def test_two_stage_equals_reference(self, db_and_selector, num_workers):
+        database, selector = db_and_selector
+        assert np.array_equal(
+            dpxor_two_stage(database, selector, num_workers), dpxor(database, selector)
+        )
+
+    def test_chunked_rejects_zero_chunks(self, db_and_selector):
+        database, selector = db_and_selector
+        with pytest.raises(DatabaseError):
+            dpxor_chunked(database, selector, 0)
+
+    def test_two_stage_rejects_zero_workers(self, db_and_selector):
+        database, selector = db_and_selector
+        with pytest.raises(DatabaseError):
+            dpxor_two_stage(database, selector, 0)
+
+
+class TestXorFold:
+    def test_fold_is_xor(self):
+        parts = [np.array([1, 2], dtype=np.uint8), np.array([3, 4], dtype=np.uint8)]
+        assert np.array_equal(xor_fold(parts), np.array([2, 6], dtype=np.uint8))
+
+    def test_fold_identity(self):
+        part = np.array([9, 9], dtype=np.uint8)
+        assert np.array_equal(xor_fold([part]), part)
+
+    def test_fold_rejects_empty(self):
+        with pytest.raises(DatabaseError):
+            xor_fold([])
+
+    def test_fold_rejects_mismatched(self):
+        with pytest.raises(DatabaseError):
+            xor_fold([np.zeros(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8)])
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x01\x02", b"\x03\x00") == b"\x02\x02"
+
+    def test_self_inverse(self):
+        a, b = b"hello world!", b"secret bytes"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatabaseError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestInnerProductMod:
+    def test_one_hot_selects_record(self):
+        database = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        weights = np.array([0, 1, 0], dtype=np.uint64)
+        result = inner_product_mod(database, weights, modulus=257)
+        assert np.array_equal(result, database[1].astype(np.uint64))
+
+    def test_additive_shares_reconstruct(self):
+        rng = np.random.default_rng(3)
+        database = rng.integers(0, 256, size=(50, 8), dtype=np.uint8)
+        index, p = 17, 65537
+        share0 = rng.integers(0, p, size=50, dtype=np.uint64)
+        share1 = (np.uint64(p) - share0) % np.uint64(p)
+        share1[index] = (share1[index] + np.uint64(1)) % np.uint64(p)
+        combined = (
+            inner_product_mod(database, share0, p) + inner_product_mod(database, share1, p)
+        ) % p
+        assert np.array_equal(combined, database[index].astype(np.uint64))
+
+    def test_rejects_small_modulus(self):
+        with pytest.raises(DatabaseError):
+            inner_product_mod(np.zeros((2, 2), dtype=np.uint8), np.zeros(2), modulus=1)
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(DatabaseError):
+            inner_product_mod(np.zeros((2, 2), dtype=np.uint8), np.zeros(3), modulus=17)
+
+
+class TestDpxorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_records=st.integers(min_value=1, max_value=128),
+        record_size=st.integers(min_value=1, max_value=40),
+        num_chunks=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_chunking_invariance(self, num_records, record_size, num_chunks, seed):
+        rng = np.random.default_rng(seed)
+        database = rng.integers(0, 256, size=(num_records, record_size), dtype=np.uint8)
+        selector = rng.integers(0, 2, size=num_records, dtype=np.uint8)
+        reference = dpxor(database, selector)
+        assert np.array_equal(dpxor_chunked(database, selector, num_chunks), reference)
+        assert np.array_equal(dpxor_two_stage(database, selector, num_chunks), reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_records=st.integers(min_value=1, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_linearity_over_selectors(self, num_records, seed):
+        """dpxor(v1 ^ v2) == dpxor(v1) ^ dpxor(v2): the property PIR relies on."""
+        rng = np.random.default_rng(seed)
+        database = rng.integers(0, 256, size=(num_records, 16), dtype=np.uint8)
+        v1 = rng.integers(0, 2, size=num_records, dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=num_records, dtype=np.uint8)
+        combined = dpxor(database, v1 ^ v2)
+        assert np.array_equal(combined, dpxor(database, v1) ^ dpxor(database, v2))
