@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint smoke figures
+
+## The CI gate: tier-1 tests + lint + a functional cross-backend smoke run.
+check: test lint smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) tools/lint.py src tools
+
+## Answers a seeded query set through every registered backend via the
+## shared QueryEngine and a PIRFrontend batch; exits non-zero on any drift.
+smoke:
+	$(PYTHON) -m repro.bench.cli smoke
+
+figures:
+	$(PYTHON) -m repro.bench.cli all

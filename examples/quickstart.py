@@ -52,15 +52,19 @@ def main() -> None:
         print(f"  {phase:>16}: {format_seconds(seconds):>12}  ({share:5.1f}%)")
     print(f"  {'total':>16}: {format_seconds(result.latency_seconds):>12}")
 
-    # --- a batch of queries through the Fig. 8 pipeline -----------------------------
+    # --- a batch of queries through the batching frontend ---------------------------
+    # retrieve_batch goes through the PIRFrontend: requests aggregate under the
+    # batching policy, fan out to both replicas' Fig. 8 pipelines, and the
+    # answers are re-paired by request id before reconstruction.
     indices = [1, 17, 4242, 8000, 8191]
     records = deployment.retrieve_batch(indices)
     assert all(rec == database.record(i) for rec, i in zip(records, indices))
-    batch = deployment.servers[0].answer_batch(
-        [deployment.client.query(i)[0] for i in indices]
-    )
-    print(f"\nbatch of {batch.batch_size}: makespan {format_seconds(batch.latency_seconds)}, "
-          f"throughput {batch.throughput_qps:.1f} queries/s (simulated)")
+    metrics = deployment.frontend.metrics
+    print(f"\nfrontend batch of {len(indices)}: "
+          f"{metrics.batches_dispatched} dispatch(es), "
+          f"makespan {format_seconds(metrics.total_makespan_seconds)}, "
+          f"throughput {metrics.throughput_qps:.1f} queries/s (simulated), "
+          f"cluster utilization {metrics.last_cluster_utilization * 100:.0f}%")
 
     print("\ncommunication per query:")
     print(f"  upload   (per server): {queries[0].upload_bytes} B (DPF key)")

@@ -29,6 +29,7 @@ Sub-packages:
 """
 
 from repro.core.config import IMPIRConfig
+from repro.core.engine import QueryEngine, available_backends, create_server
 from repro.core.impir import IMPIRDeployment, IMPIRServer
 from repro.core.results import IMPIRBatchResult, IMPIRQueryResult
 from repro.cpu.cpu_pir import CPUPIRServer
@@ -38,6 +39,7 @@ from repro.pim.config import PIMConfig
 from repro.pim.system import UPMEMSystem
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
+from repro.pir.frontend import BatchingPolicy, PIRFrontend
 from repro.pir.protocol import MultiServerPIRProtocol
 from repro.pir.server import PIRServer
 
@@ -45,6 +47,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "IMPIRConfig",
+    "QueryEngine",
+    "available_backends",
+    "create_server",
+    "BatchingPolicy",
+    "PIRFrontend",
     "IMPIRDeployment",
     "IMPIRServer",
     "IMPIRBatchResult",

@@ -24,6 +24,7 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
+from repro.bench.smoke import backend_smoke
 from repro.bench.reporting import (
     render_fig3,
     render_fig9,
@@ -46,6 +47,7 @@ _TARGETS: Dict[str, Callable[[], str]] = {
     "table1": lambda: render_table1(fig10_breakdown()),
     "fig11": lambda: render_fig11(fig11_clustering()),
     "fig12": lambda: render_fig12(fig12_gpu_comparison()),
+    "smoke": backend_smoke,
 }
 
 

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.common.errors import ConfigurationError
 from repro.common.events import PhaseTimer
 from repro.core.config import IMPIRConfig
+from repro.core.engine import BackendCapabilities, batch_scheduler_for
 from repro.core.results import (
     PHASE_AGGREGATE,
     PHASE_COPY_IN,
@@ -24,7 +25,6 @@ from repro.core.results import (
     PHASE_DPXOR,
     PHASE_EVAL,
 )
-from repro.core.scheduler import BatchScheduler
 from repro.cpu.config import CPUConfig
 from repro.cpu.model import CPUModel
 from repro.gpu.config import GPUConfig
@@ -114,8 +114,14 @@ class IMPIREstimator:
         chain = self.dpu_chain_breakdown(spec, dpus=dpus_per_cluster)
         dpu_seconds = chain.total
 
-        workers = min(self.config.effective_eval_workers, batch_size)
-        scheduler = BatchScheduler(num_workers=workers, num_clusters=num_clusters)
+        # The same scheduler-sizing rule the functional QueryEngine applies,
+        # driven by the same capability description of the platform.
+        caps = BackendCapabilities(
+            name="im-pir",
+            lanes=num_clusters,
+            batch_workers=self.config.effective_eval_workers,
+        )
+        scheduler = batch_scheduler_for(caps, batch_size)
         schedule = scheduler.schedule_uniform(batch_size, eval_seconds, dpu_seconds)
 
         per_query = PhaseTimer()

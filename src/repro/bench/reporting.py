@@ -7,7 +7,7 @@ evaluation section as console output (and EXPERIMENTS.md snapshots it).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Iterable, List, Mapping
 
 from repro.analysis.metrics import SpeedupReport, SweepSeries
 from repro.bench import paper_reference as paper

@@ -1,0 +1,91 @@
+"""End-to-end smoke run: every registered backend through one code path.
+
+Unlike the figure generators (analytic, paper-scale), this target does real
+functional work on a small database: it builds a two-replica deployment of
+every backend in the :mod:`repro.core.engine` registry, answers the same
+seeded query set through the shared ``QueryEngine``, cross-checks the
+payloads bit-for-bit, and drives a batched retrieval through the
+:class:`~repro.pir.frontend.PIRFrontend` to report scheduling metrics.
+
+It is the CI canary wired into ``make check``: if any backend drifts from
+the reference scan or the frontend mis-pairs an answer, this exits non-zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.units import format_seconds
+from repro.core.engine import available_backends, create_server
+from repro.dpf.prf import make_prg
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.frontend import BatchingPolicy, PIRFrontend
+
+
+def backend_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    indices: Sequence[int] = (0, 7, 255, 511),
+    seed: int = 9,
+    segment_records: Optional[int] = 128,
+) -> str:
+    """Run the cross-backend equivalence + frontend smoke; returns a report."""
+    database = Database.random(num_records, record_size, seed=seed)
+    lines: List[str] = [
+        "Backend smoke: all server variants through the shared QueryEngine",
+        f"database: {num_records} records x {record_size} B, queries at {list(indices)}",
+        "",
+        f"{'backend':>16} {'lanes':>6} {'preloaded':>10} {'batch makespan':>16} "
+        f"{'throughput':>14} {'agree':>6}",
+    ]
+
+    baseline_payloads = None
+    baseline_name = None
+    for name in available_backends():
+        kwargs = {"segment_records": segment_records} if name == "im-pir-streamed" else {}
+        client = PIRClient(num_records, record_size, seed=seed + 1, prg=make_prg("numpy"))
+        replicas = [create_server(name, database, server_id=i, **kwargs) for i in (0, 1)]
+        caps = replicas[0].engine.backend.capabilities()
+
+        # Per-query equivalence through the uniform engine surface.
+        payloads = []
+        for index in indices:
+            queries = client.query(index)
+            results = [replicas[q.server_id].engine.answer(q) for q in queries]
+            payloads.append(tuple(r.answer.payload for r in results))
+        if baseline_payloads is None:
+            baseline_payloads, baseline_name = payloads, name
+        agree = payloads == baseline_payloads
+        if not agree:
+            raise AssertionError(
+                f"backend {name!r} disagrees with the payloads of {baseline_name!r}"
+            )
+
+        # Batched retrieval through the frontend (pairing + scheduling metrics).
+        frontend = PIRFrontend(
+            PIRClient(num_records, record_size, seed=seed + 2, prg=make_prg("numpy")),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=len(indices)),
+        )
+        records = frontend.retrieve_batch(list(indices))
+        for index, record in zip(indices, records):
+            if record != database.record(index):
+                raise AssertionError(f"backend {name!r} returned a wrong record for {index}")
+        metrics = frontend.metrics
+        makespan = metrics.total_makespan_seconds
+        throughput = (
+            f"{metrics.throughput_qps:14.1f}" if makespan > 0 else f"{'n/a':>14}"
+        )
+        lines.append(
+            f"{caps.name:>16} {caps.lanes:>6} {str(caps.preloaded):>10} "
+            f"{format_seconds(makespan) if makespan > 0 else 'untimed':>16} "
+            f"{throughput} {'ok':>6}"
+        )
+
+    lines.append("")
+    lines.append(
+        f"{len(tuple(available_backends()))} backends agree bit-for-bit on "
+        f"{len(list(indices))} queries; frontend paired and reconstructed every batch."
+    )
+    return "\n".join(lines)

@@ -1,12 +1,23 @@
 """IM-PIR core: configuration, partitioning, scheduling, the server itself."""
 
 from repro.core.config import DEFAULT_BLOCKS_PER_LEAF, IMPIRConfig
+from repro.core.engine import (
+    BackendCapabilities,
+    PIRBackend,
+    QueryEngine,
+    ReferenceBackend,
+    available_backends,
+    batch_scheduler_for,
+    create_server,
+    register_backend,
+)
 from repro.core.impir import IMPIRDeployment, IMPIRServer
 from repro.core.partitioning import (
     DatabasePartitioner,
     PartitionLayout,
     fold_partials,
     kwargs_for_kernel,
+    run_dpu_pipeline,
 )
 from repro.core.results import (
     ALL_PHASES,
@@ -28,12 +39,21 @@ from repro.core.streaming import (
 __all__ = [
     "DEFAULT_BLOCKS_PER_LEAF",
     "IMPIRConfig",
+    "BackendCapabilities",
+    "PIRBackend",
+    "QueryEngine",
+    "ReferenceBackend",
+    "available_backends",
+    "batch_scheduler_for",
+    "create_server",
+    "register_backend",
     "IMPIRDeployment",
     "IMPIRServer",
     "DatabasePartitioner",
     "PartitionLayout",
     "fold_partials",
     "kwargs_for_kernel",
+    "run_dpu_pipeline",
     "ALL_PHASES",
     "PHASE_AGGREGATE",
     "PHASE_COPY_IN",

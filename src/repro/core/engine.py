@@ -1,0 +1,440 @@
+"""Unified query-execution engine shared by every PIR server variant.
+
+Before this module existed, the five server implementations (reference,
+CPU-PIR, GPU-PIR, IM-PIR, streamed IM-PIR) each carried their own copy of the
+protocol-shaped logic: query validation, host-side DPF key evaluation,
+selector generation, answer assembly and phase bookkeeping.  The engine owns
+all of that exactly once; what remains per variant is a :class:`PIRBackend` —
+the architecture-specific execution substrate that scans the prepared
+database under a selector vector and charges simulated time to a
+:class:`~repro.common.events.PhaseTimer`.
+
+Layering (bottom-up)::
+
+    PIRBackend        "where the dpXOR runs": prepare(db) + execute(selector)
+    QueryEngine       the protocol: validate -> eval key -> execute -> answer
+    server facades    PIRServer / IMPIRServer / ... : public API + cost models
+    PIRFrontend       request batching/routing across replicas (repro.pir.frontend)
+
+Backends advertise :class:`BackendCapabilities` (execution lanes, batch
+workers, capacity) which the engine uses to drive the
+:class:`~repro.core.scheduler.BatchScheduler` for batch mode, and which the
+frontend uses to size its batching policy.
+
+A small registry maps backend names to server builders so the equivalence
+test-suite, the CLI smoke target and the examples can iterate over every
+variant through one code path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.errors import ProtocolError
+from repro.common.events import PhaseTimer
+from repro.core.results import PHASE_EVAL, IMPIRBatchResult, IMPIRQueryResult
+from repro.core.scheduler import BatchScheduler, QueryTask
+from repro.dpf.dpf import DPF
+from repro.dpf.prf import LengthDoublingPRG
+from repro.pir.database import Database
+from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
+from repro.pir.xor_ops import dpxor
+
+Query = Union[DPFQuery, NaiveQuery]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend can do, and how big it is.
+
+    The engine consults these to validate queries (``supports_naive``), pick
+    execution lanes and build batch schedules; the frontend consults them to
+    size batching policies.
+    """
+
+    name: str
+    #: Independent execution lanes (DPU clusters); lane ``i`` can serve a
+    #: query concurrently with lane ``j``.
+    lanes: int = 1
+    #: Host threads available for per-query DPF evaluation in batch mode.
+    batch_workers: int = 1
+    #: Whether dense selector-share (:class:`NaiveQuery`) queries are served.
+    supports_naive: bool = False
+    #: Whether the database is resident in execution memory (vs streamed).
+    preloaded: bool = True
+    #: Advertised capacity bound in records, once a database is prepared
+    #: (``None`` when unbounded or not yet known).  Informational — hard
+    #: enforcement happens inside the backend's ``prepare``.
+    max_records: Optional[int] = None
+    description: str = ""
+
+
+class PIRBackend(ABC):
+    """Execution substrate behind a :class:`QueryEngine`.
+
+    Implementations provide only the architecture-specific pieces — loading
+    the database into their execution memory and scanning it under a selector
+    vector.  Everything protocol-shaped (validation, key evaluation, answer
+    assembly) is supplied once by the engine, which also gives every backend
+    the uniform ``answer``/``answer_many`` surface below.
+    """
+
+    #: Set by :meth:`QueryEngine.prepare`; backends may read it but should
+    #: treat the engine as the owner.
+    engine: Optional["QueryEngine"] = None
+
+    @abstractmethod
+    def prepare(self, database: Database) -> Optional[PhaseTimer]:
+        """(Re)load ``database`` into the backend's execution memory.
+
+        Returns a :class:`PhaseTimer` with the preload cost when the backend
+        charges one (the paper reports it separately from queries), else
+        ``None``.
+        """
+
+    @abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Capability/capacity metadata for this backend."""
+
+    @abstractmethod
+    def execute(
+        self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
+    ) -> np.ndarray:
+        """Scan the prepared database under ``selector_bits`` (the dpXOR).
+
+        Records the architecture's simulated phase costs into ``breakdown``
+        and returns the XOR sub-result as a uint8 array of ``record_size``
+        bytes.
+        """
+
+    # -- timing hooks (cost-model backends override; functional-only ones don't) --
+
+    def latency_eval_seconds(self, num_records: int) -> float:
+        """Simulated host DPF-eval time in latency mode (whole host, one query)."""
+        return 0.0
+
+    def batch_eval_seconds(self, num_records: int) -> float:
+        """Simulated host DPF-eval time in batch mode (one worker thread)."""
+        return 0.0
+
+    # -- uniform protocol surface (shared engine logic) ---------------------------
+
+    def answer(self, query: Query, lane: int = 0) -> Tuple[bytes, PhaseTimer]:
+        """Answer one query; returns ``(payload, breakdown)``."""
+        result = self._require_engine().answer(query, lane=lane)
+        return result.answer.payload, result.breakdown
+
+    def answer_many(self, queries: Sequence[Query]) -> List[Tuple[bytes, PhaseTimer]]:
+        """Answer a batch; returns one ``(payload, breakdown)`` pair per query."""
+        batch = self._require_engine().answer_many(queries)
+        return [(r.answer.payload, r.breakdown) for r in batch.results]
+
+    def _require_engine(self) -> "QueryEngine":
+        if self.engine is None:
+            raise ProtocolError(
+                f"backend {self.capabilities().name!r} is not attached to a QueryEngine"
+            )
+        return self.engine
+
+
+class QueryEngine:
+    """The shared half of every PIR server: protocol in, payload out.
+
+    Owns query validation, DPF key evaluation / selector generation,
+    :class:`PIRAnswer` assembly and per-phase bookkeeping; delegates the
+    database scan to the attached :class:`PIRBackend`.
+    """
+
+    def __init__(
+        self,
+        backend: PIRBackend,
+        server_id: int,
+        prg: Optional[LengthDoublingPRG] = None,
+        stats=None,
+    ) -> None:
+        if server_id < 0:
+            raise ProtocolError("server_id must be non-negative")
+        self.backend = backend
+        self.server_id = server_id
+        self.stats = stats
+        self._prg = prg
+        self._dpf_cache: Dict[Tuple[int, int], DPF] = {}
+        self.database: Optional[Database] = None
+        self.preload_report: Optional[PhaseTimer] = None
+        backend.engine = self
+
+    # -- database lifecycle -------------------------------------------------------
+
+    def prepare(self, database: Database) -> None:
+        """Hand ``database`` to the backend and remember the preload cost.
+
+        Capacity is the backend's to enforce (its bound usually depends on
+        the record size, unknown until now): ``prepare`` raises
+        :class:`~repro.common.errors.CapacityError` when the database does
+        not fit.  ``capabilities().max_records`` afterwards advertises the
+        bound for routing/diagnostic use.
+        """
+        self.database = database
+        self.preload_report = self.backend.prepare(database)
+
+    # -- shared query validation --------------------------------------------------
+
+    def validate(self, query: Query) -> None:
+        """Reject queries this replica must not answer (one copy of the rules)."""
+        caps = self.backend.capabilities()
+        if isinstance(query, NaiveQuery):
+            if not caps.supports_naive:
+                raise ProtocolError(f"{caps.name} serves DPF-encoded queries")
+        elif not isinstance(query, DPFQuery):
+            raise ProtocolError(f"unsupported query type: {type(query).__name__}")
+        if query.server_id != self.server_id:
+            raise ProtocolError(
+                f"query addressed to server {query.server_id}, this is server {self.server_id}"
+            )
+        if self.database is None:
+            raise ProtocolError("engine has no prepared database")
+        if query.num_records != self.database.num_records:
+            raise ProtocolError(
+                "query was generated for a database of "
+                f"{query.num_records} records, this replica holds {self.database.num_records}"
+            )
+
+    # -- selector generation (host-side DPF evaluation, Algorithm 1 step 2) -------
+
+    def selector_bits(self, query: Query) -> np.ndarray:
+        """Expand the query into the per-record selector-bit share."""
+        if isinstance(query, NaiveQuery):
+            return query.share.bits
+        key = (query.key.domain_bits, query.key.output_bits)
+        dpf = self._dpf_cache.get(key)
+        if dpf is None:
+            dpf = DPF(key[0], output_bits=key[1], prg=self._prg)
+            self._dpf_cache[key] = dpf
+        eval_stats = getattr(self.stats, "eval", None)
+        values = dpf.eval_full(query.key, num_points=query.num_records, stats=eval_stats)
+        return values.astype(np.uint8)
+
+    # -- single-query path (latency mode) -----------------------------------------
+
+    def answer(self, query: Query, lane: int = 0) -> IMPIRQueryResult:
+        """Answer one query on execution lane ``lane``."""
+        self.validate(query)
+        caps = self.backend.capabilities()
+        if not 0 <= lane < caps.lanes:
+            raise ProtocolError(f"cluster_index {lane} out of range")
+        breakdown = PhaseTimer()
+        selector = self.selector_bits(query)
+        eval_seconds = self.backend.latency_eval_seconds(query.num_records)
+        if eval_seconds > 0:
+            breakdown.record(PHASE_EVAL, eval_seconds)
+        payload = self.backend.execute(selector, breakdown, lane=lane)
+        return self._assemble(query, payload, breakdown, lane)
+
+    # -- batch path (throughput mode) ----------------------------------------------
+
+    def answer_many(self, queries: Sequence[Query]) -> IMPIRBatchResult:
+        """Answer a batch through the worker/lane pipeline of Fig. 8.
+
+        Queries run round-robin over the backend's lanes; the simulated
+        makespan comes from the :class:`BatchScheduler` fed with each query's
+        measured stage durations.
+        """
+        if not queries:
+            raise ProtocolError("answer_batch needs at least one query")
+        for query in queries:
+            self.validate(query)
+        caps = self.backend.capabilities()
+        scheduler = batch_scheduler_for(caps, len(queries))
+        eval_seconds = self.backend.batch_eval_seconds(self.database.num_records)
+
+        results: List[IMPIRQueryResult] = []
+        tasks: List[QueryTask] = []
+        for position, query in enumerate(queries):
+            lane = position % max(1, caps.lanes)
+            breakdown = PhaseTimer()
+            selector = self.selector_bits(query)
+            if eval_seconds > 0:
+                breakdown.record(PHASE_EVAL, eval_seconds)
+            payload = self.backend.execute(selector, breakdown, lane=lane)
+            result = self._assemble(query, payload, breakdown, lane)
+            results.append(result)
+            tasks.append(
+                QueryTask(
+                    query_id=query.query_id,
+                    eval_seconds=breakdown.get(PHASE_EVAL),
+                    dpu_seconds=breakdown.total - breakdown.get(PHASE_EVAL),
+                )
+            )
+        return IMPIRBatchResult(results=results, schedule=scheduler.schedule(tasks))
+
+    # -- answer assembly ------------------------------------------------------------
+
+    def _assemble(
+        self, query: Query, payload: np.ndarray, breakdown: PhaseTimer, lane: int
+    ) -> IMPIRQueryResult:
+        if self.stats is not None:
+            self.stats.queries_answered += 1
+        total = breakdown.total
+        answer = PIRAnswer(
+            query_id=query.query_id,
+            server_id=self.server_id,
+            payload=payload.tobytes(),
+            simulated_seconds=total if total > 0 else None,
+        )
+        return IMPIRQueryResult(answer=answer, breakdown=breakdown, cluster_id=lane)
+
+
+def batch_scheduler_for(caps: BackendCapabilities, batch_size: int) -> BatchScheduler:
+    """The Fig. 8 pipeline scheduler sized for a backend and batch.
+
+    One copy of the sizing rule for both the functional engine and the
+    analytic estimators: never more eval workers than queries, at least one
+    of each resource.
+    """
+    workers = max(1, min(caps.batch_workers, batch_size))
+    return BatchScheduler(num_workers=workers, num_clusters=max(1, caps.lanes))
+
+
+class ReferenceBackend(PIRBackend):
+    """Plain-numpy full scan: the functional oracle every variant must match.
+
+    Also the execution substrate of the CPU/GPU baselines, whose cost models
+    change *when* the scan is charged, not *what* is computed.
+    """
+
+    def __init__(self, name: str = "reference", dpxor_stats=None) -> None:
+        self._name = name
+        self._dpxor_stats = dpxor_stats
+        self._database: Optional[Database] = None
+
+    def prepare(self, database: Database) -> Optional[PhaseTimer]:
+        self._database = database
+        return None
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self._name,
+            lanes=1,
+            batch_workers=1,
+            supports_naive=True,
+            preloaded=True,
+            description="full-domain scan in host DRAM (numpy)",
+        )
+
+    def execute(
+        self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
+    ) -> np.ndarray:
+        return dpxor(self._database.records, selector_bits, stats=self._dpxor_stats)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry: one place to enumerate every server variant.
+# ---------------------------------------------------------------------------
+
+ServerBuilder = Callable[..., object]
+
+_BACKEND_BUILDERS: Dict[str, ServerBuilder] = {}
+_defaults_loaded = False
+
+
+def register_backend(name: str, builder: ServerBuilder) -> ServerBuilder:
+    """Register a server builder under ``name`` (overwrites silently)."""
+    _BACKEND_BUILDERS[name] = builder
+    return builder
+
+
+def _ensure_default_backends() -> None:
+    """Populate the registry with the five shipped variants (exactly once).
+
+    Imports happen lazily here (not at module import) because the server
+    modules themselves depend on this module.  User registrations made
+    before the first lookup are kept — defaults never clobber them.
+    """
+    global _defaults_loaded
+    if _defaults_loaded:
+        return
+    _defaults_loaded = True
+    from repro.core.config import IMPIRConfig
+    from repro.core.impir import IMPIRServer
+    from repro.core.streaming import StreamedIMPIRServer
+    from repro.cpu.cpu_pir import CPUPIRServer
+    from repro.dpf.prf import make_prg
+    from repro.gpu.gpu_pir import GPUPIRServer
+    from repro.pim.config import scaled_down_config
+    from repro.pir.server import PIRServer
+
+    def default_config(num_dpus: int = 8, num_clusters: int = 1) -> IMPIRConfig:
+        return IMPIRConfig(
+            pim=scaled_down_config(num_dpus=num_dpus, tasklets=4),
+            num_clusters=num_clusters,
+        )
+
+    def register_default(name: str, builder: ServerBuilder) -> None:
+        _BACKEND_BUILDERS.setdefault(name, builder)
+
+    register_default(
+        "reference",
+        lambda db, server_id=0, **kw: PIRServer(
+            db, server_id=server_id, prg=kw.get("prg", make_prg("numpy"))
+        ),
+    )
+    register_default(
+        "cpu",
+        lambda db, server_id=0, **kw: CPUPIRServer(
+            db,
+            server_id=server_id,
+            config=kw.get("config"),
+            prg=kw.get("prg", make_prg("numpy")),
+        ),
+    )
+    register_default(
+        "gpu",
+        lambda db, server_id=0, **kw: GPUPIRServer(
+            db,
+            server_id=server_id,
+            config=kw.get("config"),
+            prg=kw.get("prg", make_prg("numpy")),
+        ),
+    )
+    register_default(
+        "im-pir",
+        lambda db, server_id=0, **kw: IMPIRServer(
+            db, config=kw.get("config", default_config()), server_id=server_id
+        ),
+    )
+    register_default(
+        "im-pir-streamed",
+        lambda db, server_id=0, **kw: StreamedIMPIRServer(
+            db,
+            config=kw.get("config", default_config(num_dpus=4)),
+            server_id=server_id,
+            segment_records=kw.get("segment_records"),
+        ),
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    _ensure_default_backends()
+    return tuple(sorted(_BACKEND_BUILDERS))
+
+
+def create_server(name: str, database: Database, server_id: int = 0, **kwargs):
+    """Build the server facade registered under ``name``.
+
+    Every returned server exposes ``.engine`` (a :class:`QueryEngine`), so a
+    query can be answered uniformly via ``server.engine.answer(query)``
+    regardless of the architecture behind it.
+    """
+    _ensure_default_backends()
+    try:
+        builder = _BACKEND_BUILDERS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown backend {name!r}; registered: {', '.join(sorted(_BACKEND_BUILDERS))}"
+        ) from None
+    return builder(database, server_id=server_id, **kwargs)

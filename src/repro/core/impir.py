@@ -12,6 +12,12 @@ two-server protocol.  Its responsibilities, following Figure 5:
 ➎ gather the per-DPU sub-results back to the host;
 ➏ XOR-fold them into the server's sub-result, which is returned to the client.
 
+The protocol half of those steps (validation, key evaluation, answer
+assembly) is supplied by the shared :class:`~repro.core.engine.QueryEngine`;
+this module contributes :class:`PIMClusterBackend` — the DPU-cluster
+execution substrate — and the :class:`IMPIRServer` facade that binds the two
+together with the paper's cost model.
+
 The database itself is preloaded into MRAM once, ahead of query processing,
 exactly as in the paper (its transfer time is reported separately and not
 charged to queries).
@@ -19,31 +25,176 @@ charged to queries).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import CapacityError, ProtocolError
+from repro.common.errors import ProtocolError
 from repro.common.events import PhaseTimer
 from repro.core.config import IMPIRConfig
-from repro.core.partitioning import DatabasePartitioner, PartitionLayout, fold_partials, kwargs_for_kernel
-from repro.core.results import (
-    PHASE_AGGREGATE,
-    PHASE_COPY_IN,
-    PHASE_COPY_OUT,
-    PHASE_DPXOR,
-    PHASE_EVAL,
-    IMPIRBatchResult,
-    IMPIRQueryResult,
+from repro.core.engine import BackendCapabilities, PIRBackend, QueryEngine
+from repro.core.partitioning import (
+    DatabasePartitioner,
+    PartitionLayout,
+    fold_partials,
+    reset_pipeline_buffers,
+    run_dpu_pipeline,
 )
-from repro.core.scheduler import BatchScheduler, QueryTask
-from repro.dpf.dpf import DPF
+from repro.core.results import PHASE_AGGREGATE, IMPIRBatchResult, IMPIRQueryResult
 from repro.dpf.prf import make_prg
 from repro.pim.cluster import DPUCluster, make_clusters
-from repro.pim.kernels import DB_BUFFER, RESULT_BUFFER, SELECTOR_BUFFER, DpXorKernel
+from repro.pim.kernels import DB_BUFFER, DpXorKernel
 from repro.pim.system import UPMEMSystem
 from repro.pir.database import Database
-from repro.pir.messages import DPFQuery, PIRAnswer
+from repro.pir.messages import DPFQuery
+
+#: Phase name under which partial MRAM re-transfers of bulk updates are billed.
+PHASE_UPDATE_COPY = "update_copy"
+
+
+class PIMClusterBackend(PIRBackend):
+    """Execution backend running the dpXOR on preloaded DPU clusters.
+
+    Each cluster holds a full copy of the database partitioned across its
+    DPUs, so every cluster is an independent execution lane.
+    """
+
+    def __init__(self, config: IMPIRConfig, system: UPMEMSystem) -> None:
+        self.config = config
+        self.system = system
+        self.timing = system.timing
+        self._kernel = DpXorKernel()
+        self._dpu_set = system.allocate(config.pim.num_dpus)
+        self._clusters: List[DPUCluster] = make_clusters(self._dpu_set, config.num_clusters)
+        self._layouts: List[PartitionLayout] = []
+        # One partitioner per database generation: the hot path must not
+        # rebuild it per query.
+        self._partitioner: Optional[DatabasePartitioner] = None
+        self.database: Optional[Database] = None
+
+    # -- database lifecycle (not charged to queries) ------------------------------
+
+    def prepare(self, database: Database) -> PhaseTimer:
+        """Partition the database across each cluster's DPUs and load MRAM."""
+        self.database = database
+        self._partitioner = DatabasePartitioner(database)
+        timer = PhaseTimer()
+        self._layouts = []
+        for cluster in self._clusters:
+            layout = self._partitioner.layout(cluster.num_dpus)
+            self._partitioner.check_capacity(
+                layout,
+                mram_bytes_per_dpu=self.config.pim.dpu.mram_bytes,
+                reserve_fraction=self.config.mram_reserve_fraction,
+            )
+            reset_pipeline_buffers(cluster.dpu_set)
+            cluster.dpu_set.load_program(self._kernel.name)
+            chunks = self._partitioner.database_chunks(layout)
+            report = cluster.dpu_set.scatter(DB_BUFFER, chunks)
+            timer.record("preload_db", report.simulated_seconds)
+            cluster.preloaded_records = layout.num_records
+            cluster.record_size = layout.record_size
+            self._layouts.append(layout)
+        return timer
+
+    def apply_updates(self, database: Database, dirty_indices: Sequence[int]) -> PhaseTimer:
+        """Swap in an updated database, re-copying only the dirty MRAM blocks.
+
+        Each dirty record is mapped to its DPU block with a bisect over the
+        layout's block starts (O(u log d)), and only the affected blocks are
+        rebuilt and re-transferred — untouched blocks keep their MRAM
+        contents and cost nothing.
+        """
+        self.database = database
+        self._partitioner = DatabasePartitioner(database)
+        timer = PhaseTimer()
+        for cluster, layout in zip(self._clusters, self._layouts):
+            starts = [start for start, _ in layout.bounds]
+            dirty_dpus = sorted({bisect_right(starts, index) - 1 for index in dirty_indices})
+            if not dirty_dpus:
+                continue
+            affected_dpus = [cluster.dpu_set.dpus[i] for i in dirty_dpus]
+            affected_chunks = [
+                np.ascontiguousarray(database.chunk(*layout.bounds[i])).reshape(-1)
+                for i in dirty_dpus
+            ]
+            report = cluster.dpu_set.transfer.scatter(affected_dpus, DB_BUFFER, affected_chunks)
+            timer.record(PHASE_UPDATE_COPY, report.simulated_seconds)
+        return timer
+
+    # -- capability metadata --------------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        # The record-count bound depends on the record size, which is only
+        # known once a database is prepared; before that the MRAM capacity is
+        # enforced by check_capacity inside prepare() (CapacityError), so
+        # report no bound rather than a misleading one.
+        max_records = None
+        if self.database is not None and self._clusters:
+            usable_per_dpu = int(
+                self.config.pim.dpu.mram_bytes * (1.0 - self.config.mram_reserve_fraction)
+            )
+            max_records = (
+                usable_per_dpu // max(1, self.database.record_size)
+            ) * self._clusters[0].num_dpus
+        return BackendCapabilities(
+            name="im-pir",
+            lanes=len(self._clusters),
+            batch_workers=self.config.effective_eval_workers,
+            supports_naive=False,
+            preloaded=True,
+            max_records=max_records,
+            description="dpXOR on preloaded UPMEM DPU clusters",
+        )
+
+    # -- timing hooks -----------------------------------------------------------------
+
+    def latency_eval_seconds(self, num_records: int) -> float:
+        return self.timing.host_dpf_eval_seconds(
+            num_records,
+            blocks_per_leaf=self.config.blocks_per_leaf,
+            threads=self.config.effective_latency_threads,
+        )
+
+    def batch_eval_seconds(self, num_records: int) -> float:
+        return self.timing.host_dpf_eval_seconds(
+            num_records, blocks_per_leaf=self.config.blocks_per_leaf, threads=1
+        )
+
+    # -- DPU pipeline for one query on one cluster (phases ➌–➏) -----------------------
+
+    def execute(
+        self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
+    ) -> np.ndarray:
+        cluster = self._clusters[lane]
+        layout = self._layouts[lane]
+        shares = self._partitioner.selector_chunks(layout, selector_bits)
+        partials = run_dpu_pipeline(
+            cluster.dpu_set, self._kernel, layout, shares, breakdown
+        )
+        result = fold_partials(partials, layout.record_size)
+        breakdown.record(
+            PHASE_AGGREGATE,
+            self.timing.host_aggregate_xor_seconds(len(partials), layout.record_size),
+        )
+        return result
+
+    # -- public views for the facade ----------------------------------------------
+
+    @property
+    def clusters(self) -> List[DPUCluster]:
+        """The execution lanes (read-only use intended)."""
+        return self._clusters
+
+    def layout_for_lane(self, lane: int) -> PartitionLayout:
+        """Partition layout used by execution lane ``lane``."""
+        return self._layouts[lane]
+
+    @property
+    def mram_capacity_bytes(self) -> int:
+        """Aggregate MRAM capacity of the allocated DPU population."""
+        return self._dpu_set.mram_capacity_bytes
 
 
 class IMPIRServer:
@@ -58,110 +209,39 @@ class IMPIRServer:
     ) -> None:
         if server_id not in (0, 1):
             raise ProtocolError("IM-PIR is a two-server deployment; server_id must be 0 or 1")
-        self.database = database
         self.config = config if config is not None else IMPIRConfig()
         self.server_id = server_id
         self.system = system if system is not None else UPMEMSystem(self.config.pim)
         self.timing = self.system.timing
-        self._kernel = DpXorKernel()
-        self._prg = make_prg(self.config.prg_backend)
+        self.backend = PIMClusterBackend(self.config, self.system)
+        self.engine = QueryEngine(
+            self.backend, server_id=server_id, prg=make_prg(self.config.prg_backend)
+        )
+        self.engine.prepare(database)
 
-        self._dpu_set = self.system.allocate(self.config.pim.num_dpus)
-        self._clusters: List[DPUCluster] = make_clusters(self._dpu_set, self.config.num_clusters)
-        self._layouts: List[PartitionLayout] = []
-        self.preload_report: Optional[PhaseTimer] = None
-        self._preload()
+    @property
+    def database(self) -> Database:
+        """The replica's current database snapshot."""
+        return self.engine.database
 
-    # -- database preloading (not charged to queries) --------------------------------
-
-    def _preload(self) -> None:
-        """Partition the database across each cluster's DPUs and load MRAM."""
-        partitioner = DatabasePartitioner(self.database)
-        timer = PhaseTimer()
-        self._layouts = []
-        for cluster in self._clusters:
-            layout = partitioner.layout(cluster.num_dpus)
-            partitioner.check_capacity(
-                layout,
-                mram_bytes_per_dpu=self.config.pim.dpu.mram_bytes,
-                reserve_fraction=self.config.mram_reserve_fraction,
-            )
-            cluster.dpu_set.load_program(self._kernel.name)
-            chunks = partitioner.database_chunks(layout)
-            report = cluster.dpu_set.scatter(DB_BUFFER, chunks)
-            timer.record("preload_db", report.simulated_seconds)
-            cluster.preloaded_records = layout.num_records
-            cluster.record_size = layout.record_size
-            self._layouts.append(layout)
-        self.preload_report = timer
+    @property
+    def preload_report(self) -> Optional[PhaseTimer]:
+        """Simulated cost of the initial MRAM preload (not charged to queries)."""
+        return self.engine.preload_report
 
     @property
     def num_clusters(self) -> int:
         """Number of DPU clusters serving queries."""
-        return len(self._clusters)
+        return len(self.backend.clusters)
 
     @property
     def clusters(self) -> List[DPUCluster]:
         """The clusters themselves (read-only use intended)."""
-        return self._clusters
+        return self.backend.clusters
 
     def layout_for_cluster(self, cluster_index: int) -> PartitionLayout:
         """Partition layout used by cluster ``cluster_index``."""
-        return self._layouts[cluster_index]
-
-    # -- query validation -------------------------------------------------------------
-
-    def _check_query(self, query: DPFQuery) -> None:
-        if not isinstance(query, DPFQuery):
-            raise ProtocolError("IM-PIR serves DPF-encoded queries")
-        if query.server_id != self.server_id:
-            raise ProtocolError(
-                f"query addressed to server {query.server_id}, this is server {self.server_id}"
-            )
-        if query.num_records != self.database.num_records:
-            raise ProtocolError(
-                "query was generated for a database of "
-                f"{query.num_records} records, this server holds {self.database.num_records}"
-            )
-
-    # -- host-side DPF evaluation (phase ➋) ----------------------------------------------
-
-    def _evaluate_key(self, query: DPFQuery) -> np.ndarray:
-        dpf = DPF(query.key.domain_bits, output_bits=1, prg=self._prg)
-        return dpf.eval_full_bits(query.key, num_points=query.num_records)
-
-    def _eval_seconds(self, num_records: int, threads: int) -> float:
-        return self.timing.host_dpf_eval_seconds(
-            num_records, blocks_per_leaf=self.config.blocks_per_leaf, threads=threads
-        )
-
-    # -- DPU pipeline for one query on one cluster (phases ➌–➏) ---------------------------
-
-    def _run_on_cluster(
-        self, cluster_index: int, selector_bits: np.ndarray, breakdown: PhaseTimer
-    ) -> np.ndarray:
-        cluster = self._clusters[cluster_index]
-        layout = self._layouts[cluster_index]
-        partitioner = DatabasePartitioner(self.database)
-
-        shares = partitioner.selector_chunks(layout, selector_bits)
-        copy_in = cluster.dpu_set.scatter(SELECTOR_BUFFER, shares)
-        breakdown.record(PHASE_COPY_IN, copy_in.simulated_seconds)
-
-        launch = cluster.dpu_set.launch(
-            self._kernel, per_dpu_kwargs=kwargs_for_kernel(layout)
-        )
-        breakdown.record(PHASE_DPXOR, launch.simulated_seconds)
-
-        partials, copy_out = cluster.dpu_set.gather(RESULT_BUFFER, layout.record_size)
-        breakdown.record(PHASE_COPY_OUT, copy_out.simulated_seconds)
-
-        result = fold_partials(partials, layout.record_size)
-        breakdown.record(
-            PHASE_AGGREGATE,
-            self.timing.host_aggregate_xor_seconds(len(partials), layout.record_size),
-        )
-        return result
+        return self.backend.layout_for_lane(cluster_index)
 
     # -- single-query path (latency mode, Fig. 10) ----------------------------------------
 
@@ -171,24 +251,7 @@ class IMPIRServer:
         This is the paper's latency-mode measurement: one query at a time, DPF
         evaluation spread over every host thread, dpXOR on the chosen cluster.
         """
-        self._check_query(query)
-        if not 0 <= cluster_index < len(self._clusters):
-            raise ProtocolError(f"cluster_index {cluster_index} out of range")
-
-        breakdown = PhaseTimer()
-        selector_bits = self._evaluate_key(query)
-        breakdown.record(
-            PHASE_EVAL,
-            self._eval_seconds(query.num_records, threads=self.config.effective_latency_threads),
-        )
-        payload = self._run_on_cluster(cluster_index, selector_bits, breakdown)
-        answer = PIRAnswer(
-            query_id=query.query_id,
-            server_id=self.server_id,
-            payload=payload.tobytes(),
-            simulated_seconds=breakdown.total,
-        )
-        return IMPIRQueryResult(answer=answer, breakdown=breakdown, cluster_id=cluster_index)
+        return self.engine.answer(query, lane=cluster_index)
 
     # -- batch path (throughput mode, Fig. 9/11) --------------------------------------------
 
@@ -199,51 +262,11 @@ class IMPIRServer:
         the simulated makespan comes from the same scheduler fed with the
         measured per-query stage durations.
         """
-        if not queries:
-            raise ProtocolError("answer_batch needs at least one query")
-        for query in queries:
-            self._check_query(query)
-
-        workers = min(self.config.effective_eval_workers, len(queries))
-        scheduler = BatchScheduler(num_workers=workers, num_clusters=len(self._clusters))
-
-        # Stage durations: evaluation runs one query per worker thread, the DPU
-        # chain serialises per cluster.  Functional execution happens below,
-        # per query, on a provisional round-robin cluster; the scheduler then
-        # decides the actual overlap from the measured durations.
-        results: List[IMPIRQueryResult] = []
-        tasks: List[QueryTask] = []
-        eval_seconds = self._eval_seconds(self.database.num_records, threads=1)
-        for position, query in enumerate(queries):
-            cluster_index = position % len(self._clusters)
-            breakdown = PhaseTimer()
-            selector_bits = self._evaluate_key(query)
-            breakdown.record(PHASE_EVAL, eval_seconds)
-            payload = self._run_on_cluster(cluster_index, selector_bits, breakdown)
-            answer = PIRAnswer(
-                query_id=query.query_id,
-                server_id=self.server_id,
-                payload=payload.tobytes(),
-                simulated_seconds=breakdown.total,
-            )
-            result = IMPIRQueryResult(
-                answer=answer, breakdown=breakdown, cluster_id=cluster_index
-            )
-            results.append(result)
-            tasks.append(
-                QueryTask(
-                    query_id=query.query_id,
-                    eval_seconds=breakdown.get(PHASE_EVAL),
-                    dpu_seconds=result.dpu_pipeline_seconds + breakdown.get(PHASE_AGGREGATE),
-                )
-            )
-
-        schedule = scheduler.schedule(tasks)
-        return IMPIRBatchResult(results=results, schedule=schedule)
+        return self.engine.answer_many(queries)
 
     # -- bulk database updates (paper §3.3) ---------------------------------------------------
 
-    def apply_updates(self, updates) -> PhaseTimer:
+    def apply_updates(self, updates: Iterable[Tuple[int, bytes]]) -> PhaseTimer:
         """Apply ``(index, record_bytes)`` updates to the replica in place.
 
         The paper's update model: DPUs serve queries on a stable snapshot and
@@ -255,37 +278,20 @@ class IMPIRServer:
         updates = list(updates)
         if not updates:
             return PhaseTimer()
-        self.database = self.database.with_updates(updates)
-        partitioner = DatabasePartitioner(self.database)
+        new_database = self.database.with_updates(updates)
         dirty_indices = sorted({index for index, _ in updates})
-
-        timer = PhaseTimer()
-        for cluster, layout in zip(self._clusters, self._layouts):
-            # Find which DPU blocks contain updated records.
-            dirty_dpus = set()
-            for index in dirty_indices:
-                for dpu_position, (start, stop) in enumerate(layout.bounds):
-                    if start <= index < stop:
-                        dirty_dpus.add(dpu_position)
-                        break
-            if not dirty_dpus:
-                continue
-            dirty_dpus = sorted(dirty_dpus)
-            chunks = partitioner.database_chunks(layout)
-            affected_dpus = [cluster.dpu_set.dpus[i] for i in dirty_dpus]
-            affected_chunks = [chunks[i] for i in dirty_dpus]
-            report = cluster.dpu_set.transfer.scatter(affected_dpus, DB_BUFFER, affected_chunks)
-            timer.record("update_copy", report.simulated_seconds)
+        timer = self.backend.apply_updates(new_database, dirty_indices)
+        self.engine.database = new_database
         return timer
 
     # -- capacity/diagnostic helpers -------------------------------------------------------
 
     def mram_utilization(self) -> float:
         """Fraction of the allocated DPUs' MRAM occupied by the database."""
-        capacity = self._dpu_set.mram_capacity_bytes
+        capacity = self.backend.mram_capacity_bytes
         if capacity == 0:
             return 0.0
-        return self.database.size_bytes * len(self._clusters) / capacity
+        return self.database.size_bytes * self.num_clusters / capacity
 
     def can_cluster(self, num_clusters: int) -> bool:
         """Whether ``num_clusters`` clusters could each hold the full database."""
@@ -304,7 +310,9 @@ class IMPIRDeployment:
 
     A convenience for examples and integration tests: real deployments place
     the two servers in different trust domains, but the message flow is the
-    same.
+    same.  Batched retrieval goes through a :class:`~repro.pir.frontend.PIRFrontend`,
+    which aggregates requests under a batching policy and pairs the replicas'
+    answers by explicit request id.
     """
 
     def __init__(
@@ -314,6 +322,7 @@ class IMPIRDeployment:
         client_seed: Optional[int] = None,
     ) -> None:
         from repro.pir.client import PIRClient  # local import to avoid a cycle
+        from repro.pir.frontend import BatchingPolicy, PIRFrontend
 
         self.database = database
         self.config = config if config is not None else IMPIRConfig()
@@ -329,6 +338,14 @@ class IMPIRDeployment:
             prg=make_prg(self.config.prg_backend),
             seed=client_seed,
         )
+        self.frontend = PIRFrontend(
+            self.client,
+            self.servers,
+            policy=BatchingPolicy.from_pipeline(
+                num_workers=self.config.effective_eval_workers,
+                num_clusters=self.config.num_clusters,
+            ),
+        )
 
     def retrieve(self, index: int) -> bytes:
         """Privately retrieve one record through both IM-PIR servers."""
@@ -337,21 +354,5 @@ class IMPIRDeployment:
         return self.client.reconstruct(answers)
 
     def retrieve_batch(self, indices: Sequence[int]) -> List[bytes]:
-        """Retrieve several records, using the batch pipeline on both servers."""
-        per_query = [self.client.query(index) for index in indices]
-        batches = [[], []]
-        for queries in per_query:
-            for query in queries:
-                batches[query.server_id].append(query)
-        batch_results = [
-            self.servers[server_id].answer_batch(batches[server_id]) for server_id in (0, 1)
-        ]
-        answers_by_query = {}
-        for batch in batch_results:
-            for answer in batch.answers:
-                answers_by_query.setdefault(answer.query_id, []).append(answer)
-        records = []
-        for queries in per_query:
-            group = sorted(answers_by_query[queries[0].query_id], key=lambda a: a.server_id)
-            records.append(self.client.reconstruct(group))
-        return records
+        """Retrieve several records through the batching frontend."""
+        return self.frontend.retrieve_batch(indices)

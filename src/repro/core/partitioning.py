@@ -10,11 +10,12 @@ per-query CPU->DPU traffic to ``N/8`` bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import CapacityError, ConfigurationError
+from repro.pim.kernels import DB_BUFFER, RESULT_BUFFER, SELECTOR_BUFFER
 from repro.pir.database import Database
 
 
@@ -85,10 +86,19 @@ class DatabasePartitioner:
             )
 
     def database_chunks(self, layout: PartitionLayout) -> List[np.ndarray]:
-        """Flattened per-DPU database blocks, in layout order."""
+        """Flattened per-DPU database blocks, in layout order.
+
+        A DPU with no records (more DPUs than records) still receives a
+        one-byte placeholder, mirroring :meth:`selector_chunks` — MRAM
+        buffers must be non-empty, and the kernel skips the scan when its
+        ``num_records`` argument is zero.
+        """
         chunks = []
         for start, stop in layout.bounds:
-            chunks.append(np.ascontiguousarray(self.database.chunk(start, stop)).reshape(-1))
+            if start == stop:
+                chunks.append(np.zeros(1, dtype=np.uint8))
+            else:
+                chunks.append(np.ascontiguousarray(self.database.chunk(start, stop)).reshape(-1))
         return chunks
 
     @staticmethod
@@ -129,6 +139,57 @@ def kwargs_for_kernel(layout: PartitionLayout) -> List[dict]:
         {"num_records": stop - start, "record_size": layout.record_size}
         for start, stop in layout.bounds
     ]
+
+
+def reset_pipeline_buffers(dpu_set) -> None:
+    """Free the pipeline's MRAM buffers so a re-prepare can re-size them.
+
+    Buffer sizes depend on the database shape; a second ``prepare`` with a
+    different shape must not write into last generation's allocations.
+    """
+    for dpu in dpu_set.dpus:
+        for name in (DB_BUFFER, SELECTOR_BUFFER, RESULT_BUFFER):
+            if dpu.mram.has_buffer(name):
+                dpu.mram.free(name)
+
+
+def run_dpu_pipeline(
+    dpu_set,
+    kernel,
+    layout: PartitionLayout,
+    selector_chunks: Sequence[np.ndarray],
+    breakdown,
+    *,
+    db_chunks: Optional[Sequence[np.ndarray]] = None,
+    db_copy_phase: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Phases 3-5 of Algorithm 1 on one DPU set: copy in, dpXOR, copy out.
+
+    The single parameterised pipeline behind both the preloaded per-cluster
+    path and the streamed per-segment path: pass ``db_chunks`` (with a
+    ``db_copy_phase`` name) to also stream the database blocks in, as the
+    oversized-database mode must on every pass.  Phase costs are recorded
+    into ``breakdown``; the per-DPU partial results are returned for the
+    caller to fold (phase 6 is charged by the caller, whose aggregation
+    fan-in differs between modes).
+    """
+    from repro.core.results import PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR
+
+    if db_chunks is not None:
+        if db_copy_phase is None:
+            raise ConfigurationError("db_copy_phase is required when streaming db_chunks")
+        db_report = dpu_set.scatter(DB_BUFFER, db_chunks)
+        breakdown.record(db_copy_phase, db_report.simulated_seconds)
+
+    copy_in = dpu_set.scatter(SELECTOR_BUFFER, selector_chunks)
+    breakdown.record(PHASE_COPY_IN, copy_in.simulated_seconds)
+
+    launch = dpu_set.launch(kernel, per_dpu_kwargs=kwargs_for_kernel(layout))
+    breakdown.record(PHASE_DPXOR, launch.simulated_seconds)
+
+    partials, copy_out = dpu_set.gather(RESULT_BUFFER, layout.record_size)
+    breakdown.record(PHASE_COPY_OUT, copy_out.simulated_seconds)
+    return partials
 
 
 def fold_partials(partials: Sequence[np.ndarray], record_size: int) -> np.ndarray:

@@ -5,11 +5,12 @@ answers every query in one pass.  §3.3 notes that larger datasets "may require
 a minor adaptation of our one-shot database evaluation: for example, by
 evaluating the linear operations on database items in batches, copying
 unprocessed chunks into DPUs in each batch".  This module implements that
-adaptation:
+adaptation as :class:`StreamedPIMBackend` behind the shared
+:class:`~repro.core.engine.QueryEngine`:
 
 * the database is divided into *segments*, each small enough for the DPU
   population's usable MRAM;
-* for every query, the server walks the segments: copy the segment into MRAM,
+* for every query, the backend walks the segments: copy the segment into MRAM,
   copy the matching selector slice, run the dpXOR kernel, fold the partial
   results — then move on to the next segment;
 * the per-query cost therefore includes the database transfer (unlike the
@@ -23,31 +24,175 @@ extra cost is visible in the ``copy_db_segment`` phase of its breakdown.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.common.errors import CapacityError, ProtocolError
 from repro.common.events import PhaseTimer
 from repro.core.config import IMPIRConfig
-from repro.core.partitioning import DatabasePartitioner, fold_partials, kwargs_for_kernel
-from repro.core.results import (
-    PHASE_AGGREGATE,
-    PHASE_COPY_IN,
-    PHASE_COPY_OUT,
-    PHASE_DPXOR,
-    PHASE_EVAL,
-    IMPIRQueryResult,
+from repro.core.engine import BackendCapabilities, PIRBackend, QueryEngine
+from repro.core.partitioning import (
+    DatabasePartitioner,
+    PartitionLayout,
+    fold_partials,
+    reset_pipeline_buffers,
+    run_dpu_pipeline,
 )
-from repro.dpf.dpf import DPF
+from repro.core.results import PHASE_AGGREGATE, IMPIRQueryResult
 from repro.dpf.prf import make_prg
-from repro.pim.kernels import DB_BUFFER, RESULT_BUFFER, SELECTOR_BUFFER, DpXorKernel
+from repro.pim.kernels import DpXorKernel
 from repro.pim.system import UPMEMSystem
 from repro.pir.database import Database
-from repro.pir.messages import DPFQuery, PIRAnswer
+from repro.pir.messages import DPFQuery
 
 #: Phase name for the per-query database-segment transfers (streamed mode only).
 PHASE_COPY_DB = "copy_db_segment"
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One precomputed pass over the database: its layout and MRAM chunks.
+
+    Built once at prepare time so the per-query path re-partitions nothing —
+    the chunks are read-only views into the backing array, not copies.
+    """
+
+    start: int
+    stop: int
+    partitioner: DatabasePartitioner
+    layout: PartitionLayout
+    db_chunks: List[np.ndarray]
+
+
+class StreamedPIMBackend(PIRBackend):
+    """Execution backend streaming database segments through the DPUs."""
+
+    def __init__(
+        self,
+        config: IMPIRConfig,
+        system: UPMEMSystem,
+        segment_records: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.system = system
+        self.timing = system.timing
+        self._kernel = DpXorKernel()
+        self._dpu_set = system.allocate(config.pim.num_dpus)
+        self._dpu_set.load_program(self._kernel.name)
+        self._requested_segment_records = segment_records
+        self.segment_records = 0
+        self._segments: List[_Segment] = []
+        self.database: Optional[Database] = None
+
+    # -- database lifecycle ---------------------------------------------------------
+
+    def prepare(self, database: Database) -> Optional[PhaseTimer]:
+        """Size the segments and precompute each pass's layout and chunks.
+
+        Nothing is preloaded: segments are (re-)copied per query, which is the
+        whole point of the streamed mode's cost profile.
+        """
+        self.database = database
+        usable_per_dpu = int(
+            self.config.pim.dpu.mram_bytes * (1.0 - self.config.mram_reserve_fraction)
+        )
+        usable_total = usable_per_dpu * self._dpu_set.num_dpus
+        default_segment = max(1, usable_total // database.record_size)
+        self.segment_records = (
+            self._requested_segment_records
+            if self._requested_segment_records is not None
+            else default_segment
+        )
+        if self.segment_records <= 0:
+            raise CapacityError("segment_records must be positive")
+        per_dpu_bytes = (
+            -(-self.segment_records // self._dpu_set.num_dpus) * database.record_size
+        )
+        if per_dpu_bytes > usable_per_dpu:
+            raise CapacityError(
+                f"a segment of {self.segment_records} records needs {per_dpu_bytes} bytes per DPU, "
+                f"but only {usable_per_dpu} are usable"
+            )
+
+        reset_pipeline_buffers(self._dpu_set)
+        self._segments = []
+        for start in range(0, database.num_records, self.segment_records):
+            stop = min(start + self.segment_records, database.num_records)
+            segment_db = Database(database.chunk(start, stop))
+            partitioner = DatabasePartitioner(segment_db)
+            layout = partitioner.layout(self._dpu_set.num_dpus)
+            self._segments.append(
+                _Segment(
+                    start=start,
+                    stop=stop,
+                    partitioner=partitioner,
+                    layout=layout,
+                    db_chunks=partitioner.database_chunks(layout),
+                )
+            )
+        return None
+
+    @property
+    def num_segments(self) -> int:
+        """Passes needed to cover the whole database."""
+        return len(self._segments)
+
+    # -- capability metadata ----------------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="im-pir-streamed",
+            lanes=1,
+            batch_workers=1,
+            supports_naive=False,
+            preloaded=False,
+            max_records=None,
+            description="dpXOR over per-query streamed database segments",
+        )
+
+    # -- timing hooks ------------------------------------------------------------------
+
+    def latency_eval_seconds(self, num_records: int) -> float:
+        return self.timing.host_dpf_eval_seconds(
+            num_records,
+            blocks_per_leaf=self.config.blocks_per_leaf,
+            threads=self.config.effective_latency_threads,
+        )
+
+    def batch_eval_seconds(self, num_records: int) -> float:
+        # Streamed batches run queries sequentially on the whole host, so
+        # batch mode evaluates exactly like latency mode.
+        return self.latency_eval_seconds(num_records)
+
+    # -- the multi-pass dpXOR ----------------------------------------------------------
+
+    def execute(
+        self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
+    ) -> np.ndarray:
+        accumulator = np.zeros(self.database.record_size, dtype=np.uint8)
+        for segment in self._segments:
+            shares = segment.partitioner.selector_chunks(
+                segment.layout, selector_bits[segment.start : segment.stop]
+            )
+            partials = run_dpu_pipeline(
+                self._dpu_set,
+                self._kernel,
+                segment.layout,
+                shares,
+                breakdown,
+                db_chunks=segment.db_chunks,
+                db_copy_phase=PHASE_COPY_DB,
+            )
+            accumulator ^= fold_partials(partials, segment.layout.record_size)
+        breakdown.record(
+            PHASE_AGGREGATE,
+            self.timing.host_aggregate_xor_seconds(
+                self.num_segments, self.database.record_size
+            ),
+        )
+        return accumulator
 
 
 class StreamedIMPIRServer:
@@ -68,113 +213,40 @@ class StreamedIMPIRServer:
     ) -> None:
         if server_id not in (0, 1):
             raise ProtocolError("IM-PIR is a two-server deployment; server_id must be 0 or 1")
-        self.database = database
         self.config = config if config is not None else IMPIRConfig()
         self.server_id = server_id
         self.system = system if system is not None else UPMEMSystem(self.config.pim)
         self.timing = self.system.timing
-        self._kernel = DpXorKernel()
-        self._prg = make_prg(self.config.prg_backend)
-        self._dpu_set = self.system.allocate(self.config.pim.num_dpus)
-        self._dpu_set.load_program(self._kernel.name)
+        self.backend = StreamedPIMBackend(
+            self.config, self.system, segment_records=segment_records
+        )
+        self.engine = QueryEngine(
+            self.backend, server_id=server_id, prg=make_prg(self.config.prg_backend)
+        )
+        self.engine.prepare(database)
 
-        usable_per_dpu = int(
-            self.config.pim.dpu.mram_bytes * (1.0 - self.config.mram_reserve_fraction)
-        )
-        usable_total = usable_per_dpu * self._dpu_set.num_dpus
-        default_segment = max(1, usable_total // database.record_size)
-        self.segment_records = segment_records if segment_records is not None else default_segment
-        if self.segment_records <= 0:
-            raise CapacityError("segment_records must be positive")
-        per_dpu_bytes = (
-            -(-self.segment_records // self._dpu_set.num_dpus) * database.record_size
-        )
-        if per_dpu_bytes > usable_per_dpu:
-            raise CapacityError(
-                f"a segment of {self.segment_records} records needs {per_dpu_bytes} bytes per DPU, "
-                f"but only {usable_per_dpu} are usable"
-            )
+    @property
+    def database(self) -> Database:
+        """The database this replica streams through its DPUs."""
+        return self.engine.database
+
+    @property
+    def segment_records(self) -> int:
+        """Records processed per streaming pass."""
+        return self.backend.segment_records
 
     @property
     def num_segments(self) -> int:
         """Passes needed to cover the whole database."""
         return math.ceil(self.database.num_records / self.segment_records)
 
-    def _check_query(self, query: DPFQuery) -> None:
-        if not isinstance(query, DPFQuery):
-            raise ProtocolError("IM-PIR serves DPF-encoded queries")
-        if query.server_id != self.server_id:
-            raise ProtocolError(
-                f"query addressed to server {query.server_id}, this is server {self.server_id}"
-            )
-        if query.num_records != self.database.num_records:
-            raise ProtocolError("query was generated for a database of a different size")
-
     def answer(self, query: DPFQuery) -> IMPIRQueryResult:
         """Answer one query in ``num_segments`` passes over the database."""
-        self._check_query(query)
-        breakdown = PhaseTimer()
+        return self.engine.answer(query)
 
-        dpf = DPF(query.key.domain_bits, output_bits=1, prg=self._prg)
-        selector_bits = dpf.eval_full_bits(query.key, num_points=query.num_records)
-        breakdown.record(
-            PHASE_EVAL,
-            self.timing.host_dpf_eval_seconds(
-                query.num_records,
-                blocks_per_leaf=self.config.blocks_per_leaf,
-                threads=self.config.effective_latency_threads,
-            ),
-        )
-
-        accumulator = np.zeros(self.database.record_size, dtype=np.uint8)
-        for segment_start in range(0, self.database.num_records, self.segment_records):
-            segment_stop = min(segment_start + self.segment_records, self.database.num_records)
-            accumulator ^= self._run_segment(
-                segment_start, segment_stop, selector_bits, breakdown
-            )
-
-        breakdown.record(
-            PHASE_AGGREGATE,
-            self.timing.host_aggregate_xor_seconds(self.num_segments, self.database.record_size),
-        )
-        answer = PIRAnswer(
-            query_id=query.query_id,
-            server_id=self.server_id,
-            payload=accumulator.tobytes(),
-            simulated_seconds=breakdown.total,
-        )
-        return IMPIRQueryResult(answer=answer, breakdown=breakdown, cluster_id=0)
-
-    def _run_segment(
-        self,
-        start: int,
-        stop: int,
-        selector_bits: np.ndarray,
-        breakdown: PhaseTimer,
-    ) -> np.ndarray:
-        segment = Database(self.database.chunk(start, stop).copy())
-        partitioner = DatabasePartitioner(segment)
-        layout = partitioner.layout(self._dpu_set.num_dpus)
-
-        db_report = self._dpu_set.scatter(DB_BUFFER, partitioner.database_chunks(layout))
-        breakdown.record(PHASE_COPY_DB, db_report.simulated_seconds)
-
-        shares = partitioner.selector_chunks(layout, selector_bits[start:stop])
-        share_report = self._dpu_set.scatter(SELECTOR_BUFFER, shares)
-        breakdown.record(PHASE_COPY_IN, share_report.simulated_seconds)
-
-        launch = self._dpu_set.launch(self._kernel, per_dpu_kwargs=kwargs_for_kernel(layout))
-        breakdown.record(PHASE_DPXOR, launch.simulated_seconds)
-
-        partials, gather_report = self._dpu_set.gather(RESULT_BUFFER, layout.record_size)
-        breakdown.record(PHASE_COPY_OUT, gather_report.simulated_seconds)
-        return fold_partials(partials, layout.record_size)
-
-    def answer_batch(self, queries: List[DPFQuery]) -> List[IMPIRQueryResult]:
+    def answer_batch(self, queries: Sequence[DPFQuery]) -> List[IMPIRQueryResult]:
         """Answer a batch sequentially (streamed mode has no cluster pipeline)."""
-        if not queries:
-            raise ProtocolError("answer_batch needs at least one query")
-        return [self.answer(query) for query in queries]
+        return self.engine.answer_many(queries).results
 
 
 def streaming_overhead_factor(result: IMPIRQueryResult) -> float:

@@ -3,10 +3,11 @@
 This is the system the paper compares against: a standard multi-server PIR
 server where both the DPF evaluation and the dpXOR database scan run on the
 CPU, the database lives in ordinary DRAM, and every query moves the whole
-database across the memory bus.  The functional path produces bit-exact
-answers (it is a thin wrapper around the reference server); the attached cost
-model reports the simulated per-phase latencies that the benchmark harness
-turns into Fig. 9/10/12 series.
+database across the memory bus.  The functional path answers through the
+shared :class:`~repro.core.engine.QueryEngine` over the plain-numpy
+:class:`~repro.core.engine.ReferenceBackend` (bit-exact with the reference
+server); the attached cost model reports the simulated per-phase latencies
+that the benchmark harness turns into Fig. 9/10/12 series.
 """
 
 from __future__ import annotations
@@ -15,12 +16,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.common.events import PhaseTimer
+from repro.core.engine import QueryEngine, ReferenceBackend
 from repro.cpu.config import CPUConfig
 from repro.cpu.model import PHASE_DPXOR, PHASE_EVAL, CPUBatchEstimate, CPUModel
 from repro.dpf.prf import LengthDoublingPRG
 from repro.pir.database import Database
 from repro.pir.messages import PIRAnswer
-from repro.pir.server import PIRServer, Query
+from repro.pir.server import Query, ServerStats
 
 
 @dataclass
@@ -67,27 +69,27 @@ class CPUPIRServer:
         self.database = database
         self.config = config if config is not None else CPUConfig()
         self.model = CPUModel(self.config)
-        self._server = PIRServer(database, server_id=server_id, prg=prg)
+        self.stats = ServerStats()
+        self.backend = ReferenceBackend(name="cpu-pir", dpxor_stats=self.stats.dpxor)
+        self.engine = QueryEngine(
+            self.backend, server_id=server_id, prg=prg, stats=self.stats
+        )
+        self.engine.prepare(database)
 
     @property
     def server_id(self) -> int:
         """Identifier of the replica this server plays."""
-        return self._server.server_id
-
-    @property
-    def stats(self):
-        """Functional operation counters (shared with the reference server)."""
-        return self._server.stats
+        return self.engine.server_id
 
     # -- single query (latency mode, Fig. 10) -----------------------------------------
 
     def answer(self, query: Query) -> PIRAnswer:
         """Answer a query functionally (no timing attached)."""
-        return self._server.answer(query)
+        return self.engine.answer(query).answer
 
     def answer_with_breakdown(self, query: Query) -> CPUQueryResult:
         """Answer a query and report the latency-mode phase breakdown."""
-        answer = self._server.answer(query)
+        answer = self.engine.answer(query).answer
         breakdown = self.model.single_query_breakdown(
             self.database.num_records, self.database.record_size
         )
@@ -97,7 +99,7 @@ class CPUPIRServer:
 
     def answer_batch(self, queries: Sequence[Query]) -> CPUBatchResult:
         """Answer a batch functionally and attach the batch-mode makespan estimate."""
-        answers = [self._server.answer(query) for query in queries]
+        answers = [r.answer for r in self.engine.answer_many(queries).results]
         estimate = self.model.batch_estimate(
             self.database.num_records, self.database.record_size, batch_size=len(queries)
         )

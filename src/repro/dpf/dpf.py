@@ -17,7 +17,7 @@ supported so the same code covers payload-carrying DPFs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

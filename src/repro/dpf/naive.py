@@ -12,7 +12,7 @@ for the DPF-based path and as the simplest possible example of the protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,8 +1,11 @@
 """GPU-PIR: the GPU-accelerated baseline server (functional + cost model).
 
 Functionally identical to the reference server — the GPU changes *where* the
-work runs, not *what* is computed — with the GPU cost model attached so the
-comparison benchmarks (Fig. 12) can report simulated latencies/throughputs.
+work runs, not *what* is computed — so the functional path answers through
+the shared :class:`~repro.core.engine.QueryEngine` over the plain-numpy
+:class:`~repro.core.engine.ReferenceBackend`, with the GPU cost model
+attached so the comparison benchmarks (Fig. 12) can report simulated
+latencies/throughputs.
 """
 
 from __future__ import annotations
@@ -11,12 +14,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.common.events import PhaseTimer
+from repro.core.engine import QueryEngine, ReferenceBackend
 from repro.dpf.prf import LengthDoublingPRG
 from repro.gpu.config import GPUConfig
 from repro.gpu.model import GPUBatchEstimate, GPUModel
 from repro.pir.database import Database
 from repro.pir.messages import PIRAnswer
-from repro.pir.server import PIRServer, Query
+from repro.pir.server import Query, ServerStats
 
 
 @dataclass
@@ -63,12 +67,17 @@ class GPUPIRServer:
         self.database = database
         self.config = config if config is not None else GPUConfig()
         self.model = GPUModel(self.config)
-        self._server = PIRServer(database, server_id=server_id, prg=prg)
+        self.stats = ServerStats()
+        self.backend = ReferenceBackend(name="gpu-pir", dpxor_stats=self.stats.dpxor)
+        self.engine = QueryEngine(
+            self.backend, server_id=server_id, prg=prg, stats=self.stats
+        )
+        self.engine.prepare(database)
 
     @property
     def server_id(self) -> int:
         """Identifier of the replica this server plays."""
-        return self._server.server_id
+        return self.engine.server_id
 
     @property
     def vram_resident(self) -> bool:
@@ -77,11 +86,11 @@ class GPUPIRServer:
 
     def answer(self, query: Query) -> PIRAnswer:
         """Answer a query functionally (no timing attached)."""
-        return self._server.answer(query)
+        return self.engine.answer(query).answer
 
     def answer_with_breakdown(self, query: Query) -> GPUQueryResult:
         """Answer a query and report its per-phase simulated latency."""
-        answer = self._server.answer(query)
+        answer = self.engine.answer(query).answer
         breakdown = self.model.single_query_breakdown(
             self.database.num_records, self.database.record_size
         )
@@ -89,7 +98,7 @@ class GPUPIRServer:
 
     def answer_batch(self, queries: Sequence[Query]) -> GPUBatchResult:
         """Answer a batch functionally and attach the batch-mode makespan estimate."""
-        answers = [self._server.answer(query) for query in queries]
+        answers = [r.answer for r in self.engine.answer_many(queries).results]
         estimate = self.model.batch_estimate(
             self.database.num_records, self.database.record_size, batch_size=len(queries)
         )

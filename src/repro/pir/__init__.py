@@ -2,6 +2,12 @@
 
 from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, ClientStats, PIRClient
 from repro.pir.database import DEFAULT_RECORD_SIZE, Database
+from repro.pir.frontend import (
+    BatchingPolicy,
+    FrontendMetrics,
+    PIRFrontend,
+    RequestRouter,
+)
 from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
 from repro.pir.protocol import MultiServerPIRProtocol, RetrievalTrace
 from repro.pir.serialization import (
@@ -31,6 +37,10 @@ __all__ = [
     "PIRClient",
     "DEFAULT_RECORD_SIZE",
     "Database",
+    "BatchingPolicy",
+    "FrontendMetrics",
+    "PIRFrontend",
+    "RequestRouter",
     "DPFQuery",
     "NaiveQuery",
     "PIRAnswer",

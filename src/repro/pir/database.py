@@ -12,7 +12,6 @@ servers stream DRAM/MRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np

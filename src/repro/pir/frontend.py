@@ -1,0 +1,313 @@
+"""Request frontend: batching, routing and answer pairing across replicas.
+
+The servers answer queries; this module decides *which* queries reach them
+*when*.  A :class:`PIRFrontend` (alias :class:`RequestRouter`) sits between
+clients and the replica set:
+
+* **admission** — ``submit(index)`` registers a retrieval request and assigns
+  it an explicit request id;
+* **batching** — pending requests aggregate under a :class:`BatchingPolicy`
+  (maximum batch size plus a maximum simulated wait), so the expensive
+  per-batch pipeline fill/drain of Fig. 8 is amortised over many requests;
+* **routing** — each flushed batch fans out to every replica's
+  ``answer_batch`` (the replicas are independent trust domains; functionally
+  they are called in sequence, the simulated makespan treats them as
+  parallel);
+* **pairing** — the replicas' answers are re-joined *by explicit request id*:
+  every request knows the ``(query_id, server_id)`` pairs it is owed, a
+  missing or duplicated answer raises
+  :class:`~repro.common.errors.ProtocolError` instead of silently
+  mis-pairing;
+* **reconstruction** — paired answers are XOR-folded back into records by the
+  client, and scheduling metrics (makespan, throughput) are accumulated from
+  the replicas' :class:`~repro.core.scheduler.BatchSchedule` objects.
+
+Time is simulated: callers stamp requests with ``arrival_seconds`` (defaults
+to a frontend-local clock) and the max-wait rule triggers deterministically
+from those stamps, which keeps the batching policy unit-testable without
+threads or sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.core.scheduler import BatchSchedule
+from repro.pir.client import PIRClient
+from repro.pir.messages import PIRAnswer
+
+#: Flush triggers, reported in :class:`FrontendMetrics.flush_reasons`.
+FLUSH_ON_SIZE = "size"
+FLUSH_ON_WAIT = "wait"
+FLUSH_ON_CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """When a batch of pending requests is dispatched to the replicas.
+
+    A batch flushes as soon as it holds ``max_batch_size`` requests, or when
+    its oldest request has waited ``max_wait_seconds`` of simulated time —
+    whichever comes first.
+    """
+
+    max_batch_size: int = 32
+    max_wait_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ProtocolError("max_batch_size must be positive")
+        if self.max_wait_seconds < 0:
+            raise ProtocolError("max_wait_seconds must be non-negative")
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        num_workers: int,
+        num_clusters: int,
+        rounds: int = 2,
+        max_wait_seconds: float = 0.05,
+    ) -> "BatchingPolicy":
+        """Size batches to keep the Fig. 8 pipeline saturated.
+
+        A batch of ``max(workers, clusters) * rounds`` queries gives every
+        eval worker and every DPU cluster ``rounds`` tasks, which is what the
+        :class:`~repro.core.scheduler.BatchScheduler` needs for utilization to
+        approach 1 despite fill/drain effects.
+        """
+        width = max(1, num_workers, num_clusters)
+        return cls(max_batch_size=width * max(1, rounds), max_wait_seconds=max_wait_seconds)
+
+
+@dataclass
+class PendingRequest:
+    """A submitted retrieval waiting for its batch to flush."""
+
+    request_id: int
+    index: int
+    arrival_seconds: float
+    #: One query per replica, all sharing the client's query id.
+    queries: List = field(default_factory=list)
+
+    @property
+    def expected_keys(self) -> List[Tuple[int, int]]:
+        """The ``(query_id, server_id)`` answer pairs this request is owed."""
+        return [(q.query_id, q.server_id) for q in self.queries]
+
+
+@dataclass
+class FrontendMetrics:
+    """Scheduling metrics accumulated across every flushed batch."""
+
+    batches_dispatched: int = 0
+    requests_served: int = 0
+    #: Sum over batches of the slowest replica's makespan (replicas overlap).
+    total_makespan_seconds: float = 0.0
+    flush_reasons: Dict[str, int] = field(default_factory=dict)
+    last_schedule: Optional[BatchSchedule] = None
+    last_cluster_utilization: float = 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Requests per simulated second across all dispatched batches."""
+        if self.total_makespan_seconds <= 0:
+            return float("inf") if self.requests_served else 0.0
+        return self.requests_served / self.total_makespan_seconds
+
+
+class PIRFrontend:
+    """Aggregates client requests into batches and routes them to replicas.
+
+    ``replicas`` is one server per ``server_id`` (any of the engine-backed
+    variants); each must expose ``answer_batch``.  The frontend is the only
+    component that sees both replicas' answers, so it is also where the
+    two-out-of-two pairing invariant is enforced.
+    """
+
+    def __init__(
+        self,
+        client: PIRClient,
+        replicas: Sequence,
+        policy: Optional[BatchingPolicy] = None,
+    ) -> None:
+        if len(replicas) != client.num_servers:
+            raise ProtocolError(
+                f"client expects {client.num_servers} replicas, got {len(replicas)}"
+            )
+        for server_id, replica in enumerate(replicas):
+            if getattr(replica, "server_id", server_id) != server_id:
+                raise ProtocolError(
+                    f"replica at position {server_id} reports server_id "
+                    f"{replica.server_id}"
+                )
+        self.client = client
+        self.replicas = list(replicas)
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.metrics = FrontendMetrics()
+        self._pending: List[PendingRequest] = []
+        self._completed: Dict[int, bytes] = {}
+        self._next_request_id = 0
+        self._clock = 0.0
+
+    # -- admission -------------------------------------------------------------------
+
+    def submit(self, index: int, arrival_seconds: Optional[float] = None) -> int:
+        """Register a retrieval request; returns its request id.
+
+        May flush the pending batch first (the new arrival's timestamp proves
+        the oldest pending request exceeded its max wait) or immediately
+        after (the batch reached ``max_batch_size``).
+        """
+        now = self._advance_clock(arrival_seconds)
+        if self._pending and now - self._pending[0].arrival_seconds >= self.policy.max_wait_seconds:
+            self._flush(FLUSH_ON_WAIT)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        request = PendingRequest(
+            request_id=request_id,
+            index=index,
+            arrival_seconds=now,
+            queries=self.client.query(index),
+        )
+        self._pending.append(request)
+        if len(self._pending) >= self.policy.max_batch_size:
+            self._flush(FLUSH_ON_SIZE)
+        return request_id
+
+    def advance_time(self, now: float) -> None:
+        """Advance simulated time; flushes the pending batch if its wait expired."""
+        now = self._advance_clock(now)
+        if self._pending and now - self._pending[0].arrival_seconds >= self.policy.max_wait_seconds:
+            self._flush(FLUSH_ON_WAIT)
+
+    def close(self) -> None:
+        """Flush whatever is pending (end of the request stream)."""
+        if self._pending:
+            self._flush(FLUSH_ON_CLOSE)
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return len(self._pending)
+
+    def take_record(self, request_id: int) -> bytes:
+        """Pop the reconstructed record for ``request_id`` (must be complete)."""
+        try:
+            return self._completed.pop(request_id)
+        except KeyError:
+            raise ProtocolError(f"request {request_id} has no completed record") from None
+
+    def retrieve_batch(self, indices: Sequence[int]) -> List[bytes]:
+        """Retrieve several records, batching under the configured policy.
+
+        Submissions share one arrival instant, so batches split purely on
+        ``max_batch_size``; the trailing partial batch flushes on close.
+        Records return in submission order.
+        """
+        request_ids = [self.submit(index) for index in indices]
+        self.close()
+        return [self.take_record(request_id) for request_id in request_ids]
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _advance_clock(self, now: Optional[float]) -> float:
+        if now is None:
+            return self._clock
+        if now < self._clock:
+            raise ProtocolError(
+                f"time moves forward: {now} is before the frontend clock {self._clock}"
+            )
+        self._clock = now
+        return now
+
+    def _flush(self, reason: str) -> None:
+        batch, self._pending = self._pending, []
+
+        per_server: List[List] = [[] for _ in self.replicas]
+        for request in batch:
+            for query in request.queries:
+                per_server[query.server_id].append(query)
+
+        answers_by_key: Dict[Tuple[int, int], PIRAnswer] = {}
+        schedules: List[BatchSchedule] = []
+        makespans: List[float] = []
+        for server_id, replica in enumerate(self.replicas):
+            # Route through each replica's public batch surface, so attached
+            # cost models (CPU/GPU analytic estimates, IM-PIR schedules) are
+            # honoured; _normalize_batch maps every result dialect to the
+            # same (answers, makespan, schedule) triple.
+            raw = replica.answer_batch(per_server[server_id])
+            answers, makespan, schedule = _normalize_batch(raw)
+            makespans.append(makespan)
+            if schedule is not None:
+                schedules.append(schedule)
+            for answer in answers:
+                key = (answer.query_id, answer.server_id)
+                if key in answers_by_key:
+                    raise ProtocolError(
+                        f"duplicate answer for query {answer.query_id} "
+                        f"from server {answer.server_id}"
+                    )
+                answers_by_key[key] = answer
+
+        for request in batch:
+            group = []
+            for key in request.expected_keys:
+                try:
+                    group.append(answers_by_key.pop(key))
+                except KeyError:
+                    raise ProtocolError(
+                        f"missing answer for request {request.request_id} "
+                        f"(query {key[0]}, server {key[1]})"
+                    ) from None
+            group.sort(key=lambda answer: answer.server_id)
+            self._completed[request.request_id] = self.client.reconstruct(group)
+        if answers_by_key:
+            orphans = sorted(answers_by_key)
+            raise ProtocolError(f"replicas returned {len(orphans)} unmatched answers: {orphans}")
+
+        makespan = max(makespans, default=0.0)
+        self.metrics.batches_dispatched += 1
+        self.metrics.requests_served += len(batch)
+        self.metrics.total_makespan_seconds += makespan
+        self.metrics.flush_reasons[reason] = self.metrics.flush_reasons.get(reason, 0) + 1
+        if schedules:
+            slowest = max(schedules, key=lambda schedule: schedule.makespan)
+            self.metrics.last_schedule = slowest
+            self.metrics.last_cluster_utilization = slowest.cluster_utilization()
+
+
+#: The frontend is a request router; both names are part of the public API.
+RequestRouter = PIRFrontend
+
+
+def _normalize_batch(raw) -> Tuple[List[PIRAnswer], float, Optional[BatchSchedule]]:
+    """Extract ``(answers, makespan, schedule)`` from any ``answer_batch`` result.
+
+    Accepts :class:`~repro.core.results.IMPIRBatchResult` (makespan from its
+    schedule), CPU/GPU batch results (makespan from their analytic
+    ``latency_seconds``), or plain sequences of per-query results /
+    :class:`PIRAnswer` (makespan is the sum of the per-query breakdowns —
+    sequential execution — which is 0.0 for untimed servers).
+    """
+    schedule = getattr(raw, "schedule", None)
+    if hasattr(raw, "answers"):
+        makespan = getattr(raw, "latency_seconds", 0.0)
+        if not makespan and schedule is not None:
+            makespan = schedule.makespan
+        return list(raw.answers), float(makespan), schedule
+    answers: List[PIRAnswer] = []
+    makespan = 0.0
+    for item in raw:
+        if hasattr(item, "answer"):
+            answers.append(item.answer)
+            breakdown = getattr(item, "breakdown", None)
+            if breakdown is not None:
+                makespan += breakdown.total
+        else:
+            answers.append(item)
+    return answers, makespan, schedule

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.common.errors import ProtocolError
-from repro.dpf.prf import LengthDoublingPRG, make_prg
+from repro.dpf.prf import make_prg
 from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, PIRClient
 from repro.pir.database import Database
 from repro.pir.messages import PIRAnswer

@@ -5,6 +5,10 @@ numpy and no hardware model attached: full-domain DPF evaluation followed by
 the dpXOR scan.  It is the functional oracle that the CPU, GPU and IM-PIR
 servers must agree with bit-for-bit, and the natural starting point for
 anyone reading the code base top-down.
+
+All the protocol logic (validation, key evaluation, answer assembly) lives in
+:class:`repro.core.engine.QueryEngine`; this module only binds it to the
+plain-numpy :class:`~repro.core.engine.ReferenceBackend`.
 """
 
 from __future__ import annotations
@@ -12,14 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.common.errors import ProtocolError
-from repro.dpf.dpf import DPF, EvalStats
+from repro.dpf.dpf import EvalStats
 from repro.dpf.prf import LengthDoublingPRG
 from repro.pir.database import Database
 from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
-from repro.pir.xor_ops import DpXorStats, dpxor
+from repro.pir.xor_ops import DpXorStats
 
 Query = Union[DPFQuery, NaiveQuery]
 
@@ -42,51 +43,28 @@ class PIRServer:
         server_id: int,
         prg: Optional[LengthDoublingPRG] = None,
     ) -> None:
-        if server_id < 0:
-            raise ProtocolError("server_id must be non-negative")
+        # Imported lazily: repro.pir must stay importable on its own, and the
+        # engine module (in repro.core) imports repro.pir wire types at load.
+        from repro.core.engine import QueryEngine, ReferenceBackend
+
+        self.stats = ServerStats()
+        self.backend = ReferenceBackend(name="reference", dpxor_stats=self.stats.dpxor)
+        self.engine = QueryEngine(
+            self.backend, server_id=server_id, prg=prg, stats=self.stats
+        )
+        self.engine.prepare(database)
         self.database = database
         self.server_id = server_id
-        self._prg = prg
-        self.stats = ServerStats()
 
     # -- query handling ---------------------------------------------------------
 
     def answer(self, query: Query) -> PIRAnswer:
         """Answer a single query with this server's XOR sub-result."""
-        if query.server_id != self.server_id:
-            raise ProtocolError(
-                f"query addressed to server {query.server_id}, this is server {self.server_id}"
-            )
-        if query.num_records != self.database.num_records:
-            raise ProtocolError(
-                "query was generated for a database of "
-                f"{query.num_records} records, this replica holds {self.database.num_records}"
-            )
-        selector = self._selector_bits(query)
-        payload = dpxor(self.database.records, selector, stats=self.stats.dpxor)
-        self.stats.queries_answered += 1
-        return PIRAnswer(
-            query_id=query.query_id,
-            server_id=self.server_id,
-            payload=payload.tobytes(),
-        )
+        return self.engine.answer(query).answer
 
     def answer_batch(self, queries: Sequence[Query]) -> List[PIRAnswer]:
         """Answer several queries sequentially (the reference server has no
         batching optimisations — that is what IM-PIR adds)."""
-        return [self.answer(query) for query in queries]
-
-    # -- internals ---------------------------------------------------------------
-
-    def _selector_bits(self, query: Query) -> np.ndarray:
-        if isinstance(query, DPFQuery):
-            dpf = DPF(
-                query.key.domain_bits,
-                output_bits=query.key.output_bits,
-                prg=self._prg,
-            )
-            values = dpf.eval_full(query.key, num_points=query.num_records, stats=self.stats.eval)
-            return values.astype(np.uint8)
-        if isinstance(query, NaiveQuery):
-            return query.share.bits
-        raise ProtocolError(f"unsupported query type: {type(query).__name__}")
+        if not queries:
+            return []
+        return [result.answer for result in self.engine.answer_many(queries).results]

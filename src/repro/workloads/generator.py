@@ -17,7 +17,6 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.common.errors import ConfigurationError
-from repro.common.rng import make_rng
 from repro.common.units import GIB
 from repro.pir.database import Database
 

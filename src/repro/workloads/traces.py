@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
-import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng

@@ -1,0 +1,281 @@
+"""The unified engine: every backend answers identically through one layer.
+
+The cross-backend equivalence suite required by the engine refactor: all
+registered server variants must return bit-identical payloads for the same
+query set, across random databases and edge shapes (one record,
+non-power-of-two sizes, one-byte records).
+"""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.config import IMPIRConfig
+from repro.core.engine import (
+    BackendCapabilities,
+    QueryEngine,
+    ReferenceBackend,
+    available_backends,
+    batch_scheduler_for,
+    create_server,
+    register_backend,
+)
+from repro.dpf.prf import make_prg
+from repro.pim.config import scaled_down_config
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.messages import PIRAnswer
+
+
+def build_all_servers(database, server_id=0):
+    """One server of every registered variant over ``database``."""
+    servers = {}
+    for name in available_backends():
+        kwargs = {}
+        if name == "im-pir-streamed" and database.num_records > 1:
+            # Force a genuinely multi-pass configuration.
+            kwargs["segment_records"] = max(1, -(-database.num_records // 2))
+        servers[name] = create_server(name, database, server_id=server_id, **kwargs)
+    return servers
+
+
+EDGE_SHAPES = [
+    (1, 1),  # single one-byte record
+    (1, 32),  # single record
+    (3, 1),  # non-power-of-two count, one-byte records
+    (257, 16),  # prime record count
+    (1024, 32),  # the paper's record format
+]
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("num_records,record_size", EDGE_SHAPES)
+    def test_all_backends_bit_identical(self, num_records, record_size):
+        database = Database.random(num_records, record_size, seed=num_records * 31 + record_size)
+        client = PIRClient(num_records, record_size, seed=17, prg=make_prg("numpy"))
+        servers = build_all_servers(database)
+        indices = sorted({0, num_records // 2, num_records - 1})
+        for index in indices:
+            query = client.query(index)[0]
+            payloads = {
+                name: server.engine.answer(query).answer.payload
+                for name, server in servers.items()
+            }
+            assert len(set(payloads.values())) == 1, f"disagreement at index {index}: {payloads}"
+
+    @pytest.mark.parametrize("num_records,record_size", EDGE_SHAPES)
+    def test_reconstruction_through_every_backend(self, num_records, record_size):
+        database = Database.random(num_records, record_size, seed=num_records * 7 + record_size)
+        index = num_records - 1
+        for name in available_backends():
+            kwargs = {}
+            if name == "im-pir-streamed" and num_records > 1:
+                kwargs["segment_records"] = max(1, -(-num_records // 2))
+            client = PIRClient(num_records, record_size, seed=23, prg=make_prg("numpy"))
+            replicas = [
+                create_server(name, database, server_id=i, **kwargs) for i in (0, 1)
+            ]
+            queries = client.query(index)
+            answers = [replicas[q.server_id].engine.answer(q).answer for q in queries]
+            assert client.reconstruct(answers) == database.record(index), name
+
+    def test_batch_equivalence_across_backends(self):
+        database = Database.random(300, 8, seed=44)
+        client = PIRClient(300, 8, seed=5, prg=make_prg("numpy"))
+        queries = [client.query(i)[0] for i in (0, 123, 299, 7)]
+        servers = build_all_servers(database)
+        batches = {
+            name: [r.answer.payload for r in server.engine.answer_many(queries).results]
+            for name, server in servers.items()
+        }
+        reference = batches.pop("reference")
+        for name, payloads in batches.items():
+            assert payloads == reference, name
+
+
+class TestSharedValidation:
+    """One copy of the validation rules, enforced for every backend."""
+
+    @pytest.fixture(scope="class")
+    def database(self):
+        return Database.random(128, 16, seed=9)
+
+    @pytest.fixture(scope="class")
+    def servers(self, database):
+        return build_all_servers(database)
+
+    def test_wrong_server_rejected_everywhere(self, database, servers):
+        client = PIRClient(128, 16, seed=2, prg=make_prg("numpy"))
+        query_for_other = client.query(3)[1]
+        for name, server in servers.items():
+            with pytest.raises(ProtocolError):
+                server.engine.answer(query_for_other)
+
+    def test_wrong_database_shape_rejected_everywhere(self, servers):
+        other_client = PIRClient(64, 16, seed=3, prg=make_prg("numpy"))
+        stale = other_client.query(0)[0]
+        for name, server in servers.items():
+            with pytest.raises(ProtocolError):
+                server.engine.answer(stale)
+
+    def test_naive_queries_only_where_supported(self, database, servers):
+        naive_client = PIRClient(128, 16, scheme="naive", seed=4)
+        query = naive_client.query(10)[0]
+        for name, server in servers.items():
+            caps = server.engine.backend.capabilities()
+            if caps.supports_naive:
+                payload = server.engine.answer(query).answer.payload
+                assert len(payload) == database.record_size
+            else:
+                with pytest.raises(ProtocolError):
+                    server.engine.answer(query)
+
+    def test_empty_batch_rejected(self, servers):
+        for name, server in servers.items():
+            with pytest.raises(ProtocolError):
+                server.engine.answer_many([])
+
+    def test_unsupported_query_type_rejected(self, servers):
+        for name, server in servers.items():
+            with pytest.raises(ProtocolError):
+                server.engine.answer(object())
+
+
+class TestCapabilities:
+    def test_every_backend_reports_capabilities(self):
+        database = Database.random(64, 8, seed=1)
+        for name, server in build_all_servers(database).items():
+            caps = server.engine.backend.capabilities()
+            assert isinstance(caps, BackendCapabilities)
+            assert caps.lanes >= 1
+            assert caps.batch_workers >= 1
+            assert caps.name
+
+    def test_impir_lanes_track_clusters(self):
+        database = Database.random(256, 16, seed=6)
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=2), num_clusters=4)
+        server = create_server("im-pir", database, config=config)
+        assert server.engine.backend.capabilities().lanes == 4
+
+    def test_streamed_backend_not_preloaded(self):
+        database = Database.random(64, 8, seed=3)
+        server = create_server("im-pir-streamed", database, segment_records=16)
+        caps = server.engine.backend.capabilities()
+        assert not caps.preloaded
+        assert server.backend.num_segments == 4
+
+    def test_scheduler_sizing_rule(self):
+        caps = BackendCapabilities(name="x", lanes=3, batch_workers=8)
+        scheduler = batch_scheduler_for(caps, batch_size=2)
+        assert scheduler.num_workers == 2  # never more workers than queries
+        assert scheduler.num_clusters == 3
+
+
+class TestBackendSurface:
+    """The PIRBackend protocol surface: prepare / answer / answer_many."""
+
+    def test_backend_answer_returns_payload_and_timer(self):
+        database = Database.random(64, 8, seed=12)
+        client = PIRClient(64, 8, seed=13, prg=make_prg("numpy"))
+        server = create_server("im-pir", database)
+        query = client.query(5)[0]
+        payload, breakdown = server.backend.answer(query)
+        assert payload == server.engine.answer(query).answer.payload
+        assert breakdown.total > 0
+
+    def test_backend_answer_many(self):
+        database = Database.random(64, 8, seed=14)
+        client = PIRClient(64, 8, seed=15, prg=make_prg("numpy"))
+        server = create_server("reference", database)
+        pairs = server.backend.answer_many([client.query(i)[0] for i in (1, 2)])
+        assert len(pairs) == 2
+        for payload, breakdown in pairs:
+            assert len(payload) == 8
+
+    def test_detached_backend_rejected(self):
+        backend = ReferenceBackend()
+        with pytest.raises(ProtocolError):
+            backend.answer(None)
+
+    def test_engine_requires_prepared_database(self):
+        backend = ReferenceBackend()
+        engine = QueryEngine(backend, server_id=0, prg=make_prg("numpy"))
+        client = PIRClient(16, 4, seed=1, prg=make_prg("numpy"))
+        with pytest.raises(ProtocolError):
+            engine.answer(client.query(0)[0])
+
+
+class TestRegistry:
+    def test_default_registry_contains_all_five(self):
+        assert set(available_backends()) >= {
+            "reference",
+            "cpu",
+            "gpu",
+            "im-pir",
+            "im-pir-streamed",
+        }
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProtocolError):
+            create_server("tpu", Database.random(4, 4, seed=1))
+
+    def test_custom_backend_registration(self):
+        calls = []
+
+        def builder(db, server_id=0, **kwargs):
+            calls.append(server_id)
+            return create_server("reference", db, server_id=server_id)
+
+        register_backend("custom-test", builder)
+        try:
+            server = create_server("custom-test", Database.random(8, 4, seed=2), server_id=0)
+            assert calls == [0]
+            assert hasattr(server, "engine")
+        finally:
+            from repro.core import engine as engine_module
+
+            engine_module._BACKEND_BUILDERS.pop("custom-test", None)
+
+
+class TestRePrepare:
+    """prepare() may be called again with a differently-shaped database."""
+
+    def test_pim_backend_reprepare_different_shape(self):
+        server = create_server("im-pir", Database.random(4, 256, seed=31))
+        new_db = Database.random(500, 8, seed=32)
+        server.engine.prepare(new_db)
+        client = PIRClient(500, 8, seed=33, prg=make_prg("numpy"))
+        reference = create_server("reference", new_db)
+        query = client.query(499)[0]
+        assert (
+            server.engine.answer(query).answer.payload
+            == reference.engine.answer(query).answer.payload
+        )
+        caps = server.engine.backend.capabilities()
+        assert caps.max_records is not None and caps.max_records >= 500
+
+    def test_streamed_backend_reprepare_different_shape(self):
+        server = create_server("im-pir-streamed", Database.random(100, 16, seed=34),
+                               segment_records=40)
+        new_db = Database.random(50, 64, seed=35)
+        server.engine.prepare(new_db)
+        client = PIRClient(50, 64, seed=36, prg=make_prg("numpy"))
+        reference = create_server("reference", new_db)
+        query = client.query(25)[0]
+        assert (
+            server.engine.answer(query).answer.payload
+            == reference.engine.answer(query).answer.payload
+        )
+
+
+class TestAnswerMetadata:
+    def test_costed_backends_stamp_simulated_seconds(self):
+        database = Database.random(64, 8, seed=21)
+        client = PIRClient(64, 8, seed=22, prg=make_prg("numpy"))
+        timed = create_server("im-pir", database)
+        untimed = create_server("reference", database)
+        query = client.query(7)[0]
+        timed_answer = timed.engine.answer(query).answer
+        untimed_answer = untimed.engine.answer(query).answer
+        assert isinstance(timed_answer, PIRAnswer) and isinstance(untimed_answer, PIRAnswer)
+        assert timed_answer.simulated_seconds and timed_answer.simulated_seconds > 0
+        assert untimed_answer.simulated_seconds is None

@@ -16,6 +16,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 EXAMPLES = [
     "quickstart",
+    "unified_backends",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",

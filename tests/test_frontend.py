@@ -1,0 +1,287 @@
+"""The batching request frontend: policies, pairing, metrics."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.config import IMPIRConfig
+from repro.core.impir import IMPIRDeployment, IMPIRServer
+from repro.core.scheduler import BatchSchedule
+from repro.dpf.prf import make_prg
+from repro.pim.config import scaled_down_config
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.frontend import (
+    FLUSH_ON_CLOSE,
+    FLUSH_ON_SIZE,
+    FLUSH_ON_WAIT,
+    BatchingPolicy,
+    PIRFrontend,
+    RequestRouter,
+)
+from repro.pir.messages import PIRAnswer
+from repro.pir.server import PIRServer
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Database.random(512, 32, seed=71)
+
+
+def make_client(database, seed=3):
+    return PIRClient(
+        database.num_records, database.record_size, seed=seed, prg=make_prg("numpy")
+    )
+
+
+def reference_replicas(database):
+    return [PIRServer(database, server_id=i, prg=make_prg("numpy")) for i in (0, 1)]
+
+
+def impir_replicas(database, num_clusters=2):
+    config = IMPIRConfig(
+        pim=scaled_down_config(num_dpus=8, tasklets=4), num_clusters=num_clusters
+    )
+    return [IMPIRServer(database, config=config, server_id=i) for i in (0, 1)]
+
+
+class TestBatchingPolicy:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ProtocolError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ProtocolError):
+            BatchingPolicy(max_wait_seconds=-1.0)
+
+    def test_from_pipeline_saturates_the_wider_resource(self):
+        policy = BatchingPolicy.from_pipeline(num_workers=4, num_clusters=2, rounds=3)
+        assert policy.max_batch_size == 12
+        policy = BatchingPolicy.from_pipeline(num_workers=1, num_clusters=8, rounds=2)
+        assert policy.max_batch_size == 16
+
+
+class TestBatchingBehaviour:
+    def test_size_flush_and_partial_close(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=2),
+        )
+        records = frontend.retrieve_batch([1, 2, 3, 4, 5])
+        assert records == [database.record(i) for i in (1, 2, 3, 4, 5)]
+        assert frontend.metrics.batches_dispatched == 3  # 2+2 on size, 1 on close
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_SIZE: 2, FLUSH_ON_CLOSE: 1}
+        assert frontend.metrics.requests_served == 5
+
+    def test_max_wait_flush_on_late_arrival(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=100, max_wait_seconds=0.5),
+        )
+        first = frontend.submit(10, arrival_seconds=0.0)
+        frontend.submit(11, arrival_seconds=0.1)
+        assert frontend.pending_count == 2
+        # The late arrival proves the oldest request waited past its budget:
+        # the pending batch flushes before the new request is admitted.
+        frontend.submit(12, arrival_seconds=0.7)
+        assert frontend.pending_count == 1
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_WAIT: 1}
+        assert frontend.take_record(first) == database.record(10)
+        frontend.close()
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_WAIT: 1, FLUSH_ON_CLOSE: 1}
+
+    def test_advance_time_flushes_without_new_arrivals(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=100, max_wait_seconds=0.25),
+        )
+        request = frontend.submit(42, arrival_seconds=1.0)
+        frontend.advance_time(1.1)
+        assert frontend.pending_count == 1
+        frontend.advance_time(1.3)
+        assert frontend.pending_count == 0
+        assert frontend.take_record(request) == database.record(42)
+
+    def test_clock_moves_forward_only(self, database):
+        frontend = PIRFrontend(make_client(database), reference_replicas(database))
+        frontend.submit(0, arrival_seconds=5.0)
+        with pytest.raises(ProtocolError):
+            frontend.submit(1, arrival_seconds=4.0)
+
+    def test_unknown_request_id_rejected(self, database):
+        frontend = PIRFrontend(make_client(database), reference_replicas(database))
+        with pytest.raises(ProtocolError):
+            frontend.take_record(99)
+
+    def test_empty_retrieve_batch(self, database):
+        frontend = PIRFrontend(make_client(database), reference_replicas(database))
+        assert frontend.retrieve_batch([]) == []
+        assert frontend.metrics.batches_dispatched == 0
+
+
+class TestInterleavedReplicas:
+    def test_pairing_survives_interleaved_batches(self, database):
+        """Queries from many requests interleave inside each replica's batch;
+        the frontend must still pair every request's two answers by id."""
+        frontend = PIRFrontend(
+            make_client(database),
+            impir_replicas(database),
+            policy=BatchingPolicy(max_batch_size=8),
+        )
+        indices = [7, 7, 100, 511, 0, 100, 8, 9]  # duplicates on purpose
+        records = frontend.retrieve_batch(indices)
+        assert records == [database.record(i) for i in indices]
+
+    def test_mixed_architecture_replicas(self, database):
+        """Replica 0 on PIM, replica 1 on the reference scan: the protocol
+        does not care where a replica runs."""
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=4))
+        replicas = [
+            IMPIRServer(database, config=config, server_id=0),
+            PIRServer(database, server_id=1, prg=make_prg("numpy")),
+        ]
+        frontend = PIRFrontend(make_client(database), replicas)
+        assert frontend.retrieve_batch([3, 300]) == [
+            database.record(3),
+            database.record(300),
+        ]
+
+    def test_replica_order_validated(self, database):
+        replicas = list(reversed(reference_replicas(database)))
+        with pytest.raises(ProtocolError):
+            PIRFrontend(make_client(database), replicas)
+
+    def test_replica_count_validated(self, database):
+        with pytest.raises(ProtocolError):
+            PIRFrontend(make_client(database), reference_replicas(database)[:1])
+
+
+class _TamperingReplica:
+    """A replica whose answer stream can drop or duplicate entries."""
+
+    def __init__(self, inner, drop_first=False, duplicate_first=False):
+        self._inner = inner
+        self.server_id = inner.server_id
+        self._drop_first = drop_first
+        self._duplicate_first = duplicate_first
+
+    def answer_batch(self, queries):
+        answers = [self._inner.answer(query) for query in queries]
+        if self._drop_first:
+            answers = answers[1:]
+        if self._duplicate_first:
+            answers = [answers[0]] + answers
+        return answers
+
+
+class TestPairingFaults:
+    def test_missing_answer_raises(self, database):
+        replicas = reference_replicas(database)
+        replicas[1] = _TamperingReplica(replicas[1], drop_first=True)
+        frontend = PIRFrontend(make_client(database), replicas)
+        with pytest.raises(ProtocolError, match="missing answer"):
+            frontend.retrieve_batch([5, 6])
+
+    def test_duplicate_answer_raises(self, database):
+        replicas = reference_replicas(database)
+        replicas[0] = _TamperingReplica(replicas[0], duplicate_first=True)
+        frontend = PIRFrontend(make_client(database), replicas)
+        with pytest.raises(ProtocolError, match="duplicate answer"):
+            frontend.retrieve_batch([5, 6])
+
+
+class TestSchedulingMetrics:
+    def test_metrics_report_via_batch_schedule(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            impir_replicas(database),
+            policy=BatchingPolicy(max_batch_size=8),
+        )
+        frontend.retrieve_batch(list(range(8)))
+        metrics = frontend.metrics
+        assert metrics.batches_dispatched == 1
+        assert metrics.total_makespan_seconds > 0
+        assert metrics.throughput_qps == pytest.approx(8 / metrics.total_makespan_seconds)
+        assert isinstance(metrics.last_schedule, BatchSchedule)
+        assert 0 < metrics.last_cluster_utilization <= 1.0
+
+    def test_untimed_replicas_report_infinite_throughput(self, database):
+        frontend = PIRFrontend(make_client(database), reference_replicas(database))
+        frontend.retrieve_batch([1])
+        assert frontend.metrics.total_makespan_seconds == 0.0
+        assert frontend.metrics.throughput_qps == float("inf")
+
+    def test_cpu_replicas_report_their_analytic_makespan(self, database):
+        """The frontend honours the CPU baseline's batch cost model."""
+        from repro.cpu.cpu_pir import CPUPIRServer
+
+        replicas = [CPUPIRServer(database, server_id=i, prg=make_prg("numpy")) for i in (0, 1)]
+        expected = replicas[0].estimate_batch(
+            database.num_records, database.record_size, batch_size=3
+        ).latency_seconds
+        frontend = PIRFrontend(make_client(database), replicas)
+        frontend.retrieve_batch([1, 2, 3])
+        assert frontend.metrics.total_makespan_seconds == pytest.approx(expected)
+
+    def test_streamed_replicas_report_sequential_makespan(self, database):
+        """Streamed servers return per-query results; the frontend sums them."""
+        from repro.core.streaming import StreamedIMPIRServer
+
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=4, tasklets=2))
+        replicas = [
+            StreamedIMPIRServer(database, config=config, server_id=i, segment_records=200)
+            for i in (0, 1)
+        ]
+        frontend = PIRFrontend(make_client(database), replicas)
+        frontend.retrieve_batch([1, 2])
+        assert frontend.metrics.total_makespan_seconds > 0
+
+
+class TestAgainstSeedBehaviour:
+    """PIRFrontend.retrieve_batch matches the seed's pairing semantics."""
+
+    def test_matches_manual_per_query_reconstruction(self, database):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=4), num_clusters=2)
+        indices = [5, 99, 200, 511, 0]
+
+        manual_client = make_client(database, seed=12)
+        servers = [IMPIRServer(database, config=config, server_id=i) for i in (0, 1)]
+        manual = []
+        for index in indices:
+            queries = manual_client.query(index)
+            answers = [servers[q.server_id].answer(q).answer for q in queries]
+            manual.append(manual_client.reconstruct(answers))
+
+        frontend = PIRFrontend(
+            make_client(database, seed=12),
+            [IMPIRServer(database, config=config, server_id=i) for i in (0, 1)],
+            policy=BatchingPolicy(max_batch_size=len(indices)),
+        )
+        assert frontend.retrieve_batch(indices) == manual
+
+    def test_deployment_routes_through_frontend(self, database):
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=4), num_clusters=2)
+        deployment = IMPIRDeployment(database, config=config, client_seed=2)
+        indices = [5, 99, 248, 495]
+        records = deployment.retrieve_batch(indices)
+        assert records == [database.record(i) for i in indices]
+        assert deployment.frontend.metrics.batches_dispatched >= 1
+        assert deployment.frontend.metrics.total_makespan_seconds > 0
+        assert isinstance(deployment.frontend, RequestRouter)
+
+
+class TestOrphanAnswers:
+    def test_unmatched_answer_raises(self, database):
+        class _ExtraAnswerReplica(_TamperingReplica):
+            def answer_batch(self, queries):
+                answers = [self._inner.answer(query) for query in queries]
+                answers.append(
+                    PIRAnswer(query_id=10_000, server_id=self.server_id, payload=b"\0" * 32)
+                )
+                return answers
+
+        replicas = reference_replicas(database)
+        replicas[1] = _ExtraAnswerReplica(replicas[1])
+        frontend = PIRFrontend(make_client(database), replicas)
+        with pytest.raises(ProtocolError, match="unmatched"):
+            frontend.retrieve_batch([4])

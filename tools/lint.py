@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Dependency-free lint for the repo: unused imports and duplicate imports.
+
+The container ships no third-party linter, so ``make check`` runs this small
+AST pass instead.  It flags:
+
+* imported names never referenced in the module (including in annotations
+  and in ``__all__`` export lists);
+* the same name imported more than once in a module.
+
+Usage::
+
+    python tools/lint.py src [more dirs...]
+
+Exit status is non-zero when any finding is reported.  Append ``# noqa`` to
+an import line to suppress it (e.g. intentional re-exports outside
+``__init__.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(roots: List[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+def _noqa_lines(source: str) -> set:
+    return {
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if "# noqa" in line
+    }
+
+
+class _UsageCollector(ast.NodeVisitor):
+    """Collects every identifier a module references."""
+
+    def __init__(self) -> None:
+        self.used = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # ``pkg.mod.attr`` marks ``pkg`` used; the Name child handles that.
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # Strings inside __all__ / docstring cross-references count as usage;
+        # harvesting every string constant keeps re-export modules clean
+        # without special-casing __all__ assignment shapes.
+        if isinstance(node.value, str) and node.value.isidentifier():
+            self.used.add(node.value)
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [(error.lineno or 0, f"syntax error: {error.msg}")]
+    noqa = _noqa_lines(source)
+
+    imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                imports.append((node.lineno, bound, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports.append(
+                    (node.lineno, bound, f"from {node.module or '.'} import {alias.name}")
+                )
+
+    collector = _UsageCollector()
+    collector.visit(tree)
+
+    findings: List[Tuple[int, str]] = []
+    seen = {}
+    for lineno, bound, description in imports:
+        if lineno in noqa:
+            continue
+        if bound in seen and seen[bound] != lineno:
+            findings.append((lineno, f"duplicate import of {bound!r} ({description})"))
+        seen.setdefault(bound, lineno)
+        if bound not in collector.used:
+            findings.append((lineno, f"unused import {bound!r} ({description})"))
+    return sorted(findings)
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["src"]
+    total = 0
+    for path in iter_python_files(roots):
+        for lineno, message in check_file(path):
+            print(f"{path}:{lineno}: {message}")
+            total += 1
+    if total:
+        print(f"\n{total} lint finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
