@@ -23,6 +23,7 @@ Sub-packages:
 * :mod:`repro.pim` — the UPMEM PIM simulator (DPUs, MRAM/WRAM, kernels, timing)
 * :mod:`repro.cpu`, :mod:`repro.gpu` — the processor-centric baselines
 * :mod:`repro.core` — IM-PIR itself (partitioning, scheduling, the server)
+* :mod:`repro.shard` — sharding: shard plans, replica fleets, placement
 * :mod:`repro.analysis` — roofline, breakdowns, speedup reporting
 * :mod:`repro.workloads` — synthetic hash-record databases and query traces
 * :mod:`repro.bench` — analytic estimators and the per-figure harness
@@ -39,9 +40,10 @@ from repro.pim.config import PIMConfig
 from repro.pim.system import UPMEMSystem
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
-from repro.pir.frontend import BatchingPolicy, PIRFrontend
+from repro.pir.frontend import AdaptiveBatchingPolicy, BatchingPolicy, PIRFrontend
 from repro.pir.protocol import MultiServerPIRProtocol
 from repro.pir.server import PIRServer
+from repro.shard import FleetRouter, ShardPlan, ShardedServer
 
 __version__ = "1.0.0"
 
@@ -50,8 +52,12 @@ __all__ = [
     "QueryEngine",
     "available_backends",
     "create_server",
+    "AdaptiveBatchingPolicy",
     "BatchingPolicy",
     "PIRFrontend",
+    "FleetRouter",
+    "ShardPlan",
+    "ShardedServer",
     "IMPIRDeployment",
     "IMPIRServer",
     "IMPIRBatchResult",

@@ -21,6 +21,8 @@ from repro.dpf.prf import make_prg
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
 from repro.pir.frontend import BatchingPolicy, PIRFrontend
+from repro.shard.fleet import FleetRouter, heats_from_trace, render_placements
+from repro.shard.plan import ShardPlan
 
 
 def backend_smoke(
@@ -88,4 +90,53 @@ def backend_smoke(
         f"{len(tuple(available_backends()))} backends agree bit-for-bit on "
         f"{len(list(indices))} queries; frontend paired and reconstructed every batch."
     )
+
+    lines.extend(_fleet_smoke(database, indices, seed))
     return "\n".join(lines)
+
+
+def _fleet_smoke(database: Database, indices: Sequence[int], seed: int) -> List[str]:
+    """Sharded cross-backend retrieval through a capability-placed fleet.
+
+    Shards the smoke database four ways, derives shard heats from a skewed
+    trace (most queries hit the first shard), lets the placement put hot
+    shards on preloaded PIM and cold shards on streamed IM-PIR, and verifies
+    a batched retrieval through the resulting two replica fleets.
+    """
+    plan = ShardPlan.uniform(database.num_records, 4, block_records=8)
+    hot = plan.shards[0]
+    trace = [hot.start] * 64 + list(indices)
+    heats = heats_from_trace(plan, trace)
+    # The demo must show both deployment kinds whatever indices the caller
+    # picked, so the least-queried shard is treated as fully cold for
+    # placement (retrieval correctness never depends on placement).
+    coldest = min(plan.non_empty_shards, key=lambda shard: heats[shard.index])
+    heats[coldest.index] = 0.0
+    router = FleetRouter(
+        PIRClient(
+            database.num_records, database.record_size, seed=seed + 3, prg=make_prg("numpy")
+        ),
+        database,
+        plan,
+        heats,
+        policy=BatchingPolicy(max_batch_size=len(list(indices))),
+    )
+    kinds = set(router.placement_kinds())
+    if len(kinds) < 2:
+        raise AssertionError(
+            f"capability placement used a single backend kind for hot and cold "
+            f"shards: {kinds}"
+        )
+    records = router.retrieve_batch(list(indices))
+    for index, record in zip(indices, records):
+        if record != database.record(index):
+            raise AssertionError(f"sharded fleet returned a wrong record for {index}")
+
+    lines = ["", f"Sharded fleet: {plan.num_shards} shards, capability-aware placement"]
+    lines.extend(render_placements(router.placements))
+    lines.append(
+        f"fleet retrieval verified for {len(list(indices))} indices across "
+        f"{len(kinds)} backend kinds; batch makespan "
+        f"{format_seconds(router.metrics.total_makespan_seconds)}"
+    )
+    return lines

@@ -348,7 +348,10 @@ def register_backend(name: str, builder: ServerBuilder) -> ServerBuilder:
 
 
 def _ensure_default_backends() -> None:
-    """Populate the registry with the five shipped variants (exactly once).
+    """Populate the registry with the shipped variants (exactly once).
+
+    The five single-machine servers plus the composed ``sharded`` variant
+    (a :class:`~repro.shard.backend.ShardedServer` over reference children).
 
     Imports happen lazily here (not at module import) because the server
     modules themselves depend on this module.  User registrations made
@@ -413,6 +416,23 @@ def _ensure_default_backends() -> None:
             config=kw.get("config", default_config(num_dpus=4)),
             server_id=server_id,
             segment_records=kw.get("segment_records"),
+        ),
+    )
+
+    from repro.shard.backend import ShardedServer
+
+    register_default(
+        "sharded",
+        lambda db, server_id=0, **kw: ShardedServer(
+            db,
+            server_id=server_id,
+            num_shards=kw.get("num_shards", 2),
+            child_kind=kw.get("child_kind", "reference"),
+            block_records=kw.get("block_records", 1),
+            plan=kw.get("plan"),
+            config=kw.get("config"),
+            segment_records=kw.get("segment_records"),
+            prg=kw.get("prg", make_prg("numpy")),
         ),
     )
 

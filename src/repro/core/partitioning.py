@@ -133,6 +133,35 @@ class DatabasePartitioner:
         return total
 
 
+def aligned_chunk_bounds(
+    num_records: int, num_chunks: int, block_records: int = 1
+) -> List[Tuple[int, int]]:
+    """Split ``[0, num_records)`` into contiguous ranges on block boundaries.
+
+    Like :meth:`Database.chunk_bounds`, but every internal boundary is a
+    multiple of ``block_records`` (the final chunk absorbs the tail).  The
+    shard layer uses this so a shard handed to a PIM/DPU backend keeps the
+    partitioning invariants its own per-DPU layout assumes — a shard never
+    starts or ends mid-block.  Chunks beyond the block count are empty
+    ``(stop, stop)`` ranges, mirroring the unaligned rule.
+    """
+    if num_chunks <= 0:
+        raise ConfigurationError("num_chunks must be positive")
+    if block_records <= 0:
+        raise ConfigurationError("block_records must be positive")
+    num_blocks = -(-num_records // block_records)
+    base = num_blocks // num_chunks
+    remainder = num_blocks % num_chunks
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for chunk_index in range(num_chunks):
+        blocks = base + (1 if chunk_index < remainder else 0)
+        stop = min(num_records, start + blocks * block_records)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
 def kwargs_for_kernel(layout: PartitionLayout) -> List[dict]:
     """Per-DPU keyword arguments for :class:`~repro.pim.kernels.DpXorKernel`."""
     return [

@@ -3,6 +3,7 @@
 from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, ClientStats, PIRClient
 from repro.pir.database import DEFAULT_RECORD_SIZE, Database
 from repro.pir.frontend import (
+    AdaptiveBatchingPolicy,
     BatchingPolicy,
     FrontendMetrics,
     PIRFrontend,
@@ -37,6 +38,7 @@ __all__ = [
     "PIRClient",
     "DEFAULT_RECORD_SIZE",
     "Database",
+    "AdaptiveBatchingPolicy",
     "BatchingPolicy",
     "FrontendMetrics",
     "PIRFrontend",

@@ -9,6 +9,8 @@ clients and the replica set:
 * **batching** — pending requests aggregate under a :class:`BatchingPolicy`
   (maximum batch size plus a maximum simulated wait), so the expensive
   per-batch pipeline fill/drain of Fig. 8 is amortised over many requests;
+  an :class:`AdaptiveBatchingPolicy` resizes the batch online (AIMD) from
+  the cluster utilization each flushed batch reports;
 * **routing** — each flushed batch fans out to every replica's
   ``answer_batch`` (the replicas are independent trust domains; functionally
   they are called in sequence, the simulated makespan treats them as
@@ -81,6 +83,73 @@ class BatchingPolicy:
         return cls(max_batch_size=width * max(1, rounds), max_wait_seconds=max_wait_seconds)
 
 
+class AdaptiveBatchingPolicy:
+    """An AIMD controller resizing ``max_batch_size`` online.
+
+    The frontend reports every flushed batch's
+    :meth:`~repro.core.scheduler.BatchSchedule.cluster_utilization` back to
+    its policy (:meth:`observe_utilization`); this policy steers the batch
+    size toward the smallest value that keeps the Fig. 8 pipeline saturated:
+
+    * utilization below ``low_utilization`` means fill/drain effects dominate
+      (the batch is too small to keep every cluster busy) — **additively
+      increase** the batch size;
+    * utilization above ``high_utilization`` means the pipeline is saturated
+      and further batching only adds queueing latency — **multiplicatively
+      decrease** back toward the knee.
+
+    The duck-typed surface (``max_batch_size``/``max_wait_seconds``) matches
+    :class:`BatchingPolicy`, so the frontend accepts either interchangeably.
+    """
+
+    def __init__(
+        self,
+        initial_batch_size: int = 8,
+        max_wait_seconds: float = 0.05,
+        min_batch_size: int = 1,
+        max_batch_size_limit: int = 256,
+        increase_step: int = 2,
+        decrease_factor: float = 0.5,
+        low_utilization: float = 0.5,
+        high_utilization: float = 0.9,
+    ) -> None:
+        if not 1 <= min_batch_size <= initial_batch_size <= max_batch_size_limit:
+            raise ProtocolError(
+                "need min_batch_size <= initial_batch_size <= max_batch_size_limit"
+            )
+        if max_wait_seconds < 0:
+            raise ProtocolError("max_wait_seconds must be non-negative")
+        if increase_step <= 0:
+            raise ProtocolError("increase_step must be positive")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ProtocolError("decrease_factor must be in (0, 1)")
+        if not 0.0 <= low_utilization <= high_utilization <= 1.0:
+            raise ProtocolError("need 0 <= low_utilization <= high_utilization <= 1")
+        self.max_batch_size = initial_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.min_batch_size = min_batch_size
+        self.max_batch_size_limit = max_batch_size_limit
+        self.increase_step = increase_step
+        self.decrease_factor = decrease_factor
+        self.low_utilization = low_utilization
+        self.high_utilization = high_utilization
+        #: ``(utilization, resulting max_batch_size)`` per observation.
+        self.history: List[Tuple[float, int]] = []
+
+    def observe_utilization(self, utilization: float) -> int:
+        """Feed one batch's cluster utilization; returns the new batch size."""
+        if utilization < self.low_utilization:
+            self.max_batch_size = min(
+                self.max_batch_size_limit, self.max_batch_size + self.increase_step
+            )
+        elif utilization > self.high_utilization:
+            self.max_batch_size = max(
+                self.min_batch_size, int(self.max_batch_size * self.decrease_factor)
+            )
+        self.history.append((utilization, self.max_batch_size))
+        return self.max_batch_size
+
+
 @dataclass
 class PendingRequest:
     """A submitted retrieval waiting for its batch to flush."""
@@ -103,6 +172,8 @@ class FrontendMetrics:
 
     batches_dispatched: int = 0
     requests_served: int = 0
+    #: Requests answered from another request's scan (``dedup=True`` only).
+    deduped_requests: int = 0
     #: Sum over batches of the slowest replica's makespan (replicas overlap).
     total_makespan_seconds: float = 0.0
     flush_reasons: Dict[str, int] = field(default_factory=dict)
@@ -131,7 +202,22 @@ class PIRFrontend:
         client: PIRClient,
         replicas: Sequence,
         policy: Optional[BatchingPolicy] = None,
+        dedup: bool = False,
     ) -> None:
+        """``policy`` may be a :class:`BatchingPolicy` or an
+        :class:`AdaptiveBatchingPolicy` (any object exposing
+        ``max_batch_size``/``max_wait_seconds``; if it also exposes
+        ``observe_utilization``, every flushed batch's cluster utilization is
+        reported back to it).
+
+        ``dedup=True`` scans each distinct index of a batch once and fans the
+        reconstructed record back out to every request that asked for it, by
+        request id.  **Privacy caveat**: the replicas then see one query where
+        a non-deduplicating frontend would send several, so the batch's query
+        count leaks the number of *distinct* indices in it.  That is only
+        acceptable when the frontend is a trusted aggregator and the observed
+        traffic pattern is part of the threat model — hence off by default.
+        """
         if len(replicas) != client.num_servers:
             raise ProtocolError(
                 f"client expects {client.num_servers} replicas, got {len(replicas)}"
@@ -145,6 +231,7 @@ class PIRFrontend:
         self.client = client
         self.replicas = list(replicas)
         self.policy = policy if policy is not None else BatchingPolicy()
+        self.dedup = dedup
         self.metrics = FrontendMetrics()
         self._pending: List[PendingRequest] = []
         self._completed: Dict[int, bytes] = {}
@@ -169,7 +256,9 @@ class PIRFrontend:
             request_id=request_id,
             index=index,
             arrival_seconds=now,
-            queries=self.client.query(index),
+            # With dedup enabled, query generation is deferred to flush time
+            # so only one query set is produced per distinct index in a batch.
+            queries=[] if self.dedup else self.client.query(index),
         )
         self._pending.append(request)
         if len(self._pending) >= self.policy.max_batch_size:
@@ -227,8 +316,20 @@ class PIRFrontend:
     def _flush(self, reason: str) -> None:
         batch, self._pending = self._pending, []
 
+        if self.dedup:
+            # One leader per distinct index generates (and owes) the queries;
+            # followers are satisfied from the leader's reconstruction below.
+            leaders: Dict[int, PendingRequest] = {}
+            for request in batch:
+                if request.index not in leaders:
+                    request.queries = self.client.query(request.index)
+                    leaders[request.index] = request
+            scanned = list(leaders.values())
+        else:
+            scanned = batch
+
         per_server: List[List] = [[] for _ in self.replicas]
-        for request in batch:
+        for request in scanned:
             for query in request.queries:
                 per_server[query.server_id].append(query)
 
@@ -254,7 +355,8 @@ class PIRFrontend:
                     )
                 answers_by_key[key] = answer
 
-        for request in batch:
+        record_by_index: Dict[int, bytes] = {}
+        for request in scanned:
             group = []
             for key in request.expected_keys:
                 try:
@@ -265,7 +367,15 @@ class PIRFrontend:
                         f"(query {key[0]}, server {key[1]})"
                     ) from None
             group.sort(key=lambda answer: answer.server_id)
-            self._completed[request.request_id] = self.client.reconstruct(group)
+            record = self.client.reconstruct(group)
+            record_by_index[request.index] = record
+            self._completed[request.request_id] = record
+        if self.dedup:
+            # Fan each leader's record back out to its followers by request id.
+            for request in batch:
+                if request.request_id not in self._completed:
+                    self._completed[request.request_id] = record_by_index[request.index]
+                    self.metrics.deduped_requests += 1
         if answers_by_key:
             orphans = sorted(answers_by_key)
             raise ProtocolError(f"replicas returned {len(orphans)} unmatched answers: {orphans}")
@@ -279,6 +389,9 @@ class PIRFrontend:
             slowest = max(schedules, key=lambda schedule: schedule.makespan)
             self.metrics.last_schedule = slowest
             self.metrics.last_cluster_utilization = slowest.cluster_utilization()
+            observe = getattr(self.policy, "observe_utilization", None)
+            if observe is not None:
+                observe(self.metrics.last_cluster_utilization)
 
 
 #: The frontend is a request router; both names are part of the public API.

@@ -1,0 +1,353 @@
+"""Sharded execution: one :class:`PIRBackend` composed of per-shard children.
+
+A :class:`ShardedBackend` implements the engine's backend protocol by
+delegating to one child backend per (non-empty) shard of a
+:class:`~repro.shard.plan.ShardPlan`:
+
+* ``prepare`` slices the database along the plan and hands each child its
+  shard (children preload concurrently, so their preload timers fold with
+  per-phase max);
+* ``execute`` splits the engine's full-domain selector vector per shard,
+  lets every child scan its slice (schedule-wise in parallel — child phase
+  timers fold with per-phase max) and XOR-folds the sub-payloads into one
+  answer that is bit-identical to the unsharded scan;
+* ``apply_updates`` routes dirty records to the owning shard only, leaving
+  every other child's buffers untouched.
+
+The engine on top is a completely ordinary :class:`QueryEngine`: validation,
+DPF evaluation and answer assembly neither know nor care that the database
+is distributed.  Children are *bare* backends (no engine of their own) built
+by a factory, so a fleet can mix kinds — preloaded PIM for hot shards,
+streamed IM-PIR for cold ones (see :mod:`repro.shard.fleet`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.events import PhaseTimer
+from repro.core.config import IMPIRConfig
+from repro.core.engine import BackendCapabilities, PIRBackend, QueryEngine
+from repro.pir.database import Database
+from repro.shard.plan import ShardPlan, ShardSpec
+
+#: A callable building the bare execution backend for one shard.
+ShardBackendFactory = Callable[[ShardSpec], PIRBackend]
+
+#: Backend kinds :func:`bare_backend_factory` can instantiate per shard.
+BARE_BACKEND_KINDS: Tuple[str, ...] = (
+    "reference",
+    "cpu",
+    "gpu",
+    "im-pir",
+    "im-pir-streamed",
+)
+
+
+def default_child_config() -> IMPIRConfig:
+    """The per-shard PIM configuration used when none is supplied.
+
+    Small (4 DPUs, 2 tasklets) because a shard is a fraction of the database
+    and functional runs must stay fast; pass an explicit config to
+    :func:`bare_backend_factory` / :class:`ShardedServer` to override.
+    """
+    from repro.pim.config import scaled_down_config
+
+    return IMPIRConfig(pim=scaled_down_config(num_dpus=4, tasklets=2))
+
+
+def bare_backend_factory(
+    kind: str,
+    config: Optional[IMPIRConfig] = None,
+    segment_records: Optional[int] = None,
+) -> ShardBackendFactory:
+    """A factory producing fresh bare backends of ``kind`` for each shard.
+
+    The CPU/GPU kinds share the reference scan substrate (their cost models
+    live in the server facades, not the backend); the PIM kinds each get
+    their own simulated UPMEM system so shards are independent machines.
+    """
+    if kind not in BARE_BACKEND_KINDS:
+        raise ConfigurationError(
+            f"unknown shard backend kind {kind!r}; known: {', '.join(BARE_BACKEND_KINDS)}"
+        )
+
+    def build(shard: ShardSpec) -> PIRBackend:
+        from repro.core.engine import ReferenceBackend
+
+        if kind == "reference":
+            return ReferenceBackend()
+        if kind == "cpu":
+            return ReferenceBackend(name="cpu-pir")
+        if kind == "gpu":
+            return ReferenceBackend(name="gpu-pir")
+        child_config = config if config is not None else default_child_config()
+        from repro.pim.system import UPMEMSystem
+
+        if kind == "im-pir":
+            from repro.core.impir import PIMClusterBackend
+
+            return PIMClusterBackend(child_config, UPMEMSystem(child_config.pim))
+        from repro.core.streaming import StreamedPIMBackend
+
+        return StreamedPIMBackend(
+            child_config,
+            UPMEMSystem(child_config.pim),
+            segment_records=segment_records,
+        )
+
+    return build
+
+
+class ShardedBackend(PIRBackend):
+    """A replica fleet: child backends per shard behind one backend surface."""
+
+    def __init__(
+        self,
+        child_factory: ShardBackendFactory,
+        num_shards: int = 2,
+        plan: Optional[ShardPlan] = None,
+        block_records: int = 1,
+        name: str = "sharded",
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        self._child_factory = child_factory
+        self._num_shards = plan.num_shards if plan is not None else num_shards
+        self._block_records = plan.block_records if plan is not None else block_records
+        self._requested_plan = plan
+        self._name = name
+        self.plan: Optional[ShardPlan] = None
+        #: ``(shard, child)`` pairs for every non-empty shard, in shard order.
+        self._members: List[Tuple[ShardSpec, PIRBackend]] = []
+        #: Per-member lane counts, cached at prepare (hot path must not
+        #: rebuild child capability objects per query).
+        self._child_lanes: List[int] = []
+        self._database: Optional[Database] = None
+
+    # -- database lifecycle ------------------------------------------------------
+
+    def prepare(self, database: Database) -> Optional[PhaseTimer]:
+        """Slice the database along the plan and prepare one child per shard.
+
+        Shards preload concurrently on independent machines, so child preload
+        timers fold with per-phase max.  With an explicitly pinned plan the
+        database must match its shape (silently substituting a uniform plan
+        would discard the caller's placement); without one, a re-prepare with
+        a different shape rebuilds the plan uniformly, keeping the shard
+        count and alignment.
+        """
+        self._database = database
+        if self._requested_plan is not None:
+            self._requested_plan.check_shape(database.num_records)
+            self.plan = self._requested_plan
+        else:
+            self.plan = ShardPlan.uniform(
+                database.num_records, self._num_shards, self._block_records
+            )
+        timer = PhaseTimer()
+        self._members = []
+        for shard, shard_db in zip(
+            self.plan.non_empty_shards, self.plan.slice_database(database)
+        ):
+            child = self._child_factory(shard)
+            report = child.prepare(shard_db)
+            if report is not None:
+                timer.merge_parallel(report)
+            self._members.append((shard, child))
+        self._child_lanes = [child.capabilities().lanes for _, child in self._members]
+        return timer if timer.durations else None
+
+    def apply_updates(self, database: Database, dirty_indices: Sequence[int]) -> PhaseTimer:
+        """Swap in an updated database, touching only the owning shards.
+
+        Dirty records are routed through the plan; a child whose shard holds
+        none of them keeps its execution buffers untouched (and costs
+        nothing).  Children exposing their own ``apply_updates`` (the PIM
+        backend's partial MRAM re-copy) get shard-local dirty indices;
+        others re-prepare their shard slice.
+        """
+        if self.plan is None:
+            raise ProtocolError("sharded backend has no prepared database")
+        self.plan.check_shape(database.num_records)
+        routed = self.plan.route_records(dirty_indices)
+        timer = PhaseTimer()
+        for shard, child in self._members:
+            dirty = routed.get(shard.index)
+            if not dirty:
+                continue
+            shard_db = Database(database.chunk(shard.start, shard.stop))
+            local = sorted(index - shard.start for index in dirty)
+            child_apply = getattr(child, "apply_updates", None)
+            if child_apply is not None:
+                report = child_apply(shard_db, local)
+            else:
+                report = child.prepare(shard_db)
+            if report is not None:
+                timer.merge_parallel(report)
+        self._database = database
+        return timer
+
+    # -- capability metadata -----------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        """Fleet-level capabilities aggregated from the children.
+
+        Lanes and batch workers take the fleet minimum (every shard must be
+        able to serve the lane the engine picks); ``supports_naive`` and
+        ``preloaded`` hold only if they hold for every member; capacity is
+        the sum of the members' advertised bounds when all are known.
+        """
+        children = [child.capabilities() for _, child in self._members]
+        if not children:
+            return BackendCapabilities(name=self._name, description="sharded (unprepared)")
+        max_records: Optional[int] = 0
+        for caps in children:
+            if caps.max_records is None:
+                max_records = None
+                break
+            max_records += caps.max_records
+        kinds = sorted({caps.name for caps in children})
+        return BackendCapabilities(
+            name=self._name,
+            lanes=min(caps.lanes for caps in children),
+            batch_workers=min(caps.batch_workers for caps in children),
+            supports_naive=all(caps.supports_naive for caps in children),
+            preloaded=all(caps.preloaded for caps in children),
+            max_records=max_records,
+            description=(
+                f"{len(self._members)} shards over {'+'.join(kinds)} backends"
+            ),
+        )
+
+    # -- timing hooks --------------------------------------------------------------
+
+    def latency_eval_seconds(self, num_records: int) -> float:
+        """Host DPF evaluation happens once for the full domain; the fleet is
+        as slow as its slowest member's host."""
+        return max(
+            (child.latency_eval_seconds(num_records) for _, child in self._members),
+            default=0.0,
+        )
+
+    def batch_eval_seconds(self, num_records: int) -> float:
+        return max(
+            (child.batch_eval_seconds(num_records) for _, child in self._members),
+            default=0.0,
+        )
+
+    # -- the sharded dpXOR ---------------------------------------------------------
+
+    def execute(
+        self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
+    ) -> np.ndarray:
+        """Split the selector per shard, scan children, XOR-fold sub-payloads.
+
+        Shards run on independent machines, so the children's phase timers
+        combine with per-phase max (schedule-wise parallel) before being
+        charged to the query's breakdown.
+        """
+        if self._database is None or self.plan is None:
+            raise ProtocolError("sharded backend has no prepared database")
+        accumulator = np.zeros(self._database.record_size, dtype=np.uint8)
+        combined = PhaseTimer()
+        for (shard, child), child_lanes, selector_slice in zip(
+            self._members, self._child_lanes, self.plan.split_selector(selector_bits)
+        ):
+            child_timer = PhaseTimer()
+            # The engine bounds lane by the fleet minimum, but members keep
+            # serving if a caller drives a bare backend with a larger lane.
+            child_lane = min(lane, child_lanes - 1)
+            sub = child.execute(selector_slice, child_timer, lane=child_lane)
+            accumulator ^= np.asarray(sub, dtype=np.uint8).reshape(-1)
+            combined.merge_parallel(child_timer)
+        breakdown.merge(combined)
+        return accumulator
+
+    # -- views for facades/tests ----------------------------------------------------
+
+    @property
+    def members(self) -> List[Tuple[ShardSpec, PIRBackend]]:
+        """``(shard, child backend)`` pairs, in shard order (read-only use)."""
+        return list(self._members)
+
+
+class ShardedServer:
+    """Server facade over a :class:`ShardedBackend`: one replica, many shards."""
+
+    def __init__(
+        self,
+        database: Database,
+        server_id: int = 0,
+        num_shards: int = 2,
+        child_kind: str = "reference",
+        child_factory: Optional[ShardBackendFactory] = None,
+        plan: Optional[ShardPlan] = None,
+        block_records: int = 1,
+        config: Optional[IMPIRConfig] = None,
+        segment_records: Optional[int] = None,
+        prg=None,
+    ) -> None:
+        if child_factory is None:
+            child_factory = bare_backend_factory(
+                child_kind, config=config, segment_records=segment_records
+            )
+        self.backend = ShardedBackend(
+            child_factory,
+            num_shards=num_shards,
+            plan=plan,
+            block_records=block_records,
+        )
+        self.engine = QueryEngine(self.backend, server_id=server_id, prg=prg)
+        self.engine.prepare(database)
+        self.server_id = server_id
+
+    @property
+    def database(self) -> Database:
+        """The replica's current (full, unsharded) database snapshot."""
+        return self.engine.database
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The shard plan currently in effect."""
+        return self.backend.plan
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the current plan."""
+        return self.backend.plan.num_shards
+
+    @property
+    def preload_report(self) -> Optional[PhaseTimer]:
+        """Fleet preload cost (per-phase max across shards), if any was charged."""
+        return self.engine.preload_report
+
+    def answer(self, query, cluster_index: int = 0):
+        """Answer one query across every shard of the fleet."""
+        return self.engine.answer(query, lane=cluster_index)
+
+    def answer_batch(self, queries: Sequence):
+        """Answer a batch; every query fans out to every shard."""
+        return self.engine.answer_many(queries)
+
+    def apply_updates(self, updates) -> PhaseTimer:
+        """Apply ``(index, record_bytes)`` updates, touching owning shards only."""
+        updates = list(updates)
+        if not updates:
+            return PhaseTimer()
+        new_database = self.database.with_updates(updates)
+        dirty_indices = sorted({index for index, _ in updates})
+        timer = self.backend.apply_updates(new_database, dirty_indices)
+        self.engine.database = new_database
+        return timer
+
+    def shard_for_record(self, record_index: int) -> ShardSpec:
+        """The shard owning ``record_index`` (routing/diagnostic helper)."""
+        return self.backend.plan.shard_for_record(record_index)
+
+    def shard_utilization(self) -> Dict[int, int]:
+        """Records held per shard index (diagnostic)."""
+        return {shard.index: shard.num_records for shard in self.backend.plan.shards}

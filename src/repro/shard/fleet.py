@@ -1,0 +1,258 @@
+"""Fleet routing: capability-aware placement of shards onto backend kinds.
+
+The registry's capability metadata says *what* each backend kind is
+(``preloaded`` or streamed, how many lanes); the timing models say *what it
+costs* to hold and to scan a shard there.  This module combines the two into
+a placement decision: for every shard of a :class:`~repro.shard.plan.ShardPlan`,
+given an expected query rate ("heat"), pick the cheapest capable backend
+kind over an operating window —
+
+* a **preloaded** kind (PIM MRAM) pays the shard transfer once per window
+  and then scans from resident memory, so it wins for hot shards;
+* a **streamed** kind pays the shard transfer on *every* query but keeps no
+  standing copy, so it wins for cold shards (heat below roughly one query
+  per window — the transfer amortisation break-even).
+
+A :class:`FleetRouter` applies the placement: each of the two privacy
+replicas becomes a *fleet* — a :class:`~repro.shard.backend.ShardedServer`
+whose per-shard children follow the chosen kinds — behind the ordinary
+batching :class:`~repro.pir.frontend.PIRFrontend` surface, with the
+per-shard cost estimates kept on ``placements`` for bench reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import IMPIRConfig
+from repro.pim.timing import PIMTimingModel
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.frontend import BatchingPolicy, PIRFrontend
+from repro.shard.backend import (
+    PIRBackend,
+    ShardedServer,
+    bare_backend_factory,
+    default_child_config,
+)
+from repro.shard.plan import ShardPlan, ShardSpec
+
+
+@dataclass(frozen=True)
+class CandidateKind:
+    """One backend kind a shard could be placed on, with its cost formulas.
+
+    ``per_query_seconds``/``preload_seconds`` take ``(num_records,
+    record_size)`` of a shard and return simulated seconds; ``preloaded``
+    mirrors the kind's :class:`~repro.core.engine.BackendCapabilities` flag.
+    """
+
+    kind: str
+    preloaded: bool
+    per_query_seconds: Callable[[int, int], float]
+    preload_seconds: Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """One shard's placement decision plus the estimates that justified it."""
+
+    shard: ShardSpec
+    kind: str
+    preloaded: bool
+    #: Expected queries touching this shard per operating window.
+    heat: float
+    per_query_seconds: float
+    preload_seconds: float
+
+    @property
+    def window_cost_seconds(self) -> float:
+        """Estimated shard cost over one window: preload + heat x per-query."""
+        return self.preload_seconds + self.heat * self.per_query_seconds
+
+
+def default_candidates(config: Optional[IMPIRConfig] = None) -> List[CandidateKind]:
+    """The two PIM deployment kinds the paper's capacity discussion contrasts.
+
+    Costs come from the same :class:`~repro.pim.timing.PIMTimingModel` the
+    functional simulators charge, evaluated on shard-shaped byte counts:
+    the dpXOR chain is common to both; the streamed kind adds the shard
+    transfer to every query, the preloaded kind pays it once per window.
+    """
+    config = config if config is not None else IMPIRConfig()
+    timing = PIMTimingModel(config.pim)
+    dpus = config.pim.num_dpus
+
+    def chain_seconds(num_records: int, record_size: int) -> float:
+        records_per_dpu = -(-num_records // dpus)
+        selector_bytes = dpus * ((records_per_dpu + 7) // 8)
+        kernel = timing.dpu_dpxor_cost(records_per_dpu * record_size, record_size)
+        return (
+            timing.host_to_dpu_seconds(selector_bytes)
+            + timing.launch_seconds(dpus)
+            + kernel.total_seconds
+            + timing.dpu_to_host_seconds(dpus * record_size)
+            + timing.host_aggregate_xor_seconds(dpus, record_size)
+        )
+
+    def shard_copy_seconds(num_records: int, record_size: int) -> float:
+        return timing.host_to_dpu_seconds(num_records * record_size)
+
+    return [
+        CandidateKind(
+            kind="im-pir",
+            preloaded=True,
+            per_query_seconds=chain_seconds,
+            preload_seconds=shard_copy_seconds,
+        ),
+        CandidateKind(
+            kind="im-pir-streamed",
+            preloaded=False,
+            per_query_seconds=lambda n, r: chain_seconds(n, r) + shard_copy_seconds(n, r),
+            preload_seconds=lambda n, r: 0.0,
+        ),
+    ]
+
+
+def heats_from_trace(plan: ShardPlan, indices: Sequence[int]) -> List[float]:
+    """Expected per-window queries per shard, measured from a trace of indices.
+
+    Returns one heat per shard of the plan (empty shards get 0.0); the
+    natural input for :func:`plan_placements` when a workload sample is
+    available.
+    """
+    heats = [0.0] * plan.num_shards
+    for shard_index, routed in plan.route_records(indices).items():
+        heats[shard_index] = float(len(routed))
+    return heats
+
+
+def plan_placements(
+    plan: ShardPlan,
+    record_size: int,
+    heats: Sequence[float],
+    candidates: Optional[Sequence[CandidateKind]] = None,
+) -> List[ShardPlacement]:
+    """Place every non-empty shard on its cheapest capable backend kind.
+
+    ``heats[i]`` is the expected number of queries touching shard ``i`` per
+    operating window.  For each shard the candidates' window costs
+    (``preload + heat * per_query``) are compared; ties go to the first
+    candidate listed.
+    """
+    if len(heats) != plan.num_shards:
+        raise ConfigurationError(
+            f"got {len(heats)} heats for {plan.num_shards} shards"
+        )
+    if any(heat < 0 for heat in heats):
+        raise ConfigurationError("shard heats must be non-negative")
+    if candidates is None:
+        candidates = default_candidates()
+    if not candidates:
+        raise ConfigurationError("placement needs at least one candidate kind")
+
+    placements: List[ShardPlacement] = []
+    for shard in plan.non_empty_shards:
+        heat = float(heats[shard.index])
+        options = [
+            ShardPlacement(
+                shard=shard,
+                kind=candidate.kind,
+                preloaded=candidate.preloaded,
+                heat=heat,
+                per_query_seconds=candidate.per_query_seconds(
+                    shard.num_records, record_size
+                ),
+                preload_seconds=candidate.preload_seconds(
+                    shard.num_records, record_size
+                ),
+            )
+            for candidate in candidates
+        ]
+        placements.append(min(options, key=lambda option: option.window_cost_seconds))
+    return placements
+
+
+def render_placements(placements: Sequence[ShardPlacement]) -> List[str]:
+    """Plain-text placement table (one line per shard) for bench reporting."""
+    lines = [
+        f"{'shard':>6} {'records':>10} {'heat':>8} {'kind':>16} "
+        f"{'per-query':>12} {'window cost':>12}"
+    ]
+    for placement in placements:
+        shard_range = f"[{placement.shard.start},{placement.shard.stop})"
+        lines.append(
+            f"{placement.shard.index:>6} {shard_range:>10} "
+            f"{placement.heat:>8.1f} {placement.kind:>16} "
+            f"{placement.per_query_seconds * 1e3:>10.3f}ms "
+            f"{placement.window_cost_seconds * 1e3:>10.3f}ms"
+        )
+    return lines
+
+
+class FleetRouter(PIRFrontend):
+    """A batching frontend whose replicas are capability-placed shard fleets.
+
+    Builds one :class:`~repro.shard.backend.ShardedServer` per privacy
+    replica; each server's shard children follow the placement computed from
+    ``heats`` (hot shards on preloaded PIM, cold shards on streamed IM-PIR,
+    by default).  Everything else — batching policy, answer pairing,
+    scheduling metrics — is the ordinary frontend surface.
+    """
+
+    def __init__(
+        self,
+        client: PIRClient,
+        database: Database,
+        plan: ShardPlan,
+        heats: Sequence[float],
+        candidates: Optional[Sequence[CandidateKind]] = None,
+        child_config: Optional[IMPIRConfig] = None,
+        policy: Optional[BatchingPolicy] = None,
+        dedup: bool = False,
+    ) -> None:
+        plan.check_shape(database.num_records)
+        self.plan = plan
+        if candidates is None:
+            # Cost the placement on the machine model the children will
+            # actually run with, not the paper-scale default.
+            candidates = default_candidates(
+                child_config if child_config is not None else default_child_config()
+            )
+        self.placements = plan_placements(
+            plan, database.record_size, heats, candidates=candidates
+        )
+        kind_by_shard = {
+            placement.shard.index: placement.kind for placement in self.placements
+        }
+
+        def child_factory(shard: ShardSpec) -> PIRBackend:
+            return bare_backend_factory(kind_by_shard[shard.index], config=child_config)(
+                shard
+            )
+
+        replicas = [
+            ShardedServer(
+                database,
+                server_id=server_id,
+                plan=plan,
+                child_factory=child_factory,
+            )
+            for server_id in range(client.num_servers)
+        ]
+        super().__init__(client, replicas, policy=policy, dedup=dedup)
+
+    @property
+    def fleets(self) -> List[ShardedServer]:
+        """The replica fleets (one sharded server per trust domain)."""
+        return self.replicas
+
+    def placement_kinds(self) -> List[str]:
+        """Chosen backend kind per non-empty shard, in shard order."""
+        return [placement.kind for placement in self.placements]
+
+    def describe_placements(self) -> str:
+        """Multi-line placement report for logs and bench output."""
+        return "\n".join(render_placements(self.placements))

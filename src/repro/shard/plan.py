@@ -1,0 +1,197 @@
+"""Shard plans: contiguous record-range partitions of a PIR database.
+
+A :class:`ShardPlan` is the distribution policy of the shard layer — *which*
+records live on *which* fleet member — kept deliberately separate from the
+PIR protocol code (the engine neither knows nor cares how many machines hold
+the database).  A plan tiles ``[0, num_records)`` with contiguous
+:class:`ShardSpec` ranges; boundaries can be forced onto ``block_records``
+multiples so PIM/DPU backends keep their own per-DPU partitioning invariants
+(a shard never starts or ends mid-block).
+
+Plans are value objects: slicing a database, splitting a selector vector and
+routing a record index are all pure functions of the plan, which is what
+makes the sharded execution path testably bit-identical to the unsharded
+one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, DatabaseError
+from repro.core.partitioning import aligned_chunk_bounds
+from repro.pir.database import Database
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous shard: records ``[start, stop)`` of the database."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("shard index must be non-negative")
+        if not 0 <= self.start <= self.stop:
+            raise ConfigurationError(f"invalid shard range [{self.start}, {self.stop})")
+
+    @property
+    def num_records(self) -> int:
+        """Records held by this shard."""
+        return self.stop - self.start
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the shard holds no records (shard count > record count)."""
+        return self.start == self.stop
+
+    def contains(self, record_index: int) -> bool:
+        """Whether ``record_index`` is owned by this shard."""
+        return self.start <= record_index < self.stop
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete tiling of a database into contiguous shards.
+
+    ``shards`` covers ``[0, num_records)`` exactly once, in order; trailing
+    shards may be empty when the plan has more shards than records.
+    """
+
+    num_records: int
+    shards: Tuple[ShardSpec, ...]
+    block_records: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_records <= 0:
+            raise ConfigurationError("num_records must be positive")
+        if not self.shards:
+            raise ConfigurationError("a plan needs at least one shard")
+        if self.block_records <= 0:
+            raise ConfigurationError("block_records must be positive")
+        cursor = 0
+        for position, shard in enumerate(self.shards):
+            if shard.index != position:
+                raise ConfigurationError(
+                    f"shard at position {position} carries index {shard.index}"
+                )
+            if shard.start != cursor:
+                raise ConfigurationError(
+                    f"shard {position} starts at {shard.start}, expected {cursor}"
+                )
+            cursor = shard.stop
+        if cursor != self.num_records:
+            raise ConfigurationError(
+                f"shards cover [0, {cursor}), database has {self.num_records} records"
+            )
+        # Cached for shard_for_record's bisect: routing a dirty-record batch
+        # must not rebuild this list per record (the plan is immutable).
+        object.__setattr__(
+            self, "_starts", tuple(shard.start for shard in self.shards)
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls, num_records: int, num_shards: int, block_records: int = 1
+    ) -> "ShardPlan":
+        """Evenly split ``num_records`` into ``num_shards`` aligned shards."""
+        bounds = aligned_chunk_bounds(num_records, num_shards, block_records)
+        return cls.from_bounds(num_records, bounds, block_records=block_records)
+
+    @classmethod
+    def from_bounds(
+        cls,
+        num_records: int,
+        bounds: Sequence[Tuple[int, int]],
+        block_records: int = 1,
+    ) -> "ShardPlan":
+        """Build a plan from explicit ``(start, stop)`` ranges."""
+        shards = tuple(
+            ShardSpec(index=i, start=start, stop=stop)
+            for i, (start, stop) in enumerate(bounds)
+        )
+        return cls(num_records=num_records, shards=shards, block_records=block_records)
+
+    # -- lookups ----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Total shard count, including empty trailing shards."""
+        return len(self.shards)
+
+    @property
+    def non_empty_shards(self) -> Tuple[ShardSpec, ...]:
+        """The shards that actually hold records."""
+        return tuple(shard for shard in self.shards if not shard.is_empty)
+
+    def shard_for_record(self, record_index: int) -> ShardSpec:
+        """The shard owning ``record_index``."""
+        if not 0 <= record_index < self.num_records:
+            raise DatabaseError(
+                f"record index {record_index} out of range [0, {self.num_records})"
+            )
+        position = bisect_right(self._starts, record_index) - 1
+        # Empty shards share their start with the owner that follows the same
+        # boundary; walk back to the shard that really contains the record.
+        while self.shards[position].is_empty:
+            position -= 1
+        return self.shards[position]
+
+    def route_records(self, record_indices: Sequence[int]) -> dict:
+        """Group record indices by owning shard: ``{shard_index: [indices]}``."""
+        routed: dict = {}
+        for record_index in record_indices:
+            shard = self.shard_for_record(record_index)
+            routed.setdefault(shard.index, []).append(record_index)
+        return routed
+
+    # -- splitting --------------------------------------------------------------
+
+    def slice_database(self, database: Database) -> List[Database]:
+        """Per-shard database views (empty shards are skipped).
+
+        Returned in the order of :attr:`non_empty_shards`; each is a
+        zero-copy view over the parent's backing array.
+        """
+        self.check_shape(database.num_records)
+        return [
+            Database(database.chunk(shard.start, shard.stop))
+            for shard in self.non_empty_shards
+        ]
+
+    def split_selector(self, selector_bits: np.ndarray) -> List[np.ndarray]:
+        """Per-shard slices of a full-domain selector vector.
+
+        Returned in the order of :attr:`non_empty_shards`, so they pair with
+        :meth:`slice_database` output one-to-one.
+        """
+        selector_bits = np.asarray(selector_bits)
+        if selector_bits.shape != (self.num_records,):
+            raise ConfigurationError(
+                f"selector length {selector_bits.shape} does not match plan "
+                f"({self.num_records} records)"
+            )
+        return [
+            selector_bits[shard.start : shard.stop] for shard in self.non_empty_shards
+        ]
+
+    def check_shape(self, num_records: int) -> None:
+        if num_records != self.num_records:
+            raise ConfigurationError(
+                f"plan covers {self.num_records} records, database has {num_records}"
+            )
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{s.start},{s.stop})" for s in self.shards)
+        return (
+            f"ShardPlan(num_records={self.num_records}, "
+            f"block_records={self.block_records}, shards={ranges})"
+        )

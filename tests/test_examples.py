@@ -17,6 +17,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = [
     "quickstart",
     "unified_backends",
+    "sharded_fleet",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",

@@ -14,6 +14,7 @@ from repro.pir.frontend import (
     FLUSH_ON_CLOSE,
     FLUSH_ON_SIZE,
     FLUSH_ON_WAIT,
+    AdaptiveBatchingPolicy,
     BatchingPolicy,
     PIRFrontend,
     RequestRouter,
@@ -268,6 +269,142 @@ class TestAgainstSeedBehaviour:
         assert deployment.frontend.metrics.batches_dispatched >= 1
         assert deployment.frontend.metrics.total_makespan_seconds > 0
         assert isinstance(deployment.frontend, RequestRouter)
+
+
+class TestAdaptiveBatchingPolicy:
+    def test_additive_increase_under_low_utilization(self):
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=4, increase_step=2, low_utilization=0.5
+        )
+        for _ in range(3):
+            policy.observe_utilization(0.1)
+        assert policy.max_batch_size == 10  # 4 -> 6 -> 8 -> 10: additive
+
+    def test_multiplicative_decrease_under_saturation(self):
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=64, decrease_factor=0.5, high_utilization=0.9
+        )
+        policy.observe_utilization(0.95)
+        assert policy.max_batch_size == 32
+        policy.observe_utilization(0.99)
+        assert policy.max_batch_size == 16  # multiplicative
+
+    def test_holds_steady_inside_the_band(self):
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=8, low_utilization=0.5, high_utilization=0.9
+        )
+        policy.observe_utilization(0.7)
+        assert policy.max_batch_size == 8
+
+    def test_clamped_to_bounds(self):
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=4,
+            min_batch_size=2,
+            max_batch_size_limit=6,
+            increase_step=10,
+            decrease_factor=0.01,
+        )
+        policy.observe_utilization(0.0)
+        assert policy.max_batch_size == 6
+        policy.observe_utilization(1.0)
+        assert policy.max_batch_size == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveBatchingPolicy(initial_batch_size=0)
+        with pytest.raises(ProtocolError):
+            AdaptiveBatchingPolicy(decrease_factor=1.5)
+        with pytest.raises(ProtocolError):
+            AdaptiveBatchingPolicy(low_utilization=0.9, high_utilization=0.5)
+
+    def test_frontend_drives_the_policy_up_and_down(self, database):
+        """End to end: flushed batches feed cluster utilization back into the
+        policy, resizing max_batch_size online."""
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=1,
+            increase_step=2,
+            low_utilization=0.6,
+            high_utilization=0.99,
+        )
+        frontend = PIRFrontend(make_client(database), impir_replicas(database), policy)
+        # One query over two clusters: one cluster is necessarily idle, so
+        # utilization <= 0.5 and the policy must grow the batch.
+        frontend.retrieve_batch([1])
+        assert policy.history, "flush did not report utilization"
+        assert policy.history[0][0] <= 0.5
+        grown = policy.max_batch_size
+        assert grown > 1  # under-utilized -> additive increase
+        # The next batch only flushes once it reaches the *new* size.
+        for index in range(grown):
+            frontend.submit(index)
+        assert frontend.metrics.batches_dispatched == 2
+        policy.observe_utilization(1.0)
+        assert policy.max_batch_size < grown  # saturation -> multiplicative cut
+
+
+class TestDedup:
+    def test_duplicate_indices_scanned_once(self, database):
+        replicas = reference_replicas(database)
+        scanned = []
+        original = replicas[0].answer_batch
+
+        def spying_answer_batch(queries):
+            scanned.append(len(queries))
+            return original(queries)
+
+        replicas[0].answer_batch = spying_answer_batch
+        frontend = PIRFrontend(
+            make_client(database),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=6),
+            dedup=True,
+        )
+        indices = [7, 7, 100, 7, 100, 3]
+        records = frontend.retrieve_batch(indices)
+        assert records == [database.record(i) for i in indices]
+        assert scanned == [3]  # 3 distinct indices, not 6 queries
+        assert frontend.metrics.deduped_requests == 3
+        assert frontend.metrics.requests_served == 6
+
+    def test_dedup_only_within_a_batch(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=2),
+            dedup=True,
+        )
+        records = frontend.retrieve_batch([9, 9, 9])  # batches: [9, 9], [9]
+        assert records == [database.record(9)] * 3
+        assert frontend.metrics.deduped_requests == 1
+
+    def test_dedup_off_by_default_and_scans_everything(self, database):
+        replicas = reference_replicas(database)
+        scanned = []
+        original = replicas[0].answer_batch
+
+        def spying_answer_batch(queries):
+            scanned.append(len(queries))
+            return original(queries)
+
+        replicas[0].answer_batch = spying_answer_batch
+        frontend = PIRFrontend(
+            make_client(database), replicas, policy=BatchingPolicy(max_batch_size=4)
+        )
+        assert not frontend.dedup
+        frontend.retrieve_batch([5, 5, 5, 5])
+        assert scanned == [4]
+        assert frontend.metrics.deduped_requests == 0
+
+    def test_dedup_with_timed_replicas(self, database):
+        frontend = PIRFrontend(
+            make_client(database),
+            impir_replicas(database),
+            policy=BatchingPolicy(max_batch_size=4),
+            dedup=True,
+        )
+        records = frontend.retrieve_batch([11, 11, 200, 11])
+        assert records == [database.record(i) for i in (11, 11, 200, 11)]
+        assert frontend.metrics.total_makespan_seconds > 0
 
 
 class TestOrphanAnswers:

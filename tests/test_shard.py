@@ -1,0 +1,456 @@
+"""The sharding subsystem: plans, sharded backends, update routing.
+
+Mirrors ``tests/test_engine.py`` one layer up: a sharded replica fleet must
+be bit-identical to the unsharded server for every backend kind, across
+edge shard shapes (1-record shards, shard count > record count,
+non-power-of-two splits), and bulk updates must touch only the owning
+shard's child.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, DatabaseError, ProtocolError
+from repro.common.events import PhaseTimer
+from repro.core.engine import available_backends, create_server
+from repro.core.impir import PIMClusterBackend
+from repro.core.partitioning import aligned_chunk_bounds
+from repro.dpf.prf import make_prg
+from repro.pim.kernels import DB_BUFFER
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.shard.backend import (
+    BARE_BACKEND_KINDS,
+    ShardedBackend,
+    ShardedServer,
+    bare_backend_factory,
+)
+from repro.shard.plan import ShardPlan, ShardSpec
+
+
+def make_client(database, seed=17):
+    return PIRClient(
+        database.num_records, database.record_size, seed=seed, prg=make_prg("numpy")
+    )
+
+
+class TestAlignedChunkBounds:
+    def test_matches_unaligned_split_when_block_is_one(self):
+        database = Database.random(257, 4, seed=1)
+        assert aligned_chunk_bounds(257, 3) == database.chunk_bounds(3)
+
+    def test_internal_boundaries_land_on_block_multiples(self):
+        bounds = aligned_chunk_bounds(100, 3, block_records=8)
+        for start, stop in bounds[:-1]:
+            assert start % 8 == 0
+            assert stop % 8 == 0 or stop == 100
+        assert bounds[-1][1] == 100
+
+    def test_more_chunks_than_blocks_leaves_empty_tail(self):
+        bounds = aligned_chunk_bounds(10, 5, block_records=8)
+        assert bounds[0] == (0, 8)
+        assert bounds[1] == (8, 10)
+        assert all(start == stop for start, stop in bounds[2:])
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            aligned_chunk_bounds(10, 0)
+        with pytest.raises(ConfigurationError):
+            aligned_chunk_bounds(10, 2, block_records=0)
+
+
+class TestShardPlan:
+    def test_uniform_plan_tiles_the_domain(self):
+        plan = ShardPlan.uniform(100, 3)
+        assert plan.num_shards == 3
+        assert [s.num_records for s in plan.shards] == [34, 33, 33]
+        assert plan.shards[0].start == 0 and plan.shards[-1].stop == 100
+
+    def test_block_alignment_respected(self):
+        plan = ShardPlan.uniform(100, 3, block_records=16)
+        for shard in plan.shards[:-1]:
+            assert shard.stop % 16 == 0
+
+    def test_shard_count_beyond_record_count(self):
+        plan = ShardPlan.uniform(2, 6)
+        assert plan.num_shards == 6
+        assert len(plan.non_empty_shards) == 2
+        assert plan.shard_for_record(0).index == 0
+        assert plan.shard_for_record(1).index == 1
+
+    def test_shard_for_record_and_routing(self):
+        plan = ShardPlan.uniform(100, 4)
+        assert plan.shard_for_record(0).index == 0
+        assert plan.shard_for_record(99).index == 3
+        routed = plan.route_records([0, 1, 99, 50])
+        assert set(routed) == {0, 3, 2}
+        assert routed[0] == [0, 1]
+        with pytest.raises(DatabaseError):
+            plan.shard_for_record(100)
+
+    def test_split_selector_pairs_with_slices(self):
+        database = Database.random(37, 4, seed=5)
+        plan = ShardPlan.uniform(37, 5)
+        selector = np.arange(37, dtype=np.uint8)
+        slices = plan.split_selector(selector)
+        shards_db = plan.slice_database(database)
+        assert len(slices) == len(shards_db) == len(plan.non_empty_shards)
+        reassembled = np.concatenate(slices)
+        assert np.array_equal(reassembled, selector)
+        for shard, shard_db in zip(plan.non_empty_shards, shards_db):
+            assert shard_db.num_records == shard.num_records
+
+    def test_malformed_plans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.from_bounds(10, [(0, 4), (5, 10)])  # gap
+        with pytest.raises(ConfigurationError):
+            ShardPlan.from_bounds(10, [(0, 4), (4, 9)])  # short
+        with pytest.raises(ConfigurationError):
+            ShardPlan(num_records=10, shards=())
+        with pytest.raises(ConfigurationError):
+            plan = ShardPlan.uniform(10, 2)
+            plan.split_selector(np.zeros(9, dtype=np.uint8))
+
+    def test_wrong_database_shape_rejected(self):
+        plan = ShardPlan.uniform(10, 2)
+        with pytest.raises(ConfigurationError):
+            plan.slice_database(Database.random(11, 4, seed=2))
+
+
+#: (num_records, record_size, num_shards) covering the edge shard shapes.
+SHARD_SHAPES = [
+    (1, 8, 1),  # single record, single shard
+    (3, 4, 3),  # every shard holds exactly one record
+    (2, 8, 5),  # more shards than records (empty trailing shards)
+    (257, 16, 3),  # prime record count, non-power-of-two split
+    (300, 8, 7),  # non-power-of-two everything
+]
+
+
+class TestShardedEquivalence:
+    """Sharded retrieval is bit-identical to unsharded for every backend."""
+
+    @pytest.mark.parametrize("kind", BARE_BACKEND_KINDS)
+    @pytest.mark.parametrize("num_records,record_size,num_shards", SHARD_SHAPES)
+    def test_sharded_matches_unsharded(self, kind, num_records, record_size, num_shards):
+        database = Database.random(
+            num_records, record_size, seed=num_records * 13 + record_size
+        )
+        client = make_client(database)
+        unsharded = create_server("reference", database)
+        sharded = ShardedServer(
+            database, num_shards=num_shards, child_kind=kind, prg=make_prg("numpy")
+        )
+        for index in sorted({0, num_records // 2, num_records - 1}):
+            query = client.query(index)[0]
+            assert (
+                sharded.engine.answer(query).answer.payload
+                == unsharded.engine.answer(query).answer.payload
+            ), f"{kind} sharded {num_shards} ways disagrees at index {index}"
+
+    @pytest.mark.parametrize("kind", BARE_BACKEND_KINDS)
+    def test_reconstruction_through_sharded_replicas(self, kind):
+        database = Database.random(128, 16, seed=9)
+        client = make_client(database, seed=23)
+        replicas = [
+            ShardedServer(
+                database,
+                server_id=i,
+                num_shards=4,
+                child_kind=kind,
+                prg=make_prg("numpy"),
+            )
+            for i in (0, 1)
+        ]
+        for index in (0, 63, 127):
+            queries = client.query(index)
+            answers = [replicas[q.server_id].engine.answer(q).answer for q in queries]
+            assert client.reconstruct(answers) == database.record(index), kind
+
+    def test_batch_equivalence(self):
+        database = Database.random(300, 8, seed=44)
+        client = make_client(database, seed=5)
+        queries = [client.query(i)[0] for i in (0, 123, 299, 7)]
+        reference = [
+            r.answer.payload
+            for r in create_server("reference", database).engine.answer_many(queries).results
+        ]
+        for kind in BARE_BACKEND_KINDS:
+            sharded = ShardedServer(
+                database, num_shards=3, child_kind=kind, prg=make_prg("numpy")
+            )
+            payloads = [
+                r.answer.payload for r in sharded.answer_batch(queries).results
+            ]
+            assert payloads == reference, kind
+
+    def test_block_aligned_shards_stay_bit_identical(self):
+        """PIM children keep their partitioning invariants on aligned shards."""
+        database = Database.random(200, 16, seed=31)
+        client = make_client(database, seed=7)
+        unsharded = create_server("reference", database)
+        sharded = ShardedServer(
+            database,
+            num_shards=3,
+            child_kind="im-pir",
+            block_records=16,
+            prg=make_prg("numpy"),
+        )
+        for shard in sharded.plan.shards[:-1]:
+            assert shard.stop % 16 == 0
+        for index in (0, 57, 199):
+            query = client.query(index)[0]
+            assert (
+                sharded.engine.answer(query).answer.payload
+                == unsharded.engine.answer(query).answer.payload
+            )
+
+    def test_mixed_kind_fleet_is_bit_identical(self):
+        """A fleet can mix preloaded PIM and streamed children per shard."""
+        database = Database.random(120, 8, seed=3)
+        client = make_client(database, seed=11)
+        plan = ShardPlan.uniform(120, 3)
+        factories = {
+            0: bare_backend_factory("im-pir"),
+            1: bare_backend_factory("im-pir-streamed"),
+            2: bare_backend_factory("reference"),
+        }
+        sharded = ShardedServer(
+            database,
+            plan=plan,
+            child_factory=lambda shard: factories[shard.index](shard),
+            prg=make_prg("numpy"),
+        )
+        unsharded = create_server("reference", database)
+        for index in (0, 60, 119):
+            query = client.query(index)[0]
+            assert (
+                sharded.engine.answer(query).answer.payload
+                == unsharded.engine.answer(query).answer.payload
+            )
+        caps = sharded.engine.backend.capabilities()
+        assert not caps.supports_naive  # PIM members do not serve naive queries
+        assert not caps.preloaded  # the streamed member is not resident
+
+
+class TestShardedCapabilitiesAndTiming:
+    def test_capabilities_aggregate_members(self):
+        database = Database.random(64, 8, seed=2)
+        sharded = ShardedServer(
+            database, num_shards=2, child_kind="im-pir", prg=make_prg("numpy")
+        )
+        caps = sharded.engine.backend.capabilities()
+        assert caps.name == "sharded"
+        assert caps.lanes >= 1 and caps.batch_workers >= 1
+        assert caps.preloaded
+        assert not caps.supports_naive
+        assert caps.max_records is not None and caps.max_records >= 64
+        assert "2 shards" in caps.description
+
+    def test_unprepared_backend_reports_and_rejects(self):
+        backend = ShardedBackend(bare_backend_factory("reference"), num_shards=2)
+        assert backend.capabilities().name == "sharded"
+        with pytest.raises(ProtocolError):
+            backend.execute(np.zeros(4, dtype=np.uint8), PhaseTimer())
+        with pytest.raises(ProtocolError):
+            backend.apply_updates(Database.random(4, 4, seed=1), [0])
+
+    def test_timed_children_charge_parallel_phases(self):
+        """The fleet's breakdown is a per-phase max, not a sum, over shards."""
+        database = Database.random(128, 16, seed=4)
+        client = make_client(database, seed=3)
+        query = client.query(5)[0]
+        sharded = ShardedServer(
+            database, num_shards=2, child_kind="im-pir", prg=make_prg("numpy")
+        )
+        breakdown = sharded.engine.answer(query).breakdown
+        assert breakdown.total > 0
+        single = ShardedServer(
+            database, num_shards=1, child_kind="im-pir", prg=make_prg("numpy")
+        )
+        single_query = make_client(database, seed=3).query(5)[0]
+        single_breakdown = single.engine.answer(single_query).breakdown
+        # Two half-size shards scanning in parallel must not cost more than
+        # one full-size shard scanning alone.
+        assert breakdown.total <= single_breakdown.total + 1e-12
+
+    def test_preload_report_merged_across_shards(self):
+        database = Database.random(64, 8, seed=6)
+        sharded = ShardedServer(
+            database, num_shards=2, child_kind="im-pir", prg=make_prg("numpy")
+        )
+        report = sharded.preload_report
+        assert report is not None and report.total > 0
+
+    def test_pinned_plan_must_match_database(self):
+        with pytest.raises(ConfigurationError):
+            ShardedServer(
+                Database.random(64, 8, seed=20),
+                plan=ShardPlan.uniform(128, 2),
+                prg=make_prg("numpy"),
+            )
+
+    def test_reprepare_with_different_shape(self):
+        sharded = ShardedServer(
+            Database.random(64, 8, seed=7), num_shards=4, prg=make_prg("numpy")
+        )
+        new_db = Database.random(33, 16, seed=8)
+        sharded.engine.prepare(new_db)
+        assert sharded.plan.num_records == 33
+        assert sharded.plan.num_shards == 4
+        client = make_client(new_db, seed=9)
+        reference = create_server("reference", new_db)
+        query = client.query(32)[0]
+        assert (
+            sharded.engine.answer(query).answer.payload
+            == reference.engine.answer(query).answer.payload
+        )
+
+
+class _CountingBackend:
+    """Wraps a child backend, counting prepare/apply_updates calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.prepares = 0
+        self.updates = 0
+
+    def prepare(self, database):
+        self.prepares += 1
+        return self._inner.prepare(database)
+
+    def apply_updates(self, database, dirty_indices):
+        self.updates += 1
+        return self._inner.apply_updates(database, dirty_indices)
+
+    def capabilities(self):
+        return self._inner.capabilities()
+
+    def execute(self, selector_bits, breakdown, lane=0):
+        return self._inner.execute(selector_bits, breakdown, lane=lane)
+
+    def latency_eval_seconds(self, num_records):
+        return self._inner.latency_eval_seconds(num_records)
+
+    def batch_eval_seconds(self, num_records):
+        return self._inner.batch_eval_seconds(num_records)
+
+
+class TestShardedUpdates:
+    def test_updates_route_to_owning_shard_only(self):
+        database = Database.random(96, 8, seed=10)
+        children = []
+
+        def factory(shard):
+            child = _CountingBackend(bare_backend_factory("im-pir")(shard))
+            children.append(child)
+            return child
+
+        sharded = ShardedServer(
+            database, num_shards=3, child_factory=factory, prg=make_prg("numpy")
+        )
+        assert [c.prepares for c in children] == [1, 1, 1]
+
+        # Both dirty records live in shard 0 ([0, 32)).
+        timer = sharded.apply_updates([(3, b"\xaa" * 8), (17, b"\xbb" * 8)])
+        assert timer.total > 0
+        assert [c.updates for c in children] == [1, 0, 0]
+        assert [c.prepares for c in children] == [1, 1, 1]
+
+        client = make_client(sharded.database, seed=12)
+        reference = create_server("reference", sharded.database)
+        for index in (3, 17, 40, 95):
+            query = client.query(index)[0]
+            assert (
+                sharded.engine.answer(query).answer.payload
+                == reference.engine.answer(query).answer.payload
+            )
+        assert sharded.database.record(3) == b"\xaa" * 8
+
+    def test_untouched_shard_mram_buffers_identical(self):
+        """Updating shard 0 leaves the other shards' DPU MRAM bytes untouched."""
+        database = Database.random(96, 8, seed=13)
+        sharded = ShardedServer(
+            database, num_shards=3, child_kind="im-pir", prg=make_prg("numpy")
+        )
+
+        def mram_snapshot(member_index):
+            _, child = sharded.backend.members[member_index]
+            assert isinstance(child, PIMClusterBackend)
+            return [
+                bytes(dpu.mram.read(DB_BUFFER))
+                for cluster in child.clusters
+                for dpu in cluster.dpu_set.dpus
+            ]
+
+        before = [mram_snapshot(i) for i in range(3)]
+        sharded.apply_updates([(5, b"\xcc" * 8)])
+        after = [mram_snapshot(i) for i in range(3)]
+        assert after[0] != before[0]  # owning shard re-copied its dirty block
+        assert after[1] == before[1]
+        assert after[2] == before[2]
+
+    def test_children_without_apply_updates_reprepare(self):
+        database = Database.random(64, 8, seed=14)
+        children = []
+
+        def factory(shard):
+            child = bare_backend_factory("reference")(shard)
+            counting = _CountingBackend(child)
+            # Hide the wrapper's apply_updates so the re-prepare path runs.
+            counting.apply_updates = None
+            children.append(counting)
+            return counting
+
+        sharded = ShardedServer(
+            database, num_shards=2, child_factory=factory, prg=make_prg("numpy")
+        )
+        sharded.apply_updates([(40, b"\xdd" * 8)])  # shard 1 owns [32, 64)
+        assert [c.prepares for c in children] == [1, 2]
+        assert sharded.database.record(40) == b"\xdd" * 8
+
+    def test_empty_update_list_is_noop(self):
+        database = Database.random(16, 4, seed=15)
+        sharded = ShardedServer(database, num_shards=2, prg=make_prg("numpy"))
+        timer = sharded.apply_updates([])
+        assert timer.total == 0.0
+        assert sharded.database == database
+
+
+class TestShardedRegistry:
+    def test_sharded_is_registered(self):
+        assert "sharded" in available_backends()
+
+    def test_registry_builder_honours_kwargs(self):
+        database = Database.random(48, 8, seed=16)
+        server = create_server(
+            "sharded", database, num_shards=3, child_kind="im-pir", block_records=4
+        )
+        assert server.num_shards == 3
+        assert not server.engine.backend.capabilities().supports_naive
+        client = make_client(database, seed=18)
+        reference = create_server("reference", database)
+        query = client.query(47)[0]
+        assert (
+            server.engine.answer(query).answer.payload
+            == reference.engine.answer(query).answer.payload
+        )
+
+    def test_registry_builder_forwards_child_config(self):
+        from repro.core.config import IMPIRConfig
+        from repro.pim.config import scaled_down_config
+
+        database = Database.random(48, 8, seed=21)
+        config = IMPIRConfig(pim=scaled_down_config(num_dpus=8, tasklets=2))
+        server = create_server(
+            "sharded", database, num_shards=2, child_kind="im-pir", config=config
+        )
+        for _, child in server.backend.members:
+            assert child.config is config
+
+    def test_routing_helpers(self):
+        database = Database.random(60, 4, seed=19)
+        server = create_server("sharded", database, num_shards=4)
+        assert server.shard_for_record(0).index == 0
+        assert server.shard_for_record(59).index == 3
+        assert sum(server.shard_utilization().values()) == 60

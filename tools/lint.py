@@ -6,7 +6,9 @@ AST pass instead.  It flags:
 
 * imported names never referenced in the module (including in annotations
   and in ``__all__`` export lists);
-* the same name imported more than once in a module.
+* the same name imported more than once in a module;
+* wildcard imports from the library itself (``from repro... import *``),
+  which defeat both checks above and hide a module's real dependencies.
 
 Usage::
 
@@ -74,6 +76,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     noqa = _noqa_lines(source)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
+    wildcards: List[Tuple[int, str]] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -84,6 +87,15 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                 continue
             for alias in node.names:
                 if alias.name == "*":
+                    module = node.module or "."
+                    if module == "repro" or module.startswith("repro."):
+                        wildcards.append(
+                            (
+                                node.lineno,
+                                f"wildcard import (from {module} import *) hides "
+                                f"this module's real dependencies",
+                            )
+                        )
                     continue
                 bound = alias.asname or alias.name
                 imports.append(
@@ -93,7 +105,9 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     collector = _UsageCollector()
     collector.visit(tree)
 
-    findings: List[Tuple[int, str]] = []
+    findings: List[Tuple[int, str]] = [
+        (lineno, message) for lineno, message in wildcards if lineno not in noqa
+    ]
     seen = {}
     for lineno, bound, description in imports:
         if lineno in noqa:
