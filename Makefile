@@ -13,9 +13,12 @@ lint:
 	$(PYTHON) tools/lint.py src tools
 
 ## Answers a seeded query set through every registered backend via the
-## shared QueryEngine and a PIRFrontend batch; exits non-zero on any drift.
+## shared QueryEngine and a PIRFrontend batch, then re-drives it through the
+## asyncio frontend (real timers, concurrent replica dispatch); exits
+## non-zero on any drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
+	$(PYTHON) -m repro.bench.cli smoke --async
 
 figures:
 	$(PYTHON) -m repro.bench.cli all

@@ -24,7 +24,7 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
-from repro.bench.smoke import backend_smoke
+from repro.bench.smoke import async_backend_smoke, backend_smoke
 from repro.bench.reporting import (
     render_fig3,
     render_fig9,
@@ -79,7 +79,22 @@ def main(argv=None) -> int:
         default="all",
         help="one of: %s, all, list (default: all)" % ", ".join(_TARGETS),
     )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="with the smoke target: drive the asyncio frontend "
+        "(real max-wait timers, concurrent replica dispatch) instead of the "
+        "simulated-clock one",
+    )
     args = parser.parse_args(argv)
+
+    if args.use_async:
+        if args.target != "smoke":
+            print("--async applies to the smoke target only", file=sys.stderr)
+            return 2
+        print(async_backend_smoke())
+        return 0
 
     if args.target == "list":
         print("\n".join(list(_TARGETS) + ["all"]))

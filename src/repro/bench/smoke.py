@@ -13,14 +13,17 @@ the reference scan or the frontend mis-pairs an answer, this exits non-zero.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import asyncio
+import time
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.units import format_seconds
 from repro.core.engine import available_backends, create_server
 from repro.dpf.prf import make_prg
+from repro.pir.async_frontend import AsyncPIRFrontend
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
-from repro.pir.frontend import BatchingPolicy, PIRFrontend
+from repro.pir.frontend import FLUSH_ON_WAIT, BatchingPolicy, PIRFrontend
 from repro.shard.fleet import FleetRouter, heats_from_trace, render_placements
 from repro.shard.plan import ShardPlan
 
@@ -140,3 +143,109 @@ def _fleet_smoke(database: Database, indices: Sequence[int], seed: int) -> List[
         f"{format_seconds(router.metrics.total_makespan_seconds)}"
     )
     return lines
+
+
+class _InFlightRecorder:
+    """Wraps a replica and records the wall-clock window of each batch call.
+
+    ``hold_seconds`` stretches every call so window overlap across replicas
+    is a robust signal of concurrent dispatch even when the scans themselves
+    finish in microseconds.
+    """
+
+    def __init__(self, inner, hold_seconds: float = 0.02) -> None:
+        self._inner = inner
+        self._hold_seconds = hold_seconds
+        self.server_id = inner.server_id
+        self.windows: List[Tuple[float, float]] = []
+
+    def answer_batch(self, queries):
+        start = time.monotonic()
+        time.sleep(self._hold_seconds)
+        result = self._inner.answer_batch(queries)
+        self.windows.append((start, time.monotonic()))
+        return result
+
+
+def async_backend_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    indices: Sequence[int] = (0, 7, 255, 511),
+    seed: int = 9,
+) -> str:
+    """The ``--async`` smoke: asyncio frontend over thread-parallel fleets.
+
+    Exercises the wall-clock path end to end: concurrent submitters split
+    into size batches, every flush fans out to both replica fleets at the
+    same time (asserted from recorded in-flight windows), a lone trailing
+    submit flushes on the real max-wait timer with no follow-up arrival, and
+    all records cross-check bit-for-bit against the deterministic
+    simulated-clock :class:`PIRFrontend` fed the same request stream.
+    """
+    database = Database.random(num_records, record_size, seed=seed)
+    indices = list(indices)
+    stream = indices + [indices[0]]
+
+    def make_replicas():
+        # Sharded fleets with the thread executor, so per-shard scans overlap
+        # inside each replica while the frontend overlaps the replicas.
+        return [
+            create_server(
+                "sharded", database, server_id=i, num_shards=4, executor="threads"
+            )
+            for i in (0, 1)
+        ]
+
+    sync_frontend = PIRFrontend(
+        PIRClient(num_records, record_size, seed=seed + 4, prg=make_prg("numpy")),
+        make_replicas(),
+        policy=BatchingPolicy(max_batch_size=2),
+    )
+    expected = sync_frontend.retrieve_batch(stream)
+
+    replicas = [_InFlightRecorder(replica) for replica in make_replicas()]
+    frontend = AsyncPIRFrontend(
+        PIRClient(num_records, record_size, seed=seed + 4, prg=make_prg("numpy")),
+        replicas,
+        policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=0.05),
+    )
+
+    async def run() -> Tuple[List[bytes], bytes, float]:
+        records = await frontend.retrieve_batch(indices)
+        lone_start = time.monotonic()
+        lone = await frontend.submit(stream[-1])
+        return records, lone, time.monotonic() - lone_start
+
+    records, lone, lone_seconds = asyncio.run(run())
+
+    got = records + [lone]
+    for index, record in zip(stream, got):
+        if record != database.record(index):
+            raise AssertionError(f"async frontend returned a wrong record for {index}")
+    if got != expected:
+        raise AssertionError("async frontend drifted from the sync frontend's records")
+    if frontend.metrics.flush_reasons.get(FLUSH_ON_WAIT, 0) < 1:
+        raise AssertionError(
+            f"no wait-timer flush recorded: {frontend.metrics.flush_reasons}"
+        )
+    overlaps = 0
+    for window_a, window_b in zip(replicas[0].windows, replicas[1].windows):
+        if max(window_a[0], window_b[0]) >= min(window_a[1], window_b[1]):
+            raise AssertionError(
+                f"replica dispatch did not overlap: {window_a} vs {window_b}"
+            )
+        overlaps += 1
+
+    return "\n".join(
+        [
+            "Async frontend smoke: wall-clock batching over thread-parallel fleets",
+            f"database: {num_records} records x {record_size} B, stream {stream}",
+            "",
+            f"records verified against the sync frontend: {len(got)}/{len(stream)}",
+            f"flush reasons: {frontend.metrics.flush_reasons}",
+            f"lone submit flushed by the max-wait timer after "
+            f"{format_seconds(lone_seconds)} (no follow-up arrival)",
+            f"replica fan-out overlapped in {overlaps}/{len(replicas[0].windows)} "
+            f"batches (recorded in-flight windows)",
+        ]
+    )

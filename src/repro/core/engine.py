@@ -225,7 +225,7 @@ class QueryEngine:
         self.validate(query)
         caps = self.backend.capabilities()
         if not 0 <= lane < caps.lanes:
-            raise ProtocolError(f"cluster_index {lane} out of range")
+            raise ProtocolError(f"lane {lane} out of range [0, {caps.lanes})")
         breakdown = PhaseTimer()
         selector = self.selector_bits(query)
         eval_seconds = self.backend.latency_eval_seconds(query.num_records)
@@ -432,6 +432,7 @@ def _ensure_default_backends() -> None:
             plan=kw.get("plan"),
             config=kw.get("config"),
             segment_records=kw.get("segment_records"),
+            executor=kw.get("executor", "serial"),
             prg=kw.get("prg", make_prg("numpy")),
         ),
     )

@@ -1,5 +1,6 @@
 """Multi-server PIR protocol: database, messages, client, server, driver."""
 
+from repro.pir.async_frontend import AsyncPIRFrontend
 from repro.pir.client import SCHEME_DPF, SCHEME_NAIVE, ClientStats, PIRClient
 from repro.pir.database import DEFAULT_RECORD_SIZE, Database
 from repro.pir.frontend import (
@@ -32,6 +33,7 @@ from repro.pir.xor_ops import (
 )
 
 __all__ = [
+    "AsyncPIRFrontend",
     "SCHEME_DPF",
     "SCHEME_NAIVE",
     "ClientStats",

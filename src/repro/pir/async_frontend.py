@@ -1,0 +1,236 @@
+"""Asyncio request frontend: real max-wait timers, concurrent replica fan-out.
+
+:class:`~repro.pir.frontend.PIRFrontend` batches on *simulated* arrival
+stamps — deterministic and thread-free, but its max-wait rule only fires when
+a later arrival (or an explicit ``advance_time``) proves the wait expired,
+and its replicas are called in sequence.  In front of live traffic neither
+holds: a lone request must still flush once its wait elapses, and the
+replicas — independent machines — should be scanned at the same time.
+
+:class:`AsyncPIRFrontend` is that event-loop-driven counterpart:
+
+* ``await submit(index)`` admits a request and resolves with the
+  reconstructed record (one coroutine per in-flight client request);
+* a real ``max_wait_seconds`` timer — a cancellable :mod:`asyncio` task,
+  re-armed for the oldest pending request after every flush — triggers
+  wait-flushes with no follow-up arrival needed;
+* each flush dispatches **all replicas concurrently**:
+  ``asyncio.gather`` over ``asyncio.to_thread``, because the replicas'
+  numpy scans are blocking calls;
+* batching semantics (size flush, wait flush, dedup fan-out, pairing by
+  explicit request id, metrics) are shared with the sync frontend — both
+  route through the pure flush-pipeline helpers in
+  :mod:`repro.pir.frontend`, so the two are bit-identical by construction.
+
+A failed flush (a replica drops, duplicates or invents an answer) rejects
+every ``submit`` awaiting that batch with the
+:class:`~repro.common.errors.ProtocolError` the pairing check raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence
+
+from repro.pir.client import PIRClient
+from repro.pir.frontend import (
+    FLUSH_ON_CLOSE,
+    FLUSH_ON_SIZE,
+    FLUSH_ON_WAIT,
+    BatchingPolicy,
+    FrontendMetrics,
+    PendingRequest,
+    check_replicas,
+    collect_answers,
+    dedup_leaders,
+    fanout_dedup,
+    fold_metrics,
+    per_server_queries,
+    reconstruct_scanned,
+    require_no_orphans,
+)
+
+
+class AsyncPIRFrontend:
+    """Batches concurrent ``await submit`` calls and fans out to replicas.
+
+    The constructor surface mirrors :class:`~repro.pir.frontend.PIRFrontend`
+    (``policy`` is a :class:`BatchingPolicy` or the adaptive AIMD variant;
+    ``dedup=True`` keeps the trusted-aggregator caveat documented there).
+    All methods must be called from a running event loop; the replicas'
+    ``answer_batch`` runs in worker threads, everything else — admission,
+    pairing, reconstruction, metrics — stays on the loop, so no lock is
+    needed around the frontend's own state.
+    """
+
+    def __init__(
+        self,
+        client: PIRClient,
+        replicas: Sequence,
+        policy: Optional[BatchingPolicy] = None,
+        dedup: bool = False,
+    ) -> None:
+        self.client = client
+        self.replicas = check_replicas(client, replicas)
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.dedup = dedup
+        self.metrics = FrontendMetrics()
+        self._pending: List[PendingRequest] = []
+        self._futures: Dict[int, "asyncio.Future[bytes]"] = {}
+        self._next_request_id = 0
+        self._timer_task: Optional["asyncio.Task[None]"] = None
+
+    # -- admission -------------------------------------------------------------------
+
+    async def submit(self, index: int) -> bytes:
+        """Admit a retrieval request; resolves with the reconstructed record.
+
+        Resolution happens when the request's batch flushes — on reaching
+        ``max_batch_size`` (this call dispatches the batch itself), or when
+        the max-wait timer fires for the batch's oldest request.  A protocol
+        fault anywhere in the batch rejects every awaiting submitter.
+        """
+        loop = asyncio.get_running_loop()
+        # Query generation may reject the index; do it before registering so
+        # the error surfaces here and no orphan pending entry is left behind.
+        queries = [] if self.dedup else self.client.query(index)
+        request = PendingRequest(
+            request_id=self._allocate_request_id(),
+            index=index,
+            arrival_seconds=loop.time(),
+            queries=queries,
+        )
+        future: "asyncio.Future[bytes]" = loop.create_future()
+        self._pending.append(request)
+        self._futures[request.request_id] = future
+        if len(self._pending) >= self.policy.max_batch_size:
+            # Shielded: cancelling *this* submitter must not abandon the
+            # flush mid-flight — the rest of the batch is awaiting it too.
+            await asyncio.shield(self._dispatch(self._take_pending(), FLUSH_ON_SIZE))
+        else:
+            self._arm_timer()
+        return await future
+
+    async def retrieve_batch(self, indices: Sequence[int]) -> List[bytes]:
+        """Retrieve several records via concurrent submitters.
+
+        Spawns one ``submit`` task per index, waits until every one has been
+        admitted, then closes out the trailing partial batch instead of
+        sitting out its max-wait.  Records return in submission order.
+        """
+        indices = list(indices)  # may be a one-shot iterable; iterated twice
+        target = self._next_request_id + len(indices)
+        tasks = [asyncio.create_task(self.submit(index)) for index in indices]
+
+        def admission_failed() -> bool:
+            # A task that finished with an error before the count reached the
+            # target died during admission (e.g. index out of range) — stop
+            # waiting for a request id it will never take.
+            return any(task.done() and task.exception() is not None for task in tasks)
+
+        while self._next_request_id < target and not admission_failed():
+            await asyncio.sleep(0)
+        await self.close()
+        return list(await asyncio.gather(*tasks))
+
+    async def close(self) -> None:
+        """Cancel the wait timer and flush whatever is pending."""
+        timer, self._timer_task = self._timer_task, None
+        if timer is not None and not timer.done():
+            timer.cancel()
+            try:
+                await timer
+            except asyncio.CancelledError:
+                pass
+        while self._pending:
+            await asyncio.shield(
+                self._dispatch(self._take_pending(), FLUSH_ON_CLOSE)
+            )
+
+    @property
+    def pending_count(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return len(self._pending)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _allocate_request_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
+
+    def _take_pending(self) -> List[PendingRequest]:
+        batch, self._pending = self._pending, []
+        return batch
+
+    def _arm_timer(self) -> None:
+        """Ensure a timer task is watching the oldest pending request."""
+        if self._timer_task is None or self._timer_task.done():
+            self._timer_task = asyncio.create_task(self._timer_loop())
+
+    async def _timer_loop(self) -> None:
+        """Wait-flush whenever the oldest pending request's wait expires.
+
+        One task serves consecutive batches: after a flush it re-arms itself
+        for the new oldest pending request, and exits once nothing is
+        pending (the next ``submit`` starts a fresh task).  A size flush
+        elsewhere needs no cancellation — waking at a stale deadline just
+        recomputes against the current oldest and sleeps again.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            while self._pending:
+                deadline = self._pending[0].arrival_seconds + self.policy.max_wait_seconds
+                delay = deadline - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                    continue
+                # Shield the flush: cancelling the timer (close()) must not
+                # abandon a dispatch mid-flight with submitters awaiting it.
+                await asyncio.shield(
+                    self._dispatch(self._take_pending(), FLUSH_ON_WAIT)
+                )
+        finally:
+            if self._timer_task is asyncio.current_task():
+                self._timer_task = None
+
+    async def _dispatch(self, batch: List[PendingRequest], reason: str) -> None:
+        """Flush one batch: concurrent replica fan-out, then the shared pipeline.
+
+        Never raises — a failure rejects the batch's futures instead, so the
+        error surfaces from every ``await submit`` of the batch rather than
+        inside whichever coroutine happened to trigger the flush.
+        """
+        if not batch:
+            return
+        try:
+            scanned = dedup_leaders(batch, self.client) if self.dedup else batch
+            per_server = per_server_queries(scanned, len(self.replicas))
+            # The replicas are independent machines running blocking numpy
+            # scans: one worker thread each, gathered concurrently.
+            raw_results = await asyncio.gather(
+                *(
+                    asyncio.to_thread(replica.answer_batch, queries)
+                    for replica, queries in zip(self.replicas, per_server)
+                )
+            )
+            answers_by_key, makespans, schedules = collect_answers(raw_results)
+            completed, record_by_index = reconstruct_scanned(
+                self.client, scanned, answers_by_key
+            )
+            deduped = (
+                fanout_dedup(batch, completed, record_by_index) if self.dedup else 0
+            )
+            require_no_orphans(answers_by_key)
+        except Exception as error:  # reject the whole batch, batch-wide fault
+            for request in batch:
+                future = self._futures.pop(request.request_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            return
+        fold_metrics(self.metrics, self.policy, reason, len(batch), makespans, schedules)
+        self.metrics.deduped_requests += deduped
+        for request in batch:
+            future = self._futures.pop(request.request_id)
+            if not future.done():
+                future.set_result(completed[request.request_id])

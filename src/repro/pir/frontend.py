@@ -27,7 +27,9 @@ clients and the replica set:
 Time is simulated: callers stamp requests with ``arrival_seconds`` (defaults
 to a frontend-local clock) and the max-wait rule triggers deterministically
 from those stamps, which keeps the batching policy unit-testable without
-threads or sleeps.
+threads or sleeps.  :mod:`repro.pir.async_frontend` provides the wall-clock
+counterpart (real asyncio max-wait timers, concurrent replica dispatch)
+built on the same flush pipeline helpers at the bottom of this module.
 """
 
 from __future__ import annotations
@@ -143,9 +145,15 @@ class AdaptiveBatchingPolicy:
                 self.max_batch_size_limit, self.max_batch_size + self.increase_step
             )
         elif utilization > self.high_utilization:
-            self.max_batch_size = max(
-                self.min_batch_size, int(self.max_batch_size * self.decrease_factor)
-            )
+            # Round (half-up) rather than truncate: int() would turn e.g.
+            # 3 * 0.5 into 1, overshooting past the knee the AIMD loop is
+            # hunting for in a single step.  With a factor close to 1 the
+            # rounded value can equal the current size — still step down by
+            # one, or sustained saturation would never reach the floor.
+            decreased = int(self.max_batch_size * self.decrease_factor + 0.5)
+            if decreased >= self.max_batch_size:
+                decreased = self.max_batch_size - 1
+            self.max_batch_size = max(self.min_batch_size, decreased)
         self.history.append((utilization, self.max_batch_size))
         return self.max_batch_size
 
@@ -218,18 +226,8 @@ class PIRFrontend:
         acceptable when the frontend is a trusted aggregator and the observed
         traffic pattern is part of the threat model — hence off by default.
         """
-        if len(replicas) != client.num_servers:
-            raise ProtocolError(
-                f"client expects {client.num_servers} replicas, got {len(replicas)}"
-            )
-        for server_id, replica in enumerate(replicas):
-            if getattr(replica, "server_id", server_id) != server_id:
-                raise ProtocolError(
-                    f"replica at position {server_id} reports server_id "
-                    f"{replica.server_id}"
-                )
         self.client = client
-        self.replicas = list(replicas)
+        self.replicas = check_replicas(client, replicas)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.dedup = dedup
         self.metrics = FrontendMetrics()
@@ -315,87 +313,207 @@ class PIRFrontend:
 
     def _flush(self, reason: str) -> None:
         batch, self._pending = self._pending, []
-
+        scanned = dedup_leaders(batch, self.client) if self.dedup else batch
+        per_server = per_server_queries(scanned, len(self.replicas))
+        # Route through each replica's public batch surface, so attached cost
+        # models (CPU/GPU analytic estimates, IM-PIR schedules) are honoured.
+        # Replicas are called in sequence here; the asyncio frontend
+        # (repro.pir.async_frontend) dispatches the same per-server query
+        # lists concurrently and shares every helper below.
+        raw_results = [
+            replica.answer_batch(per_server[server_id])
+            for server_id, replica in enumerate(self.replicas)
+        ]
+        answers_by_key, makespans, schedules = collect_answers(raw_results)
+        completed, record_by_index = reconstruct_scanned(
+            self.client, scanned, answers_by_key
+        )
+        self._completed.update(completed)
         if self.dedup:
-            # One leader per distinct index generates (and owes) the queries;
-            # followers are satisfied from the leader's reconstruction below.
-            leaders: Dict[int, PendingRequest] = {}
-            for request in batch:
-                if request.index not in leaders:
-                    request.queries = self.client.query(request.index)
-                    leaders[request.index] = request
-            scanned = list(leaders.values())
-        else:
-            scanned = batch
-
-        per_server: List[List] = [[] for _ in self.replicas]
-        for request in scanned:
-            for query in request.queries:
-                per_server[query.server_id].append(query)
-
-        answers_by_key: Dict[Tuple[int, int], PIRAnswer] = {}
-        schedules: List[BatchSchedule] = []
-        makespans: List[float] = []
-        for server_id, replica in enumerate(self.replicas):
-            # Route through each replica's public batch surface, so attached
-            # cost models (CPU/GPU analytic estimates, IM-PIR schedules) are
-            # honoured; _normalize_batch maps every result dialect to the
-            # same (answers, makespan, schedule) triple.
-            raw = replica.answer_batch(per_server[server_id])
-            answers, makespan, schedule = _normalize_batch(raw)
-            makespans.append(makespan)
-            if schedule is not None:
-                schedules.append(schedule)
-            for answer in answers:
-                key = (answer.query_id, answer.server_id)
-                if key in answers_by_key:
-                    raise ProtocolError(
-                        f"duplicate answer for query {answer.query_id} "
-                        f"from server {answer.server_id}"
-                    )
-                answers_by_key[key] = answer
-
-        record_by_index: Dict[int, bytes] = {}
-        for request in scanned:
-            group = []
-            for key in request.expected_keys:
-                try:
-                    group.append(answers_by_key.pop(key))
-                except KeyError:
-                    raise ProtocolError(
-                        f"missing answer for request {request.request_id} "
-                        f"(query {key[0]}, server {key[1]})"
-                    ) from None
-            group.sort(key=lambda answer: answer.server_id)
-            record = self.client.reconstruct(group)
-            record_by_index[request.index] = record
-            self._completed[request.request_id] = record
-        if self.dedup:
-            # Fan each leader's record back out to its followers by request id.
-            for request in batch:
-                if request.request_id not in self._completed:
-                    self._completed[request.request_id] = record_by_index[request.index]
-                    self.metrics.deduped_requests += 1
-        if answers_by_key:
-            orphans = sorted(answers_by_key)
-            raise ProtocolError(f"replicas returned {len(orphans)} unmatched answers: {orphans}")
-
-        makespan = max(makespans, default=0.0)
-        self.metrics.batches_dispatched += 1
-        self.metrics.requests_served += len(batch)
-        self.metrics.total_makespan_seconds += makespan
-        self.metrics.flush_reasons[reason] = self.metrics.flush_reasons.get(reason, 0) + 1
-        if schedules:
-            slowest = max(schedules, key=lambda schedule: schedule.makespan)
-            self.metrics.last_schedule = slowest
-            self.metrics.last_cluster_utilization = slowest.cluster_utilization()
-            observe = getattr(self.policy, "observe_utilization", None)
-            if observe is not None:
-                observe(self.metrics.last_cluster_utilization)
+            self.metrics.deduped_requests += fanout_dedup(
+                batch, self._completed, record_by_index
+            )
+        require_no_orphans(answers_by_key)
+        fold_metrics(self.metrics, self.policy, reason, len(batch), makespans, schedules)
 
 
 #: The frontend is a request router; both names are part of the public API.
 RequestRouter = PIRFrontend
+
+
+# ---------------------------------------------------------------------------
+# Shared flush pipeline: pure, event-loop-free helpers.
+#
+# Both frontends — the deterministic simulated-clock PIRFrontend above and
+# the wall-clock AsyncPIRFrontend in repro.pir.async_frontend — flush a batch
+# through exactly these steps; only *how* the replicas are called (in
+# sequence vs. concurrently via asyncio.to_thread) differs.  Keeping the
+# pairing/dedup/metrics logic here, loop-free and stateless, is what makes
+# the two frontends bit-identical by construction.
+# ---------------------------------------------------------------------------
+
+
+def check_replicas(client: PIRClient, replicas: Sequence) -> List:
+    """Validate a replica set against the client's expectations.
+
+    Every replica must expose a ``server_id`` matching its position (the
+    pairing invariant keys answers by it) — an object without the attribute
+    is rejected rather than silently trusted.
+    """
+    replicas = list(replicas)
+    if len(replicas) != client.num_servers:
+        raise ProtocolError(
+            f"client expects {client.num_servers} replicas, got {len(replicas)}"
+        )
+    for server_id, replica in enumerate(replicas):
+        actual = getattr(replica, "server_id", None)
+        if actual is None:
+            raise ProtocolError(
+                f"replica at position {server_id} exposes no server_id "
+                f"(answer pairing is keyed by it)"
+            )
+        if actual != server_id:
+            raise ProtocolError(
+                f"replica at position {server_id} reports server_id {actual}"
+            )
+    return replicas
+
+
+def dedup_leaders(batch: Sequence[PendingRequest], client: PIRClient) -> List[PendingRequest]:
+    """Pick one leader per distinct index; leaders generate (and owe) queries.
+
+    Followers are satisfied from their leader's reconstruction by
+    :func:`fanout_dedup` after the scan.
+    """
+    leaders: Dict[int, PendingRequest] = {}
+    for request in batch:
+        if request.index not in leaders:
+            request.queries = client.query(request.index)
+            leaders[request.index] = request
+    return list(leaders.values())
+
+
+def per_server_queries(scanned: Sequence[PendingRequest], num_servers: int) -> List[List]:
+    """Group the scanned requests' queries into one list per replica."""
+    per_server: List[List] = [[] for _ in range(num_servers)]
+    for request in scanned:
+        for query in request.queries:
+            per_server[query.server_id].append(query)
+    return per_server
+
+
+def collect_answers(
+    raw_results: Sequence,
+) -> Tuple[Dict[Tuple[int, int], PIRAnswer], List[float], List[BatchSchedule]]:
+    """Key every replica's answers by ``(query_id, server_id)``.
+
+    ``raw_results`` holds one ``answer_batch`` result per replica (any
+    dialect :func:`_normalize_batch` understands).  Returns the answer map
+    plus the per-replica makespans and batch schedules; a duplicated key
+    raises :class:`ProtocolError` instead of silently overwriting.
+    """
+    answers_by_key: Dict[Tuple[int, int], PIRAnswer] = {}
+    makespans: List[float] = []
+    schedules: List[BatchSchedule] = []
+    for raw in raw_results:
+        answers, makespan, schedule = _normalize_batch(raw)
+        makespans.append(makespan)
+        if schedule is not None:
+            schedules.append(schedule)
+        for answer in answers:
+            key = (answer.query_id, answer.server_id)
+            if key in answers_by_key:
+                raise ProtocolError(
+                    f"duplicate answer for query {answer.query_id} "
+                    f"from server {answer.server_id}"
+                )
+            answers_by_key[key] = answer
+    return answers_by_key, makespans, schedules
+
+
+def reconstruct_scanned(
+    client: PIRClient,
+    scanned: Sequence[PendingRequest],
+    answers_by_key: Dict[Tuple[int, int], PIRAnswer],
+) -> Tuple[Dict[int, bytes], Dict[int, bytes]]:
+    """Pair and reconstruct every scanned request's record.
+
+    Consumes the owed answers from ``answers_by_key`` (what remains
+    afterwards is orphaned — see :func:`require_no_orphans`) and returns
+    ``(record by request id, record by index)``; a missing answer raises
+    :class:`ProtocolError`.
+    """
+    completed: Dict[int, bytes] = {}
+    record_by_index: Dict[int, bytes] = {}
+    for request in scanned:
+        group = []
+        for key in request.expected_keys:
+            try:
+                group.append(answers_by_key.pop(key))
+            except KeyError:
+                raise ProtocolError(
+                    f"missing answer for request {request.request_id} "
+                    f"(query {key[0]}, server {key[1]})"
+                ) from None
+        group.sort(key=lambda answer: answer.server_id)
+        record = client.reconstruct(group)
+        completed[request.request_id] = record
+        record_by_index[request.index] = record
+    return completed, record_by_index
+
+
+def fanout_dedup(
+    batch: Sequence[PendingRequest],
+    completed: Dict[int, bytes],
+    record_by_index: Dict[int, bytes],
+) -> int:
+    """Fan each leader's record out to its followers by request id.
+
+    Fills ``completed`` in place for every batch request not already served
+    by its own scan; returns how many requests were answered this way.
+    """
+    deduped = 0
+    for request in batch:
+        if request.request_id not in completed:
+            completed[request.request_id] = record_by_index[request.index]
+            deduped += 1
+    return deduped
+
+
+def require_no_orphans(answers_by_key: Dict[Tuple[int, int], PIRAnswer]) -> None:
+    """Reject answers no request claimed (a replica answered off-protocol)."""
+    if answers_by_key:
+        orphans = sorted(answers_by_key)
+        raise ProtocolError(
+            f"replicas returned {len(orphans)} unmatched answers: {orphans}"
+        )
+
+
+def fold_metrics(
+    metrics: FrontendMetrics,
+    policy,
+    reason: str,
+    num_requests: int,
+    makespans: Sequence[float],
+    schedules: Sequence[BatchSchedule],
+) -> None:
+    """Accumulate one flushed batch into ``metrics`` and feed the policy.
+
+    Replicas overlap, so the batch is charged the slowest replica's makespan;
+    a policy exposing ``observe_utilization`` (the AIMD controller) is fed
+    the slowest schedule's cluster utilization.
+    """
+    metrics.batches_dispatched += 1
+    metrics.requests_served += num_requests
+    metrics.total_makespan_seconds += max(makespans, default=0.0)
+    metrics.flush_reasons[reason] = metrics.flush_reasons.get(reason, 0) + 1
+    if schedules:
+        slowest = max(schedules, key=lambda schedule: schedule.makespan)
+        metrics.last_schedule = slowest
+        metrics.last_cluster_utilization = slowest.cluster_utilization()
+        observe = getattr(policy, "observe_utilization", None)
+        if observe is not None:
+            observe(metrics.last_cluster_utilization)
 
 
 def _normalize_batch(raw) -> Tuple[List[PIRAnswer], float, Optional[BatchSchedule]]:

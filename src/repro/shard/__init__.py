@@ -11,6 +11,9 @@ PIM, cold shards on streamed IM-PIR).
 
 from repro.shard.backend import (
     BARE_BACKEND_KINDS,
+    EXECUTOR_SERIAL,
+    EXECUTOR_THREADS,
+    SHARD_EXECUTORS,
     ShardBackendFactory,
     ShardedBackend,
     ShardedServer,
@@ -29,6 +32,9 @@ from repro.shard.plan import ShardPlan, ShardSpec
 
 __all__ = [
     "BARE_BACKEND_KINDS",
+    "EXECUTOR_SERIAL",
+    "EXECUTOR_THREADS",
+    "SHARD_EXECUTORS",
     "ShardBackendFactory",
     "ShardedBackend",
     "ShardedServer",

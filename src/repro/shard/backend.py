@@ -23,6 +23,7 @@ streamed IM-PIR for cold ones (see :mod:`repro.shard.fleet`).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +46,11 @@ BARE_BACKEND_KINDS: Tuple[str, ...] = (
     "im-pir",
     "im-pir-streamed",
 )
+
+#: How a :class:`ShardedBackend` runs its per-shard ``execute`` calls.
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_THREADS = "threads"
+SHARD_EXECUTORS: Tuple[str, ...] = (EXECUTOR_SERIAL, EXECUTOR_THREADS)
 
 
 def default_child_config() -> IMPIRConfig:
@@ -112,10 +118,21 @@ class ShardedBackend(PIRBackend):
         plan: Optional[ShardPlan] = None,
         block_records: int = 1,
         name: str = "sharded",
+        executor: str = EXECUTOR_SERIAL,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
+        if executor not in SHARD_EXECUTORS:
+            raise ConfigurationError(
+                f"unknown shard executor {executor!r}; known: {', '.join(SHARD_EXECUTORS)}"
+            )
         self._child_factory = child_factory
+        #: ``serial`` scans shards one after another on the calling thread;
+        #: ``threads`` overlaps the children's blocking numpy scans in a
+        #: thread pool — what lets a fleet's shards genuinely run in parallel
+        #: under the asyncio frontend.  Simulated time is identical either
+        #: way (timers fold per-phase max in shard order regardless).
+        self.executor = executor
         self._num_shards = plan.num_shards if plan is not None else num_shards
         self._block_records = plan.block_records if plan is not None else block_records
         self._requested_plan = plan
@@ -127,6 +144,10 @@ class ShardedBackend(PIRBackend):
         #: rebuild child capability objects per query).
         self._child_lanes: List[int] = []
         self._database: Optional[Database] = None
+        #: Persistent scan pool for the ``threads`` executor, (re)built at
+        #: prepare — spawning threads per ``execute`` call would put
+        #: ms-scale thread churn on the per-query hot path.
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- database lifecycle ------------------------------------------------------
 
@@ -159,6 +180,13 @@ class ShardedBackend(PIRBackend):
                 timer.merge_parallel(report)
             self._members.append((shard, child))
         self._child_lanes = [child.capabilities().lanes for _, child in self._members]
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.executor == EXECUTOR_THREADS and len(self._members) > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self._members), thread_name_prefix="shard-scan"
+            )
         return timer if timer.durations else None
 
     def apply_updates(self, database: Database, dirty_indices: Sequence[int]) -> PhaseTimer:
@@ -179,7 +207,10 @@ class ShardedBackend(PIRBackend):
             dirty = routed.get(shard.index)
             if not dirty:
                 continue
-            shard_db = Database(database.chunk(shard.start, shard.stop))
+            # Same slicing rule as prepare (plan.slice_database goes through
+            # slice_shard too): update slices must be byte-identical to the
+            # prepare-time slices or shards drift from the full database.
+            shard_db = self.plan.slice_shard(database, shard)
             local = sorted(index - shard.start for index in dirty)
             child_apply = getattr(child, "apply_updates", None)
             if child_apply is not None:
@@ -203,7 +234,15 @@ class ShardedBackend(PIRBackend):
         """
         children = [child.capabilities() for _, child in self._members]
         if not children:
-            return BackendCapabilities(name=self._name, description="sharded (unprepared)")
+            # No members yet: advertise no residency and no capacity, so a
+            # router sizing against these capabilities never mistakes an
+            # unprepared fleet for a preloaded one.
+            return BackendCapabilities(
+                name=self._name,
+                preloaded=False,
+                max_records=0,
+                description="sharded (unprepared)",
+            )
         max_records: Optional[int] = 0
         for caps in children:
             if caps.max_records is None:
@@ -252,17 +291,31 @@ class ShardedBackend(PIRBackend):
         """
         if self._database is None or self.plan is None:
             raise ProtocolError("sharded backend has no prepared database")
-        accumulator = np.zeros(self._database.record_size, dtype=np.uint8)
-        combined = PhaseTimer()
-        for (shard, child), child_lanes, selector_slice in zip(
-            self._members, self._child_lanes, self.plan.split_selector(selector_bits)
-        ):
+
+        def scan_shard(job) -> Tuple[np.ndarray, PhaseTimer]:
+            (shard, child), child_lanes, selector_slice = job
             child_timer = PhaseTimer()
             # The engine bounds lane by the fleet minimum, but members keep
             # serving if a caller drives a bare backend with a larger lane.
             child_lane = min(lane, child_lanes - 1)
             sub = child.execute(selector_slice, child_timer, lane=child_lane)
-            accumulator ^= np.asarray(sub, dtype=np.uint8).reshape(-1)
+            return np.asarray(sub, dtype=np.uint8).reshape(-1), child_timer
+
+        jobs = list(
+            zip(self._members, self._child_lanes, self.plan.split_selector(selector_bits))
+        )
+        if self._pool is not None and len(jobs) > 1:
+            # Children are independent machines with independent state, so
+            # their blocking scans can genuinely overlap; results come back
+            # in shard order, keeping the fold below deterministic.
+            scans = list(self._pool.map(scan_shard, jobs))
+        else:
+            scans = [scan_shard(job) for job in jobs]
+
+        accumulator = np.zeros(self._database.record_size, dtype=np.uint8)
+        combined = PhaseTimer()
+        for sub, child_timer in scans:
+            accumulator ^= sub
             combined.merge_parallel(child_timer)
         breakdown.merge(combined)
         return accumulator
@@ -289,6 +342,7 @@ class ShardedServer:
         block_records: int = 1,
         config: Optional[IMPIRConfig] = None,
         segment_records: Optional[int] = None,
+        executor: str = EXECUTOR_SERIAL,
         prg=None,
     ) -> None:
         if child_factory is None:
@@ -300,6 +354,7 @@ class ShardedServer:
             num_shards=num_shards,
             plan=plan,
             block_records=block_records,
+            executor=executor,
         )
         self.engine = QueryEngine(self.backend, server_id=server_id, prg=prg)
         self.engine.prepare(database)

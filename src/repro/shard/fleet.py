@@ -212,6 +212,7 @@ class FleetRouter(PIRFrontend):
         child_config: Optional[IMPIRConfig] = None,
         policy: Optional[BatchingPolicy] = None,
         dedup: bool = False,
+        executor: str = "serial",
     ) -> None:
         plan.check_shape(database.num_records)
         self.plan = plan
@@ -239,6 +240,7 @@ class FleetRouter(PIRFrontend):
                 server_id=server_id,
                 plan=plan,
                 child_factory=child_factory,
+                executor=executor,
             )
             for server_id in range(client.num_servers)
         ]

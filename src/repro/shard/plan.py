@@ -155,16 +155,24 @@ class ShardPlan:
 
     # -- splitting --------------------------------------------------------------
 
+    def slice_shard(self, database: Database, shard: ShardSpec) -> Database:
+        """The database view one shard holds (zero-copy).
+
+        The single slicing rule of the plan: ``prepare`` and ``apply_updates``
+        must cut the same byte ranges, so both go through here (directly or
+        via :meth:`slice_database`) instead of re-deriving the bounds.
+        """
+        self.check_shape(database.num_records)
+        return Database(database.chunk(shard.start, shard.stop))
+
     def slice_database(self, database: Database) -> List[Database]:
         """Per-shard database views (empty shards are skipped).
 
         Returned in the order of :attr:`non_empty_shards`; each is a
         zero-copy view over the parent's backing array.
         """
-        self.check_shape(database.num_records)
         return [
-            Database(database.chunk(shard.start, shard.stop))
-            for shard in self.non_empty_shards
+            self.slice_shard(database, shard) for shard in self.non_empty_shards
         ]
 
     def split_selector(self, selector_bits: np.ndarray) -> List[np.ndarray]:

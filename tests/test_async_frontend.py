@@ -1,0 +1,409 @@
+"""The asyncio frontend: real wait timers, concurrent dispatch, equivalence.
+
+Everything runs under ``asyncio.run`` — no extra test dependency.  The
+deterministic simulated-clock behaviour of the sync frontend is covered by
+``test_frontend.py``; this suite covers what only a real event loop can
+show: a wait flush with no follow-up arrival, size flushes racing
+concurrent submitters, replica fan-out that genuinely overlaps in wall
+time, and error propagation into every awaiting ``submit``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.dpf.prf import make_prg
+from repro.pir.async_frontend import AsyncPIRFrontend
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.frontend import (
+    FLUSH_ON_CLOSE,
+    FLUSH_ON_SIZE,
+    FLUSH_ON_WAIT,
+    BatchingPolicy,
+    PIRFrontend,
+)
+from repro.pir.server import PIRServer
+from repro.shard.backend import ShardedServer
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Database.random(256, 24, seed=83)
+
+
+def make_client(database, seed=5):
+    return PIRClient(
+        database.num_records, database.record_size, seed=seed, prg=make_prg("numpy")
+    )
+
+
+def reference_replicas(database):
+    return [PIRServer(database, server_id=i, prg=make_prg("numpy")) for i in (0, 1)]
+
+
+class _RecordingReplica:
+    """Wraps a replica; records each ``answer_batch``'s wall-clock window."""
+
+    def __init__(self, inner, hold_seconds=0.0):
+        self._inner = inner
+        self._hold_seconds = hold_seconds
+        self.server_id = inner.server_id
+        self.windows = []
+        self.batch_sizes = []
+
+    def answer_batch(self, queries):
+        start = time.monotonic()
+        if self._hold_seconds:
+            time.sleep(self._hold_seconds)
+        result = self._inner.answer_batch(queries)
+        self.windows.append((start, time.monotonic()))
+        self.batch_sizes.append(len(queries))
+        return result
+
+
+class TestWaitTimer:
+    def test_lone_submit_flushes_on_the_timer_without_a_follow_up(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=100, max_wait_seconds=0.03),
+            )
+            start = time.monotonic()
+            record = await frontend.submit(42)
+            return frontend, record, time.monotonic() - start
+
+        frontend, record, elapsed = asyncio.run(run())
+        assert record == database.record(42)
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_WAIT: 1}
+        assert elapsed >= 0.03  # the wait really elapsed in wall time
+        assert frontend.pending_count == 0
+
+    def test_timer_rearms_for_consecutive_lone_submits(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=100, max_wait_seconds=0.02),
+            )
+            first = await frontend.submit(1)
+            second = await frontend.submit(2)
+            return frontend, first, second
+
+        frontend, first, second = asyncio.run(run())
+        assert (first, second) == (database.record(1), database.record(2))
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_WAIT: 2}
+
+    def test_size_flush_preempts_the_timer(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            records = await asyncio.gather(frontend.submit(3), frontend.submit(4))
+            return frontend, records
+
+        frontend, records = asyncio.run(run())
+        assert records == [database.record(3), database.record(4)]
+        # With a 30 s max wait, only the size rule can have fired.
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_SIZE: 1}
+
+
+class TestSizeFlushUnderConcurrency:
+    def test_concurrent_submitters_split_into_size_batches(self, database):
+        indices = [7, 9, 11, 13, 15, 17, 19, 21]
+
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=30.0),
+            )
+            records = await asyncio.gather(*(frontend.submit(i) for i in indices))
+            return frontend, records
+
+        frontend, records = asyncio.run(run())
+        assert records == [database.record(i) for i in indices]
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_SIZE: 2}
+        assert frontend.metrics.requests_served == len(indices)
+
+    def test_retrieve_batch_closes_out_the_trailing_partial(self, database):
+        indices = [1, 2, 3, 4, 5]
+
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            records = await frontend.retrieve_batch(indices)
+            return frontend, records
+
+        frontend, records = asyncio.run(run())
+        assert records == [database.record(i) for i in indices]
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_SIZE: 2, FLUSH_ON_CLOSE: 1}
+
+    def test_empty_retrieve_batch(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database), reference_replicas(database)
+            )
+            return await frontend.retrieve_batch([])
+
+        assert asyncio.run(run()) == []
+
+
+class TestConcurrentDispatch:
+    def test_replica_in_flight_windows_overlap(self, database):
+        """Both replicas must be in flight at once: concurrent, not sequential."""
+
+        async def run():
+            replicas = [
+                _RecordingReplica(replica, hold_seconds=0.03)
+                for replica in reference_replicas(database)
+            ]
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                replicas,
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            records = await asyncio.gather(frontend.submit(8), frontend.submit(9))
+            return replicas, records
+
+        replicas, records = asyncio.run(run())
+        assert records == [database.record(8), database.record(9)]
+        (start_a, end_a), = replicas[0].windows
+        (start_b, end_b), = replicas[1].windows
+        assert max(start_a, start_b) < min(end_a, end_b)
+
+    def test_sync_frontend_calls_the_same_replicas_sequentially(self, database):
+        """Control for the overlap assertion: the sync path must NOT overlap."""
+        replicas = [
+            _RecordingReplica(replica, hold_seconds=0.01)
+            for replica in reference_replicas(database)
+        ]
+        frontend = PIRFrontend(
+            make_client(database), replicas, policy=BatchingPolicy(max_batch_size=2)
+        )
+        frontend.retrieve_batch([8, 9])
+        (start_a, end_a), = replicas[0].windows
+        (start_b, end_b), = replicas[1].windows
+        assert max(start_a, start_b) >= min(end_a, end_b)
+
+
+class TestDedup:
+    def test_duplicate_indices_scanned_once_and_fanned_out(self, database):
+        indices = [5, 5, 9, 5]
+
+        async def run():
+            replicas = [
+                _RecordingReplica(replica)
+                for replica in reference_replicas(database)
+            ]
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                replicas,
+                policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=30.0),
+                dedup=True,
+            )
+            records = await asyncio.gather(*(frontend.submit(i) for i in indices))
+            return frontend, replicas, records
+
+        frontend, replicas, records = asyncio.run(run())
+        assert records == [database.record(i) for i in indices]
+        assert frontend.metrics.deduped_requests == 2
+        # Each replica saw one query per *distinct* index, not per request.
+        assert replicas[0].batch_sizes == [2]
+        assert replicas[1].batch_sizes == [2]
+
+
+class TestErrorPropagation:
+    def test_bad_index_raises_from_submit_without_poisoning_the_batch(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=0.02),
+            )
+            with pytest.raises(ProtocolError, match="out of range"):
+                await frontend.submit(database.num_records + 7)
+            # The frontend stays serviceable afterwards.
+            record = await frontend.submit(3)
+            return frontend, record
+
+        frontend, record = asyncio.run(run())
+        assert record == database.record(3)
+        assert frontend.pending_count == 0
+
+    def test_replica_fault_rejects_every_awaiting_submit(self, database):
+        class _DuplicatingReplica:
+            def __init__(self, inner):
+                self._inner = inner
+                self.server_id = inner.server_id
+
+            def answer_batch(self, queries):
+                answers = [self._inner.answer(query) for query in queries]
+                return [answers[0]] + answers
+
+        async def run():
+            replicas = reference_replicas(database)
+            replicas[1] = _DuplicatingReplica(replicas[1])
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                replicas,
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            results = await asyncio.gather(
+                frontend.submit(4), frontend.submit(5), return_exceptions=True
+            )
+            return frontend, results
+
+        frontend, results = asyncio.run(run())
+        assert len(results) == 2
+        for result in results:
+            assert isinstance(result, ProtocolError)
+            assert "duplicate answer" in str(result)
+        # The failed batch was fully drained: no stuck futures, no pending.
+        assert frontend.pending_count == 0
+        assert frontend.metrics.batches_dispatched == 0
+
+    def test_cancelling_one_submitter_does_not_strand_the_batch(self, database):
+        """The flush a submitter triggered must survive that submitter's death."""
+
+        async def run():
+            replicas = [
+                _RecordingReplica(replica, hold_seconds=0.05)
+                for replica in reference_replicas(database)
+            ]
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                replicas,
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            survivor = asyncio.create_task(frontend.submit(8))
+            while frontend.pending_count == 0:
+                await asyncio.sleep(0)
+            trigger = asyncio.create_task(frontend.submit(9))  # size flush
+            await asyncio.sleep(0.01)  # let the replica fan-out get in flight
+            trigger.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await trigger
+            # Without shielding, the cancel would abandon the dispatch and
+            # the survivor would hang forever on its future.
+            record = await asyncio.wait_for(survivor, timeout=5.0)
+            return frontend, record
+
+        frontend, record = asyncio.run(run())
+        assert record == database.record(8)
+        assert frontend.pending_count == 0
+
+    def test_retrieve_batch_accepts_a_one_shot_iterable(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=30.0),
+            )
+            return await frontend.retrieve_batch(iter([1, 2, 3]))
+
+        assert asyncio.run(run()) == [database.record(i) for i in (1, 2, 3)]
+
+    def test_replicas_without_server_id_rejected(self, database):
+        class _Anonymous:
+            def answer_batch(self, queries):  # pragma: no cover - never reached
+                return []
+
+        with pytest.raises(ProtocolError, match="server_id"):
+            AsyncPIRFrontend(
+                make_client(database), [_Anonymous(), _Anonymous()]
+            )
+
+
+class TestEquivalenceWithSyncFrontend:
+    def test_identical_records_for_the_same_request_stream(self, database):
+        stream = [0, 17, 17, 31, 255, 128, 3, 3, 77, 200, 5]
+
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database, seed=21),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=3, max_wait_seconds=30.0),
+                dedup=True,
+            )
+            return await frontend.retrieve_batch(stream)
+
+        async_records = asyncio.run(run())
+        sync_frontend = PIRFrontend(
+            make_client(database, seed=21),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=3),
+            dedup=True,
+        )
+        sync_records = sync_frontend.retrieve_batch(stream)
+        assert async_records == sync_records
+        assert async_records == [database.record(i) for i in stream]
+
+    def test_equivalence_over_threaded_sharded_fleets(self, database):
+        stream = [10, 20, 30, 40]
+
+        def fleets():
+            return [
+                ShardedServer(
+                    database,
+                    server_id=i,
+                    num_shards=3,
+                    executor="threads",
+                    prg=make_prg("numpy"),
+                )
+                for i in (0, 1)
+            ]
+
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database, seed=9),
+                fleets(),
+                policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=30.0),
+            )
+            return await frontend.retrieve_batch(stream)
+
+        async_records = asyncio.run(run())
+        sync_records = PIRFrontend(
+            make_client(database, seed=9),
+            fleets(),
+            policy=BatchingPolicy(max_batch_size=4),
+        ).retrieve_batch(stream)
+        assert async_records == sync_records == [database.record(i) for i in stream]
+
+
+class TestClose:
+    def test_close_cancels_the_timer_and_flushes(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=100, max_wait_seconds=30.0),
+            )
+            task = asyncio.create_task(frontend.submit(6))
+            while frontend.pending_count == 0:
+                await asyncio.sleep(0)
+            await frontend.close()
+            return frontend, await task
+
+        frontend, record = asyncio.run(run())
+        assert record == database.record(6)
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_CLOSE: 1}
+
+    def test_close_with_nothing_pending_is_a_noop(self, database):
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database), reference_replicas(database)
+            )
+            await frontend.close()
+            return frontend
+
+        frontend = asyncio.run(run())
+        assert frontend.metrics.batches_dispatched == 0

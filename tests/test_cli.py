@@ -41,3 +41,14 @@ class TestMain:
         out = capsys.readouterr().out
         for marker in ("Figure 3", "Figure 9", "Table 1", "Figure 11", "Figure 12"):
             assert marker in out
+
+    def test_async_smoke(self, capsys):
+        assert main(["smoke", "--async"]) == 0
+        out = capsys.readouterr().out
+        assert "Async frontend smoke" in out
+        assert "max-wait timer" in out
+        assert "overlapped" in out
+
+    def test_async_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--async"]) == 2
+        assert "smoke" in capsys.readouterr().err

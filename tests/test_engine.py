@@ -139,6 +139,18 @@ class TestSharedValidation:
             with pytest.raises(ProtocolError):
                 server.engine.answer(object())
 
+    def test_lane_out_of_range_names_lane_and_bound(self, servers):
+        """The error must say which lane failed and what the valid range is."""
+        client = PIRClient(128, 16, seed=6, prg=make_prg("numpy"))
+        for name, server in servers.items():
+            lanes = server.engine.backend.capabilities().lanes
+            with pytest.raises(
+                ProtocolError, match=rf"lane 99 out of range \[0, {lanes}\)"
+            ):
+                server.engine.answer(client.query(0)[0], lane=99)
+            with pytest.raises(ProtocolError, match=r"lane -1 out of range"):
+                server.engine.answer(client.query(0)[0], lane=-1)
+
 
 class TestCapabilities:
     def test_every_backend_reports_capabilities(self):

@@ -18,6 +18,7 @@ EXAMPLES = [
     "quickstart",
     "unified_backends",
     "sharded_fleet",
+    "async_frontend",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",
@@ -57,6 +58,13 @@ class TestExamplesRun:
         _load_example("credential_checking").main()
         out = capsys.readouterr().out
         assert "10/10 verdicts correct" in out
+
+    def test_async_frontend_example_proves_timer_and_overlap(self, capsys):
+        _load_example("async_frontend").main()
+        out = capsys.readouterr().out
+        assert "max-wait timer" in out
+        assert "overlapped" in out
+        assert "bit-identical" in out
 
     def test_figures_example_prints_every_figure(self, capsys):
         _load_example("reproduce_paper_figures").main()

@@ -156,6 +156,18 @@ class TestInterleavedReplicas:
         with pytest.raises(ProtocolError):
             PIRFrontend(make_client(database), reference_replicas(database)[:1])
 
+    def test_replica_without_server_id_rejected(self, database):
+        """An object lacking server_id must not slip through the order check."""
+
+        class _Anonymous:
+            def answer_batch(self, queries):  # pragma: no cover - never reached
+                return []
+
+        replicas = reference_replicas(database)
+        replicas[1] = _Anonymous()
+        with pytest.raises(ProtocolError, match="server_id"):
+            PIRFrontend(make_client(database), replicas)
+
 
 class _TamperingReplica:
     """A replica whose answer stream can drop or duplicate entries."""
@@ -288,6 +300,31 @@ class TestAdaptiveBatchingPolicy:
         assert policy.max_batch_size == 32
         policy.observe_utilization(0.99)
         assert policy.max_batch_size == 16  # multiplicative
+
+    def test_decrease_rounds_instead_of_truncating(self):
+        """Truncation would jump 3 -> 1, overshooting past the AIMD knee."""
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=3, decrease_factor=0.5, high_utilization=0.9
+        )
+        sizes = [policy.observe_utilization(0.95) for _ in range(3)]
+        assert sizes == [2, 1, 1]  # 3 -> 2 (1.5 rounds up), 2 -> 1, floor at 1
+
+    def test_decrease_sequence_pinned_from_odd_start(self):
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=9, decrease_factor=0.5, high_utilization=0.9
+        )
+        sizes = [policy.observe_utilization(0.95) for _ in range(5)]
+        assert sizes == [5, 3, 2, 1, 1]  # never a >factor jump in one step
+
+    def test_gentle_factor_still_reaches_the_floor(self):
+        """Rounding must not turn sustained saturation into a no-op: with
+        decrease_factor=0.9, 5 * 0.9 rounds back to 5 — the controller still
+        has to step down until it hits min_batch_size."""
+        policy = AdaptiveBatchingPolicy(
+            initial_batch_size=8, decrease_factor=0.9, high_utilization=0.9
+        )
+        sizes = [policy.observe_utilization(0.99) for _ in range(8)]
+        assert sizes == [7, 6, 5, 4, 3, 2, 1, 1]
 
     def test_holds_steady_inside_the_band(self):
         policy = AdaptiveBatchingPolicy(

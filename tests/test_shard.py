@@ -255,6 +255,24 @@ class TestShardedCapabilitiesAndTiming:
         with pytest.raises(ProtocolError):
             backend.apply_updates(Database.random(4, 4, seed=1), [0])
 
+    def test_unprepared_backend_advertises_no_residency_or_capacity(self):
+        """A fleet with no members must not claim a preloaded database.
+
+        The default ``BackendCapabilities`` says ``preloaded=True`` with
+        unbounded capacity — an unprepared fleet advertising that would
+        mislead router/frontend sizing.
+        """
+        caps = ShardedBackend(bare_backend_factory("reference")).capabilities()
+        assert caps.preloaded is False
+        assert caps.max_records == 0
+        assert "unprepared" in caps.description
+        # Prepared, the same backend reports residency again.
+        backend = ShardedBackend(bare_backend_factory("reference"), num_shards=2)
+        backend.prepare(Database.random(16, 4, seed=3))
+        prepared = backend.capabilities()
+        assert prepared.preloaded is True
+        assert prepared.max_records is None  # reference children are unbounded
+
     def test_timed_children_charge_parallel_phases(self):
         """The fleet's breakdown is a per-phase max, not a sum, over shards."""
         database = Database.random(128, 16, seed=4)
@@ -416,6 +434,48 @@ class TestShardedUpdates:
         assert timer.total == 0.0
         assert sharded.database == database
 
+    def test_update_slices_match_prepare_slices(self):
+        """Regression: apply_updates must slice shards exactly like prepare.
+
+        88 records with block_records=8 over 3 shards gives [0,32), [32,64)
+        and [64,88) — the last shard is multi-block and non-power-of-two.
+        Updating records there (and in the other shards) must leave every
+        retrieval bit-identical to a fresh unsharded server over the updated
+        database; a drift between the two slicing code paths would hand the
+        PIM children's partial MRAM re-copy the wrong bytes.
+        """
+        database = Database.random(88, 16, seed=21)
+        sharded = ShardedServer(
+            database,
+            num_shards=3,
+            block_records=8,
+            child_kind="im-pir",
+            prg=make_prg("numpy"),
+        )
+        last = sharded.plan.shards[-1]
+        assert (last.start, last.stop) == (64, 88)
+        assert last.num_records % 8 == 0  # multi-block
+        assert last.num_records & (last.num_records - 1) != 0  # non-power-of-two
+
+        updates = [
+            (0, b"\x11" * 16),
+            (40, b"\x22" * 16),
+            (64, b"\x33" * 16),
+            (80, b"\x44" * 16),
+            (87, b"\x55" * 16),
+        ]
+        sharded.apply_updates(updates)
+        fresh = create_server("reference", sharded.database)
+        client = make_client(sharded.database, seed=23)
+        for index in (0, 31, 33, 40, 63, 64, 65, 80, 87):
+            query = client.query(index)[0]
+            assert (
+                sharded.engine.answer(query).answer.payload
+                == fresh.engine.answer(query).answer.payload
+            ), index
+        for index, record in updates:
+            assert sharded.database.record(index) == record
+
 
 class TestShardedRegistry:
     def test_sharded_is_registered(self):
@@ -454,3 +514,89 @@ class TestShardedRegistry:
         assert server.shard_for_record(0).index == 0
         assert server.shard_for_record(59).index == 3
         assert sum(server.shard_utilization().values()) == 60
+
+    def test_registry_builder_forwards_executor(self):
+        database = Database.random(32, 8, seed=23)
+        server = create_server("sharded", database, num_shards=2, executor="threads")
+        assert server.backend.executor == "threads"
+
+
+class TestShardExecutors:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            ShardedBackend(bare_backend_factory("reference"), executor="processes")
+        with pytest.raises(ConfigurationError, match="executor"):
+            ShardedServer(
+                Database.random(8, 4, seed=1), executor="greenlets", prg=make_prg("numpy")
+            )
+
+    def test_threads_executor_is_bit_identical_with_identical_simulated_time(self):
+        """The executor changes wall-clock overlap only, never results/timers."""
+        database = Database.random(96, 16, seed=31)
+        serial = ShardedServer(
+            database, num_shards=3, child_kind="im-pir", prg=make_prg("numpy")
+        )
+        threaded = ShardedServer(
+            database,
+            num_shards=3,
+            child_kind="im-pir",
+            executor="threads",
+            prg=make_prg("numpy"),
+        )
+        client = make_client(database, seed=33)
+        for index in (0, 50, 95):
+            query = client.query(index)[0]
+            serial_result = serial.engine.answer(query)
+            threaded_result = threaded.engine.answer(query)
+            assert serial_result.answer.payload == threaded_result.answer.payload
+            assert (
+                serial_result.breakdown.durations == threaded_result.breakdown.durations
+            )
+
+    def test_threads_executor_overlaps_child_scans(self):
+        """Per-shard execute calls genuinely run at the same wall-clock time."""
+        import time
+
+        windows = []
+
+        def slow_factory(shard):
+            inner = bare_backend_factory("reference")(shard)
+
+            class _SlowChild:
+                def prepare(self, shard_db):
+                    return inner.prepare(shard_db)
+
+                def capabilities(self):
+                    return inner.capabilities()
+
+                def latency_eval_seconds(self, num_records):
+                    return 0.0
+
+                def batch_eval_seconds(self, num_records):
+                    return 0.0
+
+                def execute(self, selector_bits, breakdown, lane=0):
+                    start = time.monotonic()
+                    time.sleep(0.03)
+                    result = inner.execute(selector_bits, breakdown, lane=lane)
+                    windows.append((start, time.monotonic()))
+                    return result
+
+            return _SlowChild()
+
+        database = Database.random(64, 8, seed=35)
+        sharded = ShardedServer(
+            database,
+            num_shards=2,
+            child_factory=slow_factory,
+            executor="threads",
+            prg=make_prg("numpy"),
+        )
+        client = make_client(database, seed=37)
+        query = client.query(11)[0]
+        payload = sharded.engine.answer(query).answer.payload
+        reference = create_server("reference", database)
+        assert payload == reference.engine.answer(query).answer.payload
+        assert len(windows) == 2
+        (start_a, end_a), (start_b, end_b) = windows
+        assert max(start_a, start_b) < min(end_a, end_b)

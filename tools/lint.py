@@ -8,7 +8,10 @@ AST pass instead.  It flags:
   and in ``__all__`` export lists);
 * the same name imported more than once in a module;
 * wildcard imports from the library itself (``from repro... import *``),
-  which defeat both checks above and hide a module's real dependencies.
+  which defeat both checks above and hide a module's real dependencies;
+* ``asyncio.get_event_loop()`` — deprecated outside a running loop; library
+  code must use ``asyncio.get_running_loop()`` (or ``asyncio.run`` at the
+  top level) so it never implicitly creates a loop.
 
 Usage::
 
@@ -77,7 +80,21 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
     wildcards: List[Tuple[int, str]] = []
+    deprecated: List[Tuple[int, str]] = []
     for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "get_event_loop"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "asyncio"
+        ):
+            deprecated.append(
+                (
+                    node.lineno,
+                    "asyncio.get_event_loop() is deprecated; use "
+                    "asyncio.get_running_loop() (or asyncio.run at the top level)",
+                )
+            )
         if isinstance(node, ast.Import):
             for alias in node.names:
                 bound = alias.asname or alias.name.split(".")[0]
@@ -106,7 +123,9 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     collector.visit(tree)
 
     findings: List[Tuple[int, str]] = [
-        (lineno, message) for lineno, message in wildcards if lineno not in noqa
+        (lineno, message)
+        for lineno, message in wildcards + deprecated
+        if lineno not in noqa
     ]
     seen = {}
     for lineno, bound, description in imports:
