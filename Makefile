@@ -14,11 +14,14 @@ lint:
 
 ## Answers a seeded query set through every registered backend via the
 ## shared QueryEngine and a PIRFrontend batch, then re-drives it through the
-## asyncio frontend (real timers, concurrent replica dispatch); exits
-## non-zero on any drift.
+## asyncio frontend (real timers, concurrent replica dispatch), then drives
+## a drifting Zipf workload through the online control plane (asserts >= 1
+## heat-driven shard migration, a nonzero hot-cache hit rate, and records
+## bit-identical to a static fleet); exits non-zero on any drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
 	$(PYTHON) -m repro.bench.cli smoke --async
+	$(PYTHON) -m repro.bench.cli smoke --rebalance
 
 figures:
 	$(PYTHON) -m repro.bench.cli all

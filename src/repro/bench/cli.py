@@ -24,7 +24,7 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
-from repro.bench.smoke import async_backend_smoke, backend_smoke
+from repro.bench.smoke import async_backend_smoke, backend_smoke, rebalance_smoke
 from repro.bench.reporting import (
     render_fig3,
     render_fig9,
@@ -87,13 +87,25 @@ def main(argv=None) -> int:
         "(real max-wait timers, concurrent replica dispatch) instead of the "
         "simulated-clock one",
     )
+    parser.add_argument(
+        "--rebalance",
+        dest="use_rebalance",
+        action="store_true",
+        help="with the smoke target: drive a drifting Zipf workload through "
+        "the online control plane (heat telemetry, live shard migration, "
+        "hot-record cache) and cross-check records against a static fleet",
+    )
     args = parser.parse_args(argv)
 
-    if args.use_async:
+    if args.use_async or args.use_rebalance:
         if args.target != "smoke":
-            print("--async applies to the smoke target only", file=sys.stderr)
+            flag = "--async" if args.use_async else "--rebalance"
+            print(f"{flag} applies to the smoke target only", file=sys.stderr)
             return 2
-        print(async_backend_smoke())
+        if args.use_async and args.use_rebalance:
+            print("pick one of --async / --rebalance per run", file=sys.stderr)
+            return 2
+        print(async_backend_smoke() if args.use_async else rebalance_smoke())
         return 0
 
     if args.target == "list":

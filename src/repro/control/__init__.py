@@ -1,0 +1,37 @@
+"""Online control plane over the shard/fleet data plane.
+
+PR 2/3 built a *static* data plane: shards are placed once, from an offline
+heat sample.  This package is the layer that makes the fleet track its
+workload, without touching the PIR protocol (distribution policy stays
+separate from application logic):
+
+* :class:`HeatTracker` — per-shard query-rate telemetry in decaying
+  sliding windows, fed by the frontend observe hook (sync and async);
+* :class:`Rebalancer` — periodic re-placement against the live window,
+  migrating only the shards whose cheapest kind changed
+  (:meth:`~repro.shard.backend.ShardedBackend.swap_child`; retrievals stay
+  bit-identical throughout);
+* :class:`HotRecordCache` — an opt-in LRU tier with heat-informed
+  admission in front of a fleet (requires ``dedup=True``; invalidated by
+  ``apply_updates`` dirty indices);
+* :class:`ControlPlane` / :func:`controlled_fleet` — the wiring.
+
+Everything here runs on the simulated clock — ``now`` always comes from
+the caller, and ``tools/lint.py`` rejects wall-clock reads in this package.
+"""
+
+from repro.control.cache import CacheStats, HotRecordCache
+from repro.control.plane import ControlPlane, controlled_fleet
+from repro.control.rebalancer import RebalanceReport, Rebalancer, ShardMigration
+from repro.control.telemetry import HeatTracker
+
+__all__ = [
+    "CacheStats",
+    "HotRecordCache",
+    "ControlPlane",
+    "controlled_fleet",
+    "RebalanceReport",
+    "Rebalancer",
+    "ShardMigration",
+    "HeatTracker",
+]

@@ -1,0 +1,180 @@
+"""Hot-record cache tier: short-circuit the scan for popular records.
+
+Under a skewed workload a handful of records (freshly issued certificates,
+commonly leaked passwords) absorb most queries.  The dedup machinery
+already collapses duplicate requests *within* one batch; this cache
+collapses them *across* batches: a record reconstructed once is served to
+later batches straight from frontend memory, skipping query generation and
+the replica scans entirely.
+
+**Privacy caveat — same gate as ``dedup=True``.**  A caching frontend
+necessarily sees which index each request asks for and sends the replicas
+*fewer* queries than it admitted, so the traffic pattern leaks exactly as
+it does under batch dedup.  That is only acceptable when the frontend is a
+trusted aggregator and the observed access pattern is part of the threat
+model — which is why :class:`~repro.pir.frontend.PIRFrontend` refuses a
+cache unless ``dedup=True`` is already on (the caveat is documented on the
+frontend constructor).
+
+Admission is LRU plus optionally *heat-informed*: given a
+:class:`~repro.control.telemetry.HeatTracker`, a record is only admitted
+while its owning shard's live heat is at least ``admit_min_heat`` — a
+one-off probe of a cold shard must not evict a resident hot record.
+Consistency comes from invalidation: ``apply_updates`` dirty indices are
+dropped (see :meth:`repro.shard.fleet.FleetRouter.apply_updates`), so a
+cached record can never go stale relative to the fleets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.control.telemetry import HeatTracker
+
+
+@dataclass
+class CacheStats:
+    """Counters the cache accumulates over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    #: Admissions refused because the record's shard was too cold.
+    rejected_cold: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 before any lookup happened)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "admissions": self.admissions,
+            "rejected_cold": self.rejected_cold,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class HotRecordCache:
+    """An LRU record cache with optional heat-informed admission.
+
+    ``capacity`` bounds the number of resident records; ``tracker`` (when
+    given) supplies live per-shard heat and ``admit_min_heat`` is the
+    admission floor against it.  Without a tracker every reconstructed
+    record is admissible (plain LRU).
+    """
+
+    capacity: int
+    tracker: Optional[HeatTracker] = None
+    admit_min_heat: float = 0.0
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if self.admit_min_heat < 0:
+            raise ConfigurationError("admit_min_heat must be non-negative")
+        self._records: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._records
+
+    # -- the frontend-facing surface ------------------------------------------------
+
+    def get(self, index: int) -> Optional[bytes]:
+        """The cached record for ``index``, or ``None``; a hit refreshes LRU order."""
+        record = self._records.get(index)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self._records.move_to_end(index)
+        self.stats.hits += 1
+        return record
+
+    def admit(self, index: int, record: bytes) -> bool:
+        """Offer a freshly reconstructed record; returns whether it was kept.
+
+        Heat-informed: with a tracker attached, a record whose owning
+        shard's live heat is below ``admit_min_heat`` is declined (cold
+        probes must not churn the hot set).  Admitting past capacity evicts
+        the least recently used resident.
+        """
+        if self.tracker is not None and self.admit_min_heat > 0:
+            if self.tracker.record_heat(index) < self.admit_min_heat:
+                self.stats.rejected_cold += 1
+                return False
+        self._store(index, record)
+        return True
+
+    def admit_many(self, records: Dict[int, bytes]) -> None:
+        """Offer a whole flush's reconstructions at once.
+
+        Same policy as :meth:`admit`, but the live heat vector is read from
+        the tracker *once* — it cannot change mid-flush, and recomputing
+        the decayed blend per record would put O(batch x shards) redundant
+        work on the flush hot path.
+        """
+        if not records:
+            return
+        heats = None
+        if self.tracker is not None and self.admit_min_heat > 0:
+            heats = self.tracker.heats()
+        for index, record in records.items():
+            if heats is not None:
+                shard = self.tracker.plan.shard_for_record(index)
+                if heats[shard.index] < self.admit_min_heat:
+                    self.stats.rejected_cold += 1
+                    continue
+            self._store(index, record)
+
+    def _store(self, index: int, record: bytes) -> None:
+        already_resident = index in self._records
+        self._records[index] = record
+        self._records.move_to_end(index)
+        if not already_resident:
+            self.stats.admissions += 1
+            if len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, indices: Iterable[int]) -> int:
+        """Drop every cached record in ``indices`` (the dirty set of an
+        ``apply_updates``); returns how many were actually resident."""
+        dropped = 0
+        for index in indices:
+            if self._records.pop(index, None) is not None:
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop everything (e.g. after a full database swap)."""
+        self.stats.invalidations += len(self._records)
+        self._records.clear()
+
+    def resident_indices(self) -> list:
+        """Cached record indices in LRU-to-MRU order (diagnostic)."""
+        return list(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"HotRecordCache(capacity={self.capacity}, resident={len(self)}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

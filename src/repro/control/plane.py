@@ -1,0 +1,138 @@
+"""The control plane assembled: telemetry → rebalancer → cache over one fleet.
+
+Following RAFDA's separation of application logic from distribution policy,
+the pieces of :mod:`repro.control` never touch the PIR protocol — they
+observe the running data plane (every flushed batch, through the frontend
+observe hook) and reconfigure it (shard migrations, cache contents) between
+batches.  A :class:`ControlPlane` is the thin coordinator that wires the
+three pieces around an existing :class:`~repro.shard.fleet.FleetRouter`:
+
+* it registers itself as a frontend **observer**, so each flushed batch
+  first feeds the :class:`~repro.control.telemetry.HeatTracker` and then
+  gives the :class:`~repro.control.rebalancer.Rebalancer` a chance to act —
+  the whole loop runs on the frontend's own (simulated or event-loop)
+  clock, with no thread and no wall-clock read;
+* the optional :class:`~repro.control.cache.HotRecordCache` is attached to
+  the frontend's cache slot (requires ``dedup=True`` — same
+  trusted-aggregator caveat) and invalidated through
+  :meth:`~repro.shard.fleet.FleetRouter.apply_updates`.
+
+Use :func:`controlled_fleet` to build a router with its control plane in
+one call, or compose the pieces by hand for finer control.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.control.cache import HotRecordCache
+from repro.control.rebalancer import RebalanceReport, Rebalancer
+from repro.control.telemetry import HeatTracker
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.shard.fleet import FleetRouter
+from repro.shard.plan import ShardPlan
+
+
+class ControlPlane:
+    """Observer tying a tracker, an optional rebalancer and a cache together.
+
+    The object registered on the frontend's ``observers`` list; its
+    :meth:`observe_batch` is invoked by the shared flush pipeline
+    (:func:`repro.pir.frontend.fold_metrics`) after every batch, for the
+    sync and async frontends alike.
+    """
+
+    def __init__(
+        self,
+        tracker: HeatTracker,
+        rebalancer: Optional[Rebalancer] = None,
+        cache: Optional[HotRecordCache] = None,
+    ) -> None:
+        self.tracker = tracker
+        self.rebalancer = rebalancer
+        self.cache = cache
+
+    def observe_batch(self, indices: Sequence[int], now: float) -> None:
+        """Fold one flushed batch into the heat window, then maybe rebalance.
+
+        Ordering matters: the batch is folded *before* the rebalance check,
+        so a pass always acts on the estimate including the batch that
+        triggered it.  The batch itself completed before observers run —
+        a migration here never races the scan that reported it.
+        """
+        self.tracker.observe_batch(indices, now)
+        if self.rebalancer is not None:
+            self.rebalancer.maybe_rebalance(now)
+
+    @property
+    def reports(self) -> List[RebalanceReport]:
+        """Rebalance reports so far (empty without a rebalancer)."""
+        return self.rebalancer.reports if self.rebalancer is not None else []
+
+    def describe(self) -> List[str]:
+        """Plain-text status lines for logs and bench output."""
+        lines = [f"telemetry: {self.tracker!r}"]
+        heats = self.tracker.heats()
+        lines.append(
+            "live heats: "
+            + ", ".join(f"s{i}={heat:.1f}" for i, heat in enumerate(heats))
+        )
+        if self.rebalancer is not None:
+            lines.append(
+                f"rebalancer: {self.rebalancer.total_migrations} migration(s) "
+                f"over {len(self.rebalancer.reports)} pass(es), "
+                f"{self.rebalancer.total_migration_seconds * 1e3:.3f}ms transfer"
+            )
+            for report in self.rebalancer.reports:
+                if report.migrations:
+                    lines.append("  " + report.describe())
+        if self.cache is not None:
+            stats = self.cache.stats
+            lines.append(
+                f"hot cache: {len(self.cache)}/{self.cache.capacity} resident, "
+                f"{stats.hits} hit(s) / {stats.lookups} lookup(s) "
+                f"(rate {stats.hit_rate:.2f}), {stats.evictions} eviction(s), "
+                f"{stats.invalidations} invalidation(s)"
+            )
+        return lines
+
+
+def controlled_fleet(
+    client: PIRClient,
+    database: Database,
+    plan: ShardPlan,
+    heats: Sequence[float],
+    window_seconds: float = 1.0,
+    decay: float = 0.5,
+    rebalance_interval_seconds: Optional[float] = 1.0,
+    cache_capacity: Optional[int] = None,
+    admit_min_heat: float = 0.0,
+    **router_kwargs,
+) -> "tuple[FleetRouter, ControlPlane]":
+    """Build a :class:`FleetRouter` with a live control plane attached.
+
+    ``heats`` seeds the *initial* placement exactly as for a bare router;
+    from then on the control plane measures its own.  Pass
+    ``rebalance_interval_seconds=None`` to observe without migrating, and
+    ``cache_capacity`` (with ``dedup=True`` in ``router_kwargs``) to enable
+    the hot-record tier; ``admit_min_heat`` makes its admission
+    heat-informed.  Returns ``(router, control_plane)``.
+    """
+    tracker = HeatTracker(plan, window_seconds=window_seconds, decay=decay)
+    cache = None
+    if cache_capacity is not None:
+        cache = HotRecordCache(
+            capacity=cache_capacity, tracker=tracker, admit_min_heat=admit_min_heat
+        )
+    router = FleetRouter(
+        client, database, plan, heats, cache=cache, **router_kwargs
+    )
+    rebalancer = None
+    if rebalance_interval_seconds is not None:
+        rebalancer = Rebalancer(
+            router, tracker, interval_seconds=rebalance_interval_seconds
+        )
+    plane = ControlPlane(tracker, rebalancer=rebalancer, cache=cache)
+    router.observers.append(plane)
+    return router, plane

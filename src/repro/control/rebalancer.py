@@ -1,0 +1,191 @@
+"""Online shard rebalancing: re-place live fleets against measured heat.
+
+A :class:`~repro.shard.fleet.FleetRouter` places shards once, from an
+offline heat sample — a drifting workload (new hot certificates, a freshly
+leaked credential dump) then strands hot shards on streamed backends
+forever.  The :class:`Rebalancer` closes the loop: it periodically re-runs
+the same :func:`~repro.shard.fleet.plan_placements` cost comparison against
+a live :class:`~repro.control.telemetry.HeatTracker` window, diffs the
+result against the placements in effect, and migrates **only the shards
+whose chosen kind changed**.
+
+A migration is a data-plane swap, not a protocol event: the shard's slice
+is re-cut through :meth:`~repro.shard.plan.ShardPlan.slice_shard` (the
+single slicing rule prepare and apply_updates already share), a fresh child
+backend of the new kind is prepared on it, and
+:meth:`~repro.shard.backend.ShardedBackend.swap_child` replaces the member
+atomically — queries keep hitting the old child until the swap and are
+bit-identical before, during and after, because both children hold the same
+bytes.  The migration's cost is the transfer term the shard's new
+placement already carries (:attr:`ShardPlacement.preload_seconds`, charged
+per the :class:`~repro.pim.timing.PIMTimingModel`): moving onto a preloaded
+kind pays the shard copy into MRAM, moving onto a streamed kind drops the
+standing copy and pays nothing up front.
+
+Simulated clock only (lint-enforced for this package): ``now`` comes from
+the frontend observe hook or the caller, never from ``time.time()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.control.telemetry import HeatTracker
+from repro.shard.backend import bare_backend_factory, default_child_config
+from repro.shard.fleet import FleetRouter, ShardPlacement, plan_placements
+from repro.shard.plan import ShardSpec
+
+
+@dataclass(frozen=True)
+class ShardMigration:
+    """One shard moved between backend kinds by a rebalance pass."""
+
+    shard: ShardSpec
+    old_kind: str
+    new_kind: str
+    #: The shard's heat estimate that justified the move.
+    heat: float
+    #: Transfer cost of standing the shard up on the new kind, per replica
+    #: (the placement's preload term; replicas migrate in parallel).
+    transfer_seconds: float
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalance pass observed and did."""
+
+    now: float
+    heats: List[float]
+    placements: List[ShardPlacement]
+    migrations: List[ShardMigration] = field(default_factory=list)
+
+    @property
+    def migration_seconds(self) -> float:
+        """Simulated cost of the pass: shards migrate one after another on
+        each replica's host (sum), replicas migrate in parallel (max folds
+        to the same value, so the sum per replica is the makespan)."""
+        return sum(migration.transfer_seconds for migration in self.migrations)
+
+    def describe(self) -> str:
+        if not self.migrations:
+            return f"rebalance @ {self.now:.3f}s: placements unchanged"
+        moves = ", ".join(
+            f"shard {m.shard.index} {m.old_kind}->{m.new_kind} "
+            f"(heat {m.heat:.1f}, {m.transfer_seconds * 1e3:.3f}ms)"
+            for m in self.migrations
+        )
+        return (
+            f"rebalance @ {self.now:.3f}s: {len(self.migrations)} migration(s) — "
+            f"{moves}"
+        )
+
+
+class Rebalancer:
+    """Periodically re-places a live fleet's shards from measured heat.
+
+    Wire it behind the frontend observe hook (directly, or via
+    :class:`~repro.control.plane.ControlPlane`) and every flushed batch
+    both feeds the tracker and gives the rebalancer a chance to act; or
+    drive :meth:`maybe_rebalance`/:meth:`rebalance` explicitly from a
+    management loop.  ``interval_seconds`` is simulated time between
+    passes; a pass that finds no kind changes migrates nothing.
+    """
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        tracker: HeatTracker,
+        interval_seconds: float = 1.0,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval_seconds must be positive")
+        if tracker.plan is not router.plan:
+            raise ConfigurationError(
+                "tracker and router must share one ShardPlan (heat indices "
+                "are shard indices of that plan)"
+            )
+        self.router = router
+        self.tracker = tracker
+        self.interval_seconds = interval_seconds
+        #: One report per completed pass, in time order.
+        self.reports: List[RebalanceReport] = []
+        self._last_pass: Optional[float] = None
+
+    # -- observe hook (period check) ---------------------------------------------
+
+    def maybe_rebalance(self, now: float) -> Optional[RebalanceReport]:
+        """Run a pass iff ``interval_seconds`` elapsed since the last one.
+
+        The first call only anchors the interval clock (a rebalance before
+        any full observation window would act on a half-empty estimate).
+        """
+        if self._last_pass is None:
+            self._last_pass = now
+            return None
+        if now - self._last_pass < self.interval_seconds:
+            return None
+        self._last_pass = now
+        return self.rebalance(now)
+
+    # -- one pass -----------------------------------------------------------------
+
+    def rebalance(self, now: float = 0.0) -> RebalanceReport:
+        """Re-place every shard against the live heat window, migrating diffs.
+
+        Recomputes placements with the router's own candidates (same cost
+        formulas, same machine model), swaps a fresh child of the new kind
+        into **every** replica fleet for each shard whose kind changed, and
+        installs the new placements on the router so its reporting surface
+        (``describe_placements`` etc.) reflects the live fleet.
+        """
+        router = self.router
+        record_size = router.fleets[0].database.record_size
+        heats = self.tracker.heats()
+        new_placements = plan_placements(
+            router.plan, record_size, heats, candidates=router.candidates
+        )
+        old_kinds: Dict[int, str] = {
+            placement.shard.index: placement.kind for placement in router.placements
+        }
+        report = RebalanceReport(now=now, heats=heats, placements=new_placements)
+        for placement in new_placements:
+            shard_index = placement.shard.index
+            old_kind = old_kinds.get(shard_index)
+            if old_kind == placement.kind:
+                continue
+            factory = bare_backend_factory(
+                placement.kind,
+                config=(
+                    router.child_config
+                    if router.child_config is not None
+                    else default_child_config()
+                ),
+            )
+            for fleet in router.fleets:
+                fleet.swap_child(shard_index, factory(placement.shard))
+            report.migrations.append(
+                ShardMigration(
+                    shard=placement.shard,
+                    old_kind=old_kind if old_kind is not None else "(unplaced)",
+                    new_kind=placement.kind,
+                    heat=placement.heat,
+                    transfer_seconds=placement.preload_seconds,
+                )
+            )
+        router.placements = new_placements
+        self.reports.append(report)
+        return report
+
+    # -- rollups ------------------------------------------------------------------
+
+    @property
+    def total_migrations(self) -> int:
+        """Shards migrated across every pass so far."""
+        return sum(len(report.migrations) for report in self.reports)
+
+    @property
+    def total_migration_seconds(self) -> float:
+        """Simulated transfer cost across every pass so far."""
+        return sum(report.migration_seconds for report in self.reports)

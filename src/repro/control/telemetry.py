@@ -1,0 +1,169 @@
+"""Heat telemetry: decaying per-shard query-rate windows from live traffic.
+
+The placement formulas in :mod:`repro.shard.fleet` price a shard by its
+*heat* — expected queries touching it per operating window.  Offline, that
+number comes from a trace sample; online, it has to be measured from the
+batches the frontend actually flushes, and it has to *age*: a shard that was
+hot an hour ago but is cold now must not stay pinned to preloaded PIM
+forever.
+
+A :class:`HeatTracker` is that measurement.  It is a frontend *observer*
+(the same per-flush hook the AIMD batching policy uses for utilization —
+see :func:`repro.pir.frontend.fold_metrics`), so both the simulated-clock
+and the asyncio frontends feed it for free: every flushed batch's routed
+indices are folded into the current window, and completed windows are
+blended into an exponentially decayed estimate.  ``heats()`` then returns
+per-window queries per shard — exactly the units
+:func:`repro.shard.fleet.plan_placements` expects, and (by construction,
+since :func:`repro.shard.fleet.heats_from_trace` routes through this class)
+exactly the units offline planning uses.
+
+The control plane runs on the **simulated clock only**: ``now`` always
+comes from the caller (the sync frontend's arrival stamps, the asyncio
+loop's time), never from ``time.time()`` — ``tools/lint.py`` enforces that
+for this whole package, which is what keeps rebalancing decisions
+deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.shard.plan import ShardPlan
+
+
+class HeatTracker:
+    """Decaying sliding-window estimate of per-shard query heat.
+
+    Counts are kept per window of ``window_seconds`` simulated time.  When
+    a window completes, it is folded into the running estimate with an
+    exponential moving average — ``smoothed = decay * smoothed +
+    (1 - decay) * window_count`` — so old hotness ages out at a rate the
+    caller controls (``decay`` is the weight history keeps per window).
+
+    ``heats()`` reports the estimate over **completed** windows only: the
+    in-progress window is deliberately excluded, because its counts start
+    at zero after every roll and blending them raw would make the estimate
+    dip ~``decay``-fold right after each roll and recover across the
+    window — a shard priced near a placement break-even would then flap
+    between kinds depending on where within the window a rebalance pass
+    happens to fire, paying the migration transfer each time.  Before the
+    first window completes the raw counts seen so far are the only
+    estimate there is (which is why a one-shot offline trace through
+    :func:`repro.shard.fleet.heats_from_trace` yields plain per-shard
+    counts).
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        window_seconds: float = 1.0,
+        decay: float = 0.5,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if not 0.0 <= decay < 1.0:
+            raise ConfigurationError("decay must be in [0, 1)")
+        self.plan = plan
+        self.window_seconds = window_seconds
+        self.decay = decay
+        #: Completed windows folded into the estimate so far.
+        self.windows_completed = 0
+        #: Indices observed over the tracker's lifetime (diagnostic).
+        self.observed_indices = 0
+        self._window_counts = [0.0] * plan.num_shards
+        self._smoothed: Optional[List[float]] = None
+        self._window_start: Optional[float] = None
+
+    # -- feeding ----------------------------------------------------------------
+
+    def observe_batch(self, indices: Sequence[int], now: float) -> None:
+        """Fold one flushed batch's record indices into the current window.
+
+        This is the frontend observer hook: ``now`` is the flush instant on
+        the frontend's clock (simulated arrival stamps for the sync
+        frontend, the event loop's clock for the asyncio one).
+        """
+        self.advance(now)
+        for shard_index, routed in self.plan.route_records(indices).items():
+            self._window_counts[shard_index] += len(routed)
+        self.observed_indices += len(indices)
+
+    def advance(self, now: float) -> None:
+        """Advance the simulated clock, rolling any windows that completed.
+
+        Idle time decays heat too: rolling three empty windows ages the
+        estimate exactly as three windows of zero traffic would.
+        """
+        if self._window_start is None:
+            self._window_start = now
+            return
+        if now < self._window_start:
+            raise ProtocolError(
+                f"time moves forward: {now} is before the current window "
+                f"start {self._window_start}"
+            )
+        completed = int((now - self._window_start) // self.window_seconds)
+        if completed < 1:
+            return
+        # First roll folds the live counts; the remaining completed-1
+        # windows are empty, and an empty-window blend is exactly
+        # ``smoothed *= decay`` — applied in closed form so a long idle gap
+        # (this hook runs inside every frontend flush) costs O(shards), not
+        # O(gap / window_seconds) list allocations.
+        self._roll()
+        if completed > 1:
+            if self._smoothed is not None:
+                factor = self.decay ** (completed - 1)
+                self._smoothed = [value * factor for value in self._smoothed]
+            self.windows_completed += completed - 1
+        self._window_start += completed * self.window_seconds
+
+    def _roll(self) -> None:
+        self._smoothed = self._blend(self._smoothed, self._window_counts)
+        self._window_counts = [0.0] * self.plan.num_shards
+        self.windows_completed += 1
+
+    def _blend(
+        self, smoothed: Optional[List[float]], counts: Sequence[float]
+    ) -> List[float]:
+        if smoothed is None:
+            return list(counts)
+        return [
+            self.decay * old + (1.0 - self.decay) * new
+            for old, new in zip(smoothed, counts)
+        ]
+
+    # -- reading ----------------------------------------------------------------
+
+    def heats(self) -> List[float]:
+        """Per-window queries per shard, one entry per shard of the plan.
+
+        The natural input for :func:`repro.shard.fleet.plan_placements`:
+        the decayed estimate over completed windows (phase-stable — see the
+        class docstring), falling back to the raw live counts before the
+        first window completes.  State is not mutated; reading is free.
+        """
+        if self._smoothed is None:
+            return list(self._window_counts)
+        return list(self._smoothed)
+
+    def shard_heat(self, shard_index: int) -> float:
+        """The current heat estimate for one shard (cache admission helper)."""
+        if not 0 <= shard_index < self.plan.num_shards:
+            raise ConfigurationError(
+                f"shard index {shard_index} out of range [0, {self.plan.num_shards})"
+            )
+        return self.heats()[shard_index]
+
+    def record_heat(self, record_index: int) -> float:
+        """The heat of the shard owning ``record_index``."""
+        return self.heats()[self.plan.shard_for_record(record_index).index]
+
+    def __repr__(self) -> str:
+        return (
+            f"HeatTracker(shards={self.plan.num_shards}, "
+            f"window={self.window_seconds}s, decay={self.decay}, "
+            f"windows_completed={self.windows_completed})"
+        )

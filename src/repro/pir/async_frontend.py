@@ -40,13 +40,17 @@ from repro.pir.frontend import (
     BatchingPolicy,
     FrontendMetrics,
     PendingRequest,
+    admit_scanned,
     check_replicas,
     collect_answers,
+    collect_update_appliers,
+    count_cache_hits,
     dedup_leaders,
     fanout_dedup,
     fold_metrics,
     per_server_queries,
     reconstruct_scanned,
+    require_dedup_for_cache,
     require_no_orphans,
 )
 
@@ -69,16 +73,88 @@ class AsyncPIRFrontend:
         replicas: Sequence,
         policy: Optional[BatchingPolicy] = None,
         dedup: bool = False,
+        observers: Sequence = (),
+        cache=None,
     ) -> None:
         self.client = client
         self.replicas = check_replicas(client, replicas)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.dedup = dedup
+        self.observers: List = list(observers)
+        self.cache = None
+        if cache is not None:
+            self.attach_cache(cache)
         self.metrics = FrontendMetrics()
         self._pending: List[PendingRequest] = []
         self._futures: Dict[int, "asyncio.Future[bytes]"] = {}
         self._next_request_id = 0
         self._timer_task: Optional["asyncio.Task[None]"] = None
+        # Flush/update quiescence (a reader-writer discipline): flushes may
+        # overlap each other, but an update must wait for every in-flight
+        # flush to drain and blocks new flushes while it runs — otherwise a
+        # flush could reconstruct from mixed old/new replica states (XOR of
+        # the two is garbage) or re-admit pre-update bytes into the cache
+        # after the invalidation.
+        self._quiesce: Optional[asyncio.Condition] = None
+        self._inflight_flushes = 0
+        self._updates_waiting = 0
+        self._updating = False
+
+    def _quiesce_condition(self) -> asyncio.Condition:
+        if self._quiesce is None:
+            self._quiesce = asyncio.Condition()
+        return self._quiesce
+
+    def attach_cache(self, cache) -> None:
+        """Enable the hot-record cache tier (requires ``dedup=True``) —
+        the same gate as :meth:`repro.pir.frontend.PIRFrontend.attach_cache`."""
+        require_dedup_for_cache(self.dedup)
+        self.cache = cache
+
+    async def apply_updates(self, updates) -> None:
+        """Apply ``(index, record_bytes)`` updates to every replica.
+
+        The async counterpart of
+        :meth:`repro.pir.frontend.PIRFrontend.apply_updates`: replicas
+        re-copy their dirty shards in worker threads (blocking numpy).
+        The update *quiesces* the flush pipeline first — it waits for every
+        in-flight flush to drain and holds new flushes until all replicas
+        carry the new bytes and the cache's dirty indices are dropped — so
+        no retrieval ever reconstructs from mixed old/new replica states,
+        and no flush that scanned the old bytes can re-admit them after
+        the invalidation.
+        """
+        updates = list(updates)
+        if not updates:
+            return
+        appliers = collect_update_appliers(self.replicas)
+        quiesce = self._quiesce_condition()
+        async with quiesce:
+            # Writer-preferring: announcing the waiting update stops *new*
+            # flushes from taking reader slots, or sustained traffic could
+            # keep _inflight_flushes above zero forever and starve the
+            # update indefinitely.
+            self._updates_waiting += 1
+            try:
+                while self._updating or self._inflight_flushes:
+                    await quiesce.wait()
+                self._updating = True
+            finally:
+                self._updates_waiting -= 1
+                quiesce.notify_all()
+        try:
+            for replica_apply in appliers:
+                await asyncio.to_thread(replica_apply, updates)
+        finally:
+            # Invalidate even when an applier fails midway: the replicas may
+            # be left inconsistent (the caller sees the error), but a stale
+            # cached record silently masking that inconsistency would be
+            # strictly worse than the scan surfacing it.
+            if self.cache is not None:
+                self.cache.invalidate(sorted({index for index, _ in updates}))
+            async with quiesce:
+                self._updating = False
+                quiesce.notify_all()
 
     # -- admission -------------------------------------------------------------------
 
@@ -203,23 +279,52 @@ class AsyncPIRFrontend:
         """
         if not batch:
             return
+        # Enter the flush pipeline as a "reader": overlaps freely with other
+        # flushes, but never with an apply_updates in progress (see the
+        # quiescence note in __init__).
+        quiesce = self._quiesce_condition()
+        async with quiesce:
+            while self._updating or self._updates_waiting:
+                await quiesce.wait()
+            self._inflight_flushes += 1
         try:
-            scanned = dedup_leaders(batch, self.client) if self.dedup else batch
+            await self._run_flush(batch, reason)
+        finally:
+            async with quiesce:
+                self._inflight_flushes -= 1
+                quiesce.notify_all()
+
+    async def _run_flush(self, batch: List[PendingRequest], reason: str) -> None:
+        """The flush pipeline proper (already holding a reader slot)."""
+        try:
+            if self.dedup:
+                scanned, cached = dedup_leaders(batch, self.client, self.cache)
+            else:
+                scanned, cached = batch, {}
             per_server = per_server_queries(scanned, len(self.replicas))
             # The replicas are independent machines running blocking numpy
-            # scans: one worker thread each, gathered concurrently.
-            raw_results = await asyncio.gather(
-                *(
-                    asyncio.to_thread(replica.answer_batch, queries)
-                    for replica, queries in zip(self.replicas, per_server)
+            # scans: one worker thread each, gathered concurrently.  A batch
+            # served entirely from the cache dispatches nothing.
+            raw_results = (
+                await asyncio.gather(
+                    *(
+                        asyncio.to_thread(replica.answer_batch, queries)
+                        for replica, queries in zip(self.replicas, per_server)
+                    )
                 )
+                if scanned
+                else []
             )
             answers_by_key, makespans, schedules = collect_answers(raw_results)
             completed, record_by_index = reconstruct_scanned(
                 self.client, scanned, answers_by_key
             )
+            admit_scanned(self.cache, record_by_index)
+            record_by_index.update(cached)
             deduped = (
-                fanout_dedup(batch, completed, record_by_index) if self.dedup else 0
+                fanout_dedup(batch, completed, record_by_index, cached_indices=cached)
+                if self.dedup
+                else 0
             )
             require_no_orphans(answers_by_key)
         except Exception as error:  # reject the whole batch, batch-wide fault
@@ -228,9 +333,40 @@ class AsyncPIRFrontend:
                 if future is not None and not future.done():
                     future.set_exception(error)
             return
-        fold_metrics(self.metrics, self.policy, reason, len(batch), makespans, schedules)
-        self.metrics.deduped_requests += deduped
+        # Resolve the batch's futures before metrics/observer work: awaiting
+        # submitters are scheduled to wake first, so control-plane observers
+        # (which may run a blocking shard migration on the loop) never gate
+        # request completion.  Observers that need heavier isolation should
+        # be driven from a management task instead of this hook.
         for request in batch:
             future = self._futures.pop(request.request_id)
             if not future.done():
                 future.set_result(completed[request.request_id])
+        loop = asyncio.get_running_loop()
+        try:
+            fold_metrics(
+                self.metrics,
+                self.policy,
+                reason,
+                len(batch),
+                makespans,
+                schedules,
+                indices=[request.index for request in batch],
+                now=loop.time(),
+                observers=self.observers,
+                cache_hits=count_cache_hits(batch, cached),
+            )
+            self.metrics.deduped_requests += deduped
+        except Exception as error:
+            # The batch already succeeded and its futures are resolved; an
+            # observer fault (e.g. a control-plane migration failing) must
+            # not masquerade as a retrieval failure in whichever submitter
+            # triggered the flush, nor kill the timer task.  Route it to
+            # the loop's exception handler instead.
+            loop.call_exception_handler(
+                {
+                    "message": "frontend observer raised during post-flush "
+                    "notification",
+                    "exception": error,
+                }
+            )

@@ -182,6 +182,8 @@ class FrontendMetrics:
     requests_served: int = 0
     #: Requests answered from another request's scan (``dedup=True`` only).
     deduped_requests: int = 0
+    #: Requests served from the hot-record cache without any replica scan.
+    cache_hits: int = 0
     #: Sum over batches of the slowest replica's makespan (replicas overlap).
     total_makespan_seconds: float = 0.0
     flush_reasons: Dict[str, int] = field(default_factory=dict)
@@ -211,6 +213,8 @@ class PIRFrontend:
         replicas: Sequence,
         policy: Optional[BatchingPolicy] = None,
         dedup: bool = False,
+        observers: Sequence = (),
+        cache=None,
     ) -> None:
         """``policy`` may be a :class:`BatchingPolicy` or an
         :class:`AdaptiveBatchingPolicy` (any object exposing
@@ -225,16 +229,67 @@ class PIRFrontend:
         count leaks the number of *distinct* indices in it.  That is only
         acceptable when the frontend is a trusted aggregator and the observed
         traffic pattern is part of the threat model — hence off by default.
+
+        ``observers`` are telemetry sinks: every flushed batch's record
+        indices and flush instant are reported to each observer's
+        ``observe_batch(indices, now)`` — the hook the control plane's
+        :class:`~repro.control.telemetry.HeatTracker` feeds from.  An
+        observer fault (e.g. a failed rebalance migration) propagates to
+        the caller that triggered the flush — deliberate fail-fast in this
+        deterministic frontend; the batch itself completed first, so its
+        records remain claimable via :meth:`take_record`.  (The asyncio
+        frontend diverges here: it resolves the batch's futures first and
+        routes observer faults to the loop's exception handler, since a
+        live deployment must not fail retrievals on control-plane errors.)
+
+        ``cache`` is an opt-in :class:`~repro.control.cache.HotRecordCache`
+        serving repeat indices without a replica scan.  It rides on the
+        dedup machinery (cached leaders skip query generation, followers
+        are filled by the dedup fan-out) and carries the same
+        trusted-aggregator caveat, so it **requires** ``dedup=True``.
         """
         self.client = client
         self.replicas = check_replicas(client, replicas)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.dedup = dedup
+        self.observers: List = list(observers)
+        self.cache = None
+        if cache is not None:
+            self.attach_cache(cache)
         self.metrics = FrontendMetrics()
         self._pending: List[PendingRequest] = []
         self._completed: Dict[int, bytes] = {}
         self._next_request_id = 0
         self._clock = 0.0
+
+    def attach_cache(self, cache) -> None:
+        """Enable the hot-record cache tier (requires ``dedup=True``).
+
+        The gate is deliberate: a caching frontend sends the replicas fewer
+        queries than it admitted, leaking the traffic pattern exactly as
+        batch dedup does, so it is only meaningful in the trusted-aggregator
+        deployments that already opted into dedup.
+        """
+        require_dedup_for_cache(self.dedup)
+        self.cache = cache
+
+    def apply_updates(self, updates) -> None:
+        """Apply ``(index, record_bytes)`` updates to every replica.
+
+        The frontend is the right place to land updates once a cache is
+        attached: dirty indices are dropped from it first, so a cached
+        record can never go stale relative to the replicas (the next
+        request for it pays a scan and re-admits the new bytes).  Every
+        replica must expose ``apply_updates``.
+        """
+        updates = list(updates)
+        if not updates:
+            return
+        appliers = collect_update_appliers(self.replicas)
+        if self.cache is not None:
+            self.cache.invalidate(sorted({index for index, _ in updates}))
+        for replica_apply in appliers:
+            replica_apply(updates)
 
     # -- admission -------------------------------------------------------------------
 
@@ -313,28 +368,50 @@ class PIRFrontend:
 
     def _flush(self, reason: str) -> None:
         batch, self._pending = self._pending, []
-        scanned = dedup_leaders(batch, self.client) if self.dedup else batch
+        if self.dedup:
+            scanned, cached = dedup_leaders(batch, self.client, self.cache)
+        else:
+            scanned, cached = batch, {}
         per_server = per_server_queries(scanned, len(self.replicas))
         # Route through each replica's public batch surface, so attached cost
         # models (CPU/GPU analytic estimates, IM-PIR schedules) are honoured.
         # Replicas are called in sequence here; the asyncio frontend
         # (repro.pir.async_frontend) dispatches the same per-server query
-        # lists concurrently and shares every helper below.
-        raw_results = [
-            replica.answer_batch(per_server[server_id])
-            for server_id, replica in enumerate(self.replicas)
-        ]
+        # lists concurrently and shares every helper below.  A batch served
+        # entirely from the cache dispatches nothing (an empty batch is a
+        # protocol error on the engine side, and there is nothing to scan).
+        raw_results = (
+            [
+                replica.answer_batch(per_server[server_id])
+                for server_id, replica in enumerate(self.replicas)
+            ]
+            if scanned
+            else []
+        )
         answers_by_key, makespans, schedules = collect_answers(raw_results)
         completed, record_by_index = reconstruct_scanned(
             self.client, scanned, answers_by_key
         )
+        admit_scanned(self.cache, record_by_index)
+        record_by_index.update(cached)
         self._completed.update(completed)
         if self.dedup:
             self.metrics.deduped_requests += fanout_dedup(
-                batch, self._completed, record_by_index
+                batch, self._completed, record_by_index, cached_indices=cached
             )
         require_no_orphans(answers_by_key)
-        fold_metrics(self.metrics, self.policy, reason, len(batch), makespans, schedules)
+        fold_metrics(
+            self.metrics,
+            self.policy,
+            reason,
+            len(batch),
+            makespans,
+            schedules,
+            indices=[request.index for request in batch],
+            now=self._clock,
+            observers=self.observers,
+            cache_hits=count_cache_hits(batch, cached),
+        )
 
 
 #: The frontend is a request router; both names are part of the public API.
@@ -379,18 +456,80 @@ def check_replicas(client: PIRClient, replicas: Sequence) -> List:
     return replicas
 
 
-def dedup_leaders(batch: Sequence[PendingRequest], client: PIRClient) -> List[PendingRequest]:
+def dedup_leaders(
+    batch: Sequence[PendingRequest], client: PIRClient, cache=None
+) -> Tuple[List[PendingRequest], Dict[int, bytes]]:
     """Pick one leader per distinct index; leaders generate (and owe) queries.
 
-    Followers are satisfied from their leader's reconstruction by
-    :func:`fanout_dedup` after the scan.
+    Returns ``(leaders to scan, records served from cache by index)``.  A
+    distinct index resident in ``cache`` is served from it instead of
+    electing a leader — no queries are generated, no replica sees it (the
+    whole point of the cache tier) — and the dedup fan-out
+    (:func:`fanout_dedup`) delivers the cached record to every request that
+    asked for it.  Other followers are satisfied from their leader's
+    reconstruction the same way.
     """
     leaders: Dict[int, PendingRequest] = {}
+    cached: Dict[int, bytes] = {}
     for request in batch:
-        if request.index not in leaders:
-            request.queries = client.query(request.index)
-            leaders[request.index] = request
-    return list(leaders.values())
+        if request.index in leaders or request.index in cached:
+            continue
+        record = cache.get(request.index) if cache is not None else None
+        if record is not None:
+            cached[request.index] = record
+            continue
+        request.queries = client.query(request.index)
+        leaders[request.index] = request
+    return list(leaders.values()), cached
+
+
+def collect_update_appliers(replicas: Sequence) -> List:
+    """Every replica's ``apply_updates``, validated before any runs.
+
+    Validation must complete for the whole replica set *before* the first
+    update lands: discovering a non-updatable replica halfway through would
+    leave the set permanently inconsistent (some replicas on new bytes,
+    some on old — XOR reconstruction then returns garbage, silently).
+    """
+    appliers = []
+    for replica in replicas:
+        replica_apply = getattr(replica, "apply_updates", None)
+        if replica_apply is None:
+            raise ProtocolError(
+                f"replica {replica.server_id} exposes no apply_updates"
+            )
+        appliers.append(replica_apply)
+    return appliers
+
+
+def require_dedup_for_cache(dedup: bool) -> None:
+    """The hot-record cache gate, stated once for both frontends.
+
+    Cached answers skip replica scans, leaking the traffic pattern exactly
+    as batch dedup does — the cache is only meaningful in trusted-
+    aggregator deployments that already opted into ``dedup=True``.
+    """
+    if not dedup:
+        raise ProtocolError(
+            "a hot-record cache requires dedup=True (same trusted-"
+            "aggregator caveat: cached answers skip replica scans)"
+        )
+
+
+def admit_scanned(cache, record_by_index: Dict[int, bytes]) -> None:
+    """Offer every freshly scanned reconstruction to the cache (if any).
+
+    Called before cached records are merged into ``record_by_index``, so
+    only records that actually cost a replica scan are offered; admission
+    policy (heat floor, LRU eviction) is the cache's own.
+    """
+    if cache is not None:
+        cache.admit_many(record_by_index)
+
+
+def count_cache_hits(batch: Sequence[PendingRequest], cached: Dict[int, bytes]) -> int:
+    """Requests of ``batch`` served from the cache (leaders and followers)."""
+    return sum(1 for request in batch if request.index in cached)
 
 
 def per_server_queries(scanned: Sequence[PendingRequest], num_servers: int) -> List[List]:
@@ -466,17 +605,22 @@ def fanout_dedup(
     batch: Sequence[PendingRequest],
     completed: Dict[int, bytes],
     record_by_index: Dict[int, bytes],
+    cached_indices: Sequence[int] = frozenset(),
 ) -> int:
     """Fan each leader's record out to its followers by request id.
 
     Fills ``completed`` in place for every batch request not already served
-    by its own scan; returns how many requests were answered this way.
+    by its own scan; returns how many were answered from another request's
+    *scan*.  Requests whose index is in ``cached_indices`` are filled too
+    but not counted — they are cache hits (:func:`count_cache_hits`), not
+    dedup wins, and the two metrics must not double-count.
     """
     deduped = 0
     for request in batch:
         if request.request_id not in completed:
             completed[request.request_id] = record_by_index[request.index]
-            deduped += 1
+            if request.index not in cached_indices:
+                deduped += 1
     return deduped
 
 
@@ -496,15 +640,23 @@ def fold_metrics(
     num_requests: int,
     makespans: Sequence[float],
     schedules: Sequence[BatchSchedule],
+    indices: Sequence[int] = (),
+    now: float = 0.0,
+    observers: Sequence = (),
+    cache_hits: int = 0,
 ) -> None:
-    """Accumulate one flushed batch into ``metrics`` and feed the policy.
+    """Accumulate one flushed batch into ``metrics`` and feed the observers.
 
     Replicas overlap, so the batch is charged the slowest replica's makespan;
     a policy exposing ``observe_utilization`` (the AIMD controller) is fed
-    the slowest schedule's cluster utilization.
+    the slowest schedule's cluster utilization.  ``observers`` exposing
+    ``observe_batch`` get the batch's record indices and flush instant —
+    the same per-flush hook, which is how the control plane's heat
+    telemetry sees every batch from both the sync and the async frontend.
     """
     metrics.batches_dispatched += 1
     metrics.requests_served += num_requests
+    metrics.cache_hits += cache_hits
     metrics.total_makespan_seconds += max(makespans, default=0.0)
     metrics.flush_reasons[reason] = metrics.flush_reasons.get(reason, 0) + 1
     if schedules:
@@ -514,6 +666,10 @@ def fold_metrics(
         observe = getattr(policy, "observe_utilization", None)
         if observe is not None:
             observe(metrics.last_cluster_utilization)
+    for observer in observers:
+        observe_batch = getattr(observer, "observe_batch", None)
+        if observe_batch is not None:
+            observe_batch(indices, now)
 
 
 def _normalize_batch(raw) -> Tuple[List[PIRAnswer], float, Optional[BatchSchedule]]:

@@ -138,11 +138,14 @@ class ShardedBackend(PIRBackend):
         self._requested_plan = plan
         self._name = name
         self.plan: Optional[ShardPlan] = None
-        #: ``(shard, child)`` pairs for every non-empty shard, in shard order.
-        self._members: List[Tuple[ShardSpec, PIRBackend]] = []
-        #: Per-member lane counts, cached at prepare (hot path must not
-        #: rebuild child capability objects per query).
-        self._child_lanes: List[int] = []
+        #: ``(shard, child, lanes)`` triples for every non-empty shard, in
+        #: shard order.  One immutable tuple, always replaced by a single
+        #: reference assignment: a live migration (:meth:`swap_child`) must
+        #: never let a concurrent ``execute`` pair a new child with a stale
+        #: lane count, and the per-member lane cache lives *inside* the
+        #: triple for exactly that reason (the hot path must not rebuild
+        #: child capability objects per query either).
+        self._members: Tuple[Tuple[ShardSpec, PIRBackend, int], ...] = ()
         self._database: Optional[Database] = None
         #: Persistent scan pool for the ``threads`` executor, (re)built at
         #: prepare — spawning threads per ``execute`` call would put
@@ -170,7 +173,7 @@ class ShardedBackend(PIRBackend):
                 database.num_records, self._num_shards, self._block_records
             )
         timer = PhaseTimer()
-        self._members = []
+        members: List[Tuple[ShardSpec, PIRBackend, int]] = []
         for shard, shard_db in zip(
             self.plan.non_empty_shards, self.plan.slice_database(database)
         ):
@@ -178,8 +181,8 @@ class ShardedBackend(PIRBackend):
             report = child.prepare(shard_db)
             if report is not None:
                 timer.merge_parallel(report)
-            self._members.append((shard, child))
-        self._child_lanes = [child.capabilities().lanes for _, child in self._members]
+            members.append((shard, child, child.capabilities().lanes))
+        self._members = tuple(members)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -203,7 +206,7 @@ class ShardedBackend(PIRBackend):
         self.plan.check_shape(database.num_records)
         routed = self.plan.route_records(dirty_indices)
         timer = PhaseTimer()
-        for shard, child in self._members:
+        for shard, child, _ in self._members:
             dirty = routed.get(shard.index)
             if not dirty:
                 continue
@@ -232,7 +235,7 @@ class ShardedBackend(PIRBackend):
         ``preloaded`` hold only if they hold for every member; capacity is
         the sum of the members' advertised bounds when all are known.
         """
-        children = [child.capabilities() for _, child in self._members]
+        children = [child.capabilities() for _, child, _ in self._members]
         if not children:
             # No members yet: advertise no residency and no capacity, so a
             # router sizing against these capabilities never mistakes an
@@ -268,13 +271,13 @@ class ShardedBackend(PIRBackend):
         """Host DPF evaluation happens once for the full domain; the fleet is
         as slow as its slowest member's host."""
         return max(
-            (child.latency_eval_seconds(num_records) for _, child in self._members),
+            (child.latency_eval_seconds(num_records) for _, child, _ in self._members),
             default=0.0,
         )
 
     def batch_eval_seconds(self, num_records: int) -> float:
         return max(
-            (child.batch_eval_seconds(num_records) for _, child in self._members),
+            (child.batch_eval_seconds(num_records) for _, child, _ in self._members),
             default=0.0,
         )
 
@@ -293,7 +296,7 @@ class ShardedBackend(PIRBackend):
             raise ProtocolError("sharded backend has no prepared database")
 
         def scan_shard(job) -> Tuple[np.ndarray, PhaseTimer]:
-            (shard, child), child_lanes, selector_slice = job
+            (shard, child, child_lanes), selector_slice = job
             child_timer = PhaseTimer()
             # The engine bounds lane by the fleet minimum, but members keep
             # serving if a caller drives a bare backend with a larger lane.
@@ -301,9 +304,10 @@ class ShardedBackend(PIRBackend):
             sub = child.execute(selector_slice, child_timer, lane=child_lane)
             return np.asarray(sub, dtype=np.uint8).reshape(-1), child_timer
 
-        jobs = list(
-            zip(self._members, self._child_lanes, self.plan.split_selector(selector_bits))
-        )
+        # One read of the members tuple: a live migration swapping a child
+        # mid-batch must not tear this job list (each triple already pairs
+        # the child with its lane count).
+        jobs = list(zip(self._members, self.plan.split_selector(selector_bits)))
         if self._pool is not None and len(jobs) > 1:
             # Children are independent machines with independent state, so
             # their blocking scans can genuinely overlap; results come back
@@ -325,7 +329,40 @@ class ShardedBackend(PIRBackend):
     @property
     def members(self) -> List[Tuple[ShardSpec, PIRBackend]]:
         """``(shard, child backend)`` pairs, in shard order (read-only use)."""
-        return list(self._members)
+        return [(shard, child) for shard, child, _ in self._members]
+
+    # -- live migration (the control plane's swap point) -----------------------------
+
+    def swap_child(self, shard_index: int, child: PIRBackend) -> Optional[PhaseTimer]:
+        """Atomically replace one shard's child backend with ``child``.
+
+        The migration primitive of the online rebalancer
+        (:class:`repro.control.rebalancer.Rebalancer`): the new child is
+        prepared on the shard's current database slice (the same
+        :meth:`~repro.shard.plan.ShardPlan.slice_shard` cut ``prepare`` and
+        ``apply_updates`` use, so its bytes cannot drift from the fleet's)
+        *before* the member entry is replaced — queries keep hitting the old
+        child until the single-assignment swap, and are bit-identical either
+        way because both children hold the same slice.  Returns the new
+        child's preload report (the migration's transfer cost), if any.
+        """
+        if self._database is None or self.plan is None:
+            raise ProtocolError("sharded backend has no prepared database")
+        for position, (shard, _, _) in enumerate(self._members):
+            if shard.index == shard_index:
+                break
+        else:
+            raise ConfigurationError(
+                f"no non-empty shard with index {shard_index} to swap"
+            )
+        report = child.prepare(self.plan.slice_shard(self._database, shard))
+        members = list(self._members)
+        members[position] = (shard, child, child.capabilities().lanes)
+        # Single reference assignment: an execute() running concurrently (the
+        # threads executor under the asyncio frontend) reads either the old
+        # tuple or the new one, never a child paired with a stale lane count.
+        self._members = tuple(members)
+        return report
 
 
 class ShardedServer:
@@ -398,6 +435,11 @@ class ShardedServer:
         timer = self.backend.apply_updates(new_database, dirty_indices)
         self.engine.database = new_database
         return timer
+
+    def swap_child(self, shard_index: int, child: PIRBackend) -> Optional[PhaseTimer]:
+        """Live-migrate one shard onto ``child`` (see
+        :meth:`ShardedBackend.swap_child`); returns its preload report."""
+        return self.backend.swap_child(shard_index, child)
 
     def shard_for_record(self, record_index: int) -> ShardSpec:
         """The shard owning ``record_index`` (routing/diagnostic helper)."""

@@ -116,17 +116,48 @@ def default_candidates(config: Optional[IMPIRConfig] = None) -> List[CandidateKi
     ]
 
 
-def heats_from_trace(plan: ShardPlan, indices: Sequence[int]) -> List[float]:
+def heats_from_trace(
+    plan: ShardPlan,
+    indices: Sequence[int],
+    arrival_seconds: Optional[Sequence[float]] = None,
+    window_seconds: float = 1.0,
+    decay: float = 0.5,
+) -> List[float]:
     """Expected per-window queries per shard, measured from a trace of indices.
 
     Returns one heat per shard of the plan (empty shards get 0.0); the
     natural input for :func:`plan_placements` when a workload sample is
     available.
+
+    The trace is routed through the control plane's
+    :class:`~repro.control.telemetry.HeatTracker`, so offline planning and
+    online rebalancing agree on units by construction.  Without
+    ``arrival_seconds`` the whole trace counts as **one** operating window
+    (raw per-shard counts — only comparable to a live tracker whose window
+    spans the same traffic).  With per-index arrival stamps the trace is
+    replayed through windows of ``window_seconds`` with ``decay``, yielding
+    exactly the estimate a live tracker configured the same way would
+    report — pass the tracker's own parameters when seeding a fleet that a
+    rebalancer will later re-place, or the seed placement and the first
+    online pass will price heat on different scales.
     """
-    heats = [0.0] * plan.num_shards
-    for shard_index, routed in plan.route_records(indices).items():
-        heats[shard_index] = float(len(routed))
-    return heats
+    # Imported lazily: the data plane sits below the control plane, and this
+    # one offline helper is the only place it borrows the control-plane
+    # normalization (a module-level import would be circular).
+    from repro.control.telemetry import HeatTracker
+
+    tracker = HeatTracker(plan, window_seconds=window_seconds, decay=decay)
+    if arrival_seconds is None:
+        tracker.observe_batch(indices, now=0.0)
+    else:
+        if len(arrival_seconds) != len(indices):
+            raise ConfigurationError(
+                f"got {len(arrival_seconds)} arrival stamps for "
+                f"{len(indices)} trace indices"
+            )
+        for index, now in zip(indices, arrival_seconds):
+            tracker.observe_batch([index], now)
+    return tracker.heats()
 
 
 def plan_placements(
@@ -213,15 +244,22 @@ class FleetRouter(PIRFrontend):
         policy: Optional[BatchingPolicy] = None,
         dedup: bool = False,
         executor: str = "serial",
+        observers: Sequence = (),
+        cache=None,
     ) -> None:
         plan.check_shape(database.num_records)
         self.plan = plan
+        #: Remembered for the control plane: an online rebalancer must build
+        #: migrated children on the same machine model the fleet started
+        #: with, and cost candidates against it.
+        self.child_config = child_config
         if candidates is None:
             # Cost the placement on the machine model the children will
             # actually run with, not the paper-scale default.
             candidates = default_candidates(
                 child_config if child_config is not None else default_child_config()
             )
+        self.candidates = list(candidates)
         self.placements = plan_placements(
             plan, database.record_size, heats, candidates=candidates
         )
@@ -244,12 +282,18 @@ class FleetRouter(PIRFrontend):
             )
             for server_id in range(client.num_servers)
         ]
-        super().__init__(client, replicas, policy=policy, dedup=dedup)
+        super().__init__(
+            client, replicas, policy=policy, dedup=dedup, observers=observers, cache=cache
+        )
 
     @property
     def fleets(self) -> List[ShardedServer]:
         """The replica fleets (one sharded server per trust domain)."""
         return self.replicas
+
+    # Bulk updates ride the inherited PIRFrontend.apply_updates: each fleet
+    # routes dirty records to their owning shards only, and an attached
+    # hot-record cache drops the dirty indices first.
 
     def placement_kinds(self) -> List[str]:
         """Chosen backend kind per non-empty shard, in shard order."""

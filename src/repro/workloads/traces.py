@@ -74,9 +74,18 @@ def zipf_trace(
     if exponent <= 1.0:
         raise ConfigurationError("zipf exponent must be > 1")
     rng = make_rng(seed)
-    raw = rng.zipf(exponent, size=num_queries * 2)
-    indices = [int(value - 1) % num_records for value in raw][:num_queries]
-    return QueryTrace(indices=tuple(indices), num_records=num_records)
+    # Rejection-sample out-of-range ranks instead of wrapping them with
+    # ``% num_records``: wrapping folds the distribution's unbounded tail
+    # back onto arbitrary in-range indices (rank N+1 onto index 0, the
+    # hottest!), distorting exactly the skew the trace exists to model.
+    # Rank 1 is always in range, so acceptance probability is bounded away
+    # from zero and the loop terminates for any positive ``num_records``.
+    indices: List[int] = []
+    while len(indices) < num_queries:
+        raw = rng.zipf(exponent, size=max(64, num_queries))
+        accepted = raw[raw <= num_records]
+        indices.extend(int(value - 1) for value in accepted)
+    return QueryTrace(indices=tuple(indices[:num_queries]), num_records=num_records)
 
 
 def sequential_trace(num_records: int, num_queries: int, start: int = 0) -> QueryTrace:

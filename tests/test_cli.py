@@ -52,3 +52,19 @@ class TestMain:
     def test_async_flag_rejected_for_other_targets(self, capsys):
         assert main(["fig9", "--async"]) == 2
         assert "smoke" in capsys.readouterr().err
+
+    def test_rebalance_smoke(self, capsys):
+        assert main(["smoke", "--rebalance"]) == 0
+        out = capsys.readouterr().out
+        assert "Rebalance smoke" in out
+        assert "migration" in out
+        assert "cache hit rate" in out
+        assert "bit-identical" in out
+
+    def test_rebalance_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--rebalance"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_async_and_rebalance_are_exclusive(self, capsys):
+        assert main(["smoke", "--async", "--rebalance"]) == 2
+        assert "one of" in capsys.readouterr().err

@@ -1,0 +1,337 @@
+"""Hot-record cache: LRU + heat admission, frontend short-circuit, invalidation."""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.control.cache import HotRecordCache
+from repro.control.telemetry import HeatTracker
+from repro.dpf.prf import make_prg
+from repro.pir.async_frontend import AsyncPIRFrontend
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.pir.frontend import BatchingPolicy, PIRFrontend
+from repro.pir.server import PIRServer
+from repro.shard.fleet import FleetRouter, heats_from_trace
+from repro.shard.plan import ShardPlan
+
+
+def make_client(database, seed=31):
+    return PIRClient(
+        database.num_records, database.record_size, seed=seed, prg=make_prg("numpy")
+    )
+
+
+def reference_replicas(database):
+    return [PIRServer(database, server_id=i, prg=make_prg("numpy")) for i in (0, 1)]
+
+
+class CountingReplica:
+    """Wraps a replica and counts ``answer_batch`` dispatches."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.server_id = inner.server_id
+        self.calls = 0
+
+    def answer_batch(self, queries):
+        self.calls += 1
+        return self._inner.answer_batch(queries)
+
+
+class TestLRU:
+    def test_eviction_order_and_hit_refresh(self):
+        cache = HotRecordCache(capacity=2)
+        cache.admit(1, b"a")
+        cache.admit(2, b"b")
+        assert cache.get(1) == b"a"  # refreshes 1 to MRU
+        cache.admit(3, b"c")  # evicts 2, the LRU
+        assert cache.get(2) is None
+        assert cache.get(1) == b"a" and cache.get(3) == b"c"
+        assert cache.stats.evictions == 1
+        assert cache.resident_indices() == [1, 3]
+
+    def test_re_admission_refreshes_without_double_count(self):
+        cache = HotRecordCache(capacity=2)
+        cache.admit(1, b"a")
+        cache.admit(1, b"a2")
+        assert len(cache) == 1
+        assert cache.stats.admissions == 1
+        assert cache.get(1) == b"a2"
+
+    def test_invalidate_and_clear(self):
+        cache = HotRecordCache(capacity=4)
+        cache.admit(1, b"a")
+        cache.admit(2, b"b")
+        assert cache.invalidate([1, 7]) == 1  # 7 was never resident
+        assert cache.get(1) is None
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotRecordCache(capacity=0)
+        with pytest.raises(ConfigurationError):
+            HotRecordCache(capacity=2, admit_min_heat=-1.0)
+
+
+class TestHeatInformedAdmission:
+    def test_cold_shard_records_are_declined(self):
+        plan = ShardPlan.uniform(100, 4)
+        tracker = HeatTracker(plan)
+        tracker.observe_batch([0] * 10, now=0.0)  # shard 0 hot, rest cold
+        cache = HotRecordCache(capacity=4, tracker=tracker, admit_min_heat=5.0)
+        assert cache.admit(3, b"hot")  # shard 0: heat 10 >= 5
+        assert not cache.admit(99, b"cold")  # shard 3: heat 0 < 5
+        assert cache.stats.rejected_cold == 1
+        assert 99 not in cache
+
+    def test_no_tracker_means_plain_lru(self):
+        cache = HotRecordCache(capacity=4, admit_min_heat=0.0)
+        assert cache.admit(5, b"x")
+
+
+class TestFrontendIntegration:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return Database.random(128, 16, seed=44)
+
+    def test_cache_requires_dedup(self, database):
+        cache = HotRecordCache(capacity=4)
+        with pytest.raises(ProtocolError):
+            PIRFrontend(
+                make_client(database), reference_replicas(database), cache=cache
+            )
+        with pytest.raises(ProtocolError):
+            AsyncPIRFrontend(
+                make_client(database), reference_replicas(database), cache=cache
+            )
+
+    def test_repeat_index_served_without_replica_dispatch(self, database):
+        cache = HotRecordCache(capacity=4)
+        replicas = [CountingReplica(r) for r in reference_replicas(database)]
+        frontend = PIRFrontend(
+            make_client(database),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=2),
+            dedup=True,
+            cache=cache,
+        )
+        # Batch 1 scans index 7 and admits it; batch 2 asks only for 7
+        # twice, so the whole batch is a cache hit and dispatches nothing.
+        assert frontend.retrieve_batch([7, 9]) == [database.record(7), database.record(9)]
+        calls_after_first = replicas[0].calls
+        assert frontend.retrieve_batch([7, 7]) == [database.record(7)] * 2
+        assert replicas[0].calls == calls_after_first
+        assert replicas[1].calls == calls_after_first
+        assert frontend.metrics.cache_hits == 2  # leader + duplicate follower
+        assert cache.stats.hits == 1  # one distinct-index lookup hit
+        assert frontend.metrics.requests_served == 4
+        # Cache hits are not double-counted as dedup wins: nothing in either
+        # batch was answered from another request's *scan*.
+        assert frontend.metrics.deduped_requests == 0
+
+    def test_mixed_batch_scans_only_misses(self, database):
+        cache = HotRecordCache(capacity=4)
+        frontend = PIRFrontend(
+            make_client(database),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=2),
+            dedup=True,
+            cache=cache,
+        )
+        frontend.retrieve_batch([3, 5])
+        records = frontend.retrieve_batch([3, 8])  # 3 cached, 8 scanned
+        assert records == [database.record(3), database.record(8)]
+        assert frontend.metrics.cache_hits == 1
+        assert 8 in cache  # freshly scanned records are offered to the cache
+
+    def test_async_frontend_cache_parity(self, database):
+        cache = HotRecordCache(capacity=4)
+        replicas = [CountingReplica(r) for r in reference_replicas(database)]
+        frontend = AsyncPIRFrontend(
+            make_client(database),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=0.01),
+            dedup=True,
+            cache=cache,
+        )
+
+        async def run():
+            first = await frontend.retrieve_batch([7, 9])
+            calls = replicas[0].calls
+            second = await frontend.retrieve_batch([7, 7])
+            return first, second, calls
+
+        first, second, calls = asyncio.run(run())
+        assert first == [database.record(7), database.record(9)]
+        assert second == [database.record(7)] * 2
+        assert replicas[0].calls == calls  # all-cached batch dispatched nothing
+        assert frontend.metrics.cache_hits == 2
+
+    def test_cache_hits_zero_without_cache(self, database):
+        frontend = PIRFrontend(
+            make_client(database), reference_replicas(database), dedup=True
+        )
+        frontend.retrieve_batch([7, 7, 9])
+        assert frontend.metrics.cache_hits == 0
+        assert frontend.metrics.deduped_requests == 1
+
+
+class TestAsyncInvalidation:
+    def test_async_apply_updates_invalidates_after_replicas_updated(self):
+        from repro.shard.backend import ShardedServer
+
+        database = Database.random(64, 8, seed=46)
+        cache = HotRecordCache(capacity=4)
+        replicas = [
+            ShardedServer(database, server_id=i, num_shards=2, prg=make_prg("numpy"))
+            for i in (0, 1)
+        ]
+        frontend = AsyncPIRFrontend(
+            make_client(database, seed=33),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=0.01),
+            dedup=True,
+            cache=cache,
+        )
+        fresh = bytes(8)
+
+        async def run():
+            first = await frontend.retrieve_batch([5, 9])
+            await frontend.apply_updates([(5, fresh)])
+            resident_after_update = 5 in cache
+            second = await frontend.retrieve_batch([5, 5])
+            return first, resident_after_update, second
+
+        first, resident_after_update, second = asyncio.run(run())
+        assert first == [database.record(5), database.record(9)]
+        assert not resident_after_update  # dirty index dropped
+        assert second == [fresh, fresh]  # re-scanned from the updated replicas
+
+    def test_apply_updates_rejects_replicas_without_the_hook(self):
+        """And rejects them *before* any replica is updated: a mid-loop
+        failure would leave the replica set permanently inconsistent."""
+        database = Database.random(64, 8, seed=47)
+        frontend = PIRFrontend(
+            make_client(database, seed=34), reference_replicas(database)
+        )
+        with pytest.raises(ProtocolError):
+            frontend.apply_updates([(0, bytes(8))])
+
+    def test_apply_updates_quiesces_in_flight_flushes(self):
+        """An update must drain in-flight flushes first: a flush scanning
+        mixed old/new replica states would XOR-reconstruct garbage, and one
+        scanning old bytes could re-admit them after the invalidation."""
+        import threading
+
+        from repro.shard.backend import ShardedServer
+
+        database = Database.random(64, 8, seed=49)
+        hold = threading.Event()
+
+        class SlowReplica:
+            """Holds each replica's first scan until the test releases it."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.server_id = inner.server_id
+                self._held = False
+
+            def answer_batch(self, queries):
+                if not self._held:
+                    self._held = True
+                    hold.wait(5.0)
+                return self._inner.answer_batch(queries)
+
+            def apply_updates(self, updates):
+                return self._inner.apply_updates(updates)
+
+        cache = HotRecordCache(capacity=4)
+        replicas = [
+            SlowReplica(
+                ShardedServer(database, server_id=i, num_shards=2, prg=make_prg("numpy"))
+            )
+            for i in (0, 1)
+        ]
+        frontend = AsyncPIRFrontend(
+            make_client(database, seed=36),
+            replicas,
+            policy=BatchingPolicy(max_batch_size=2, max_wait_seconds=5.0),
+            dedup=True,
+            cache=cache,
+        )
+        fresh = bytes(8)
+
+        async def run():
+            flush_task = asyncio.create_task(frontend.retrieve_batch([5, 9]))
+            while frontend._inflight_flushes == 0:  # scan now held in threads
+                await asyncio.sleep(0)
+            update_task = asyncio.create_task(frontend.apply_updates([(5, fresh)]))
+            await asyncio.sleep(0.05)
+            blocked = not update_task.done()  # waiting for the flush to drain
+            hold.set()
+            first = await flush_task
+            await update_task
+            second = await frontend.retrieve_batch([5])
+            return first, blocked, second
+
+        first, blocked, second = asyncio.run(run())
+        assert blocked
+        assert first == [database.record(5), database.record(9)]  # all-old, no tear
+        assert second == [fresh]  # post-update scan, not a stale cache entry
+
+
+class TestObserverFaultContainment:
+    def test_async_observer_exception_does_not_fail_the_batch(self):
+        database = Database.random(64, 8, seed=48)
+
+        class ExplodingObserver:
+            def observe_batch(self, indices, now):
+                raise RuntimeError("migration failed")
+
+        frontend = AsyncPIRFrontend(
+            make_client(database, seed=35),
+            reference_replicas(database),
+            policy=BatchingPolicy(max_batch_size=1, max_wait_seconds=0.01),
+            observers=[ExplodingObserver()],
+        )
+        captured = []
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(lambda _, context: captured.append(context))
+            # The record arrives even though the observer blows up post-flush.
+            return await frontend.submit(5)
+
+        record = asyncio.run(run())
+        assert record == database.record(5)
+        assert len(captured) == 1
+        assert isinstance(captured[0]["exception"], RuntimeError)
+
+
+class TestFleetInvalidation:
+    def test_apply_updates_invalidates_and_reserves_fresh_bytes(self):
+        database = Database.random(128, 16, seed=45)
+        plan = ShardPlan.uniform(database.num_records, 4)
+        heats = heats_from_trace(plan, [0] * 10)
+        cache = HotRecordCache(capacity=8)
+        router = FleetRouter(
+            make_client(database, seed=32),
+            database,
+            plan,
+            heats,
+            policy=BatchingPolicy(max_batch_size=2),
+            dedup=True,
+            cache=cache,
+        )
+        assert router.retrieve_batch([7, 9]) == [database.record(7), database.record(9)]
+        assert 7 in cache
+        new_record = bytes(range(16))
+        router.apply_updates([(7, new_record)])
+        assert 7 not in cache  # dirty index dropped before any re-read
+        records = router.retrieve_batch([7, 7])
+        assert records == [new_record] * 2  # scanned fresh, then fanned out
+        assert cache.stats.invalidations == 1

@@ -19,6 +19,7 @@ EXAMPLES = [
     "unified_backends",
     "sharded_fleet",
     "async_frontend",
+    "control_plane",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",

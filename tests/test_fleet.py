@@ -106,6 +106,38 @@ class TestHeatsFromTrace:
         plan = ShardPlan.uniform(100, 4)
         assert heats_from_trace(plan, []) == [0.0] * 4
 
+    def test_units_agree_with_online_telemetry(self):
+        """The docstring's promise — per-window queries per shard — now holds
+        by construction: the offline helper routes through the control
+        plane's HeatTracker, so a one-window trace and a live tracker fed
+        the same indices report identical heats."""
+        from repro.control.telemetry import HeatTracker
+
+        plan = ShardPlan.uniform(100, 4)
+        trace = [0, 1, 2, 99, 99, 50]
+        tracker = HeatTracker(plan)
+        tracker.observe_batch(trace, now=0.0)
+        assert heats_from_trace(plan, trace) == tracker.heats()
+
+    def test_arrival_stamped_trace_matches_live_tracker(self):
+        """With arrival stamps the offline helper replays the trace through
+        windows/decay, matching a live tracker configured identically."""
+        from repro.control.telemetry import HeatTracker
+
+        plan = ShardPlan.uniform(100, 4)
+        indices = [0, 1, 99, 99, 0, 50]
+        arrivals = [0.0, 0.3, 0.6, 0.9, 1.2, 1.5]
+        tracker = HeatTracker(plan, window_seconds=0.5, decay=0.5)
+        for index, now in zip(indices, arrivals):
+            tracker.observe_batch([index], now)
+        stamped = heats_from_trace(
+            plan, indices, arrival_seconds=arrivals, window_seconds=0.5, decay=0.5
+        )
+        assert stamped == tracker.heats()
+        assert stamped != heats_from_trace(plan, indices)  # one-window counts
+        with pytest.raises(ConfigurationError):
+            heats_from_trace(plan, indices, arrival_seconds=[0.0])
+
 
 class TestFleetRouter:
     @pytest.fixture(scope="class")

@@ -83,6 +83,25 @@ class TestTraces:
         with pytest.raises(ConfigurationError):
             zipf_trace(10, 5, exponent=1.0)
 
+    def test_zipf_head_frequencies_are_not_distorted_by_wrapping(self):
+        """Regression: out-of-range Zipf ranks used to be wrapped with
+        ``% num_records``, folding the distribution's unbounded tail back
+        onto arbitrary (often hottest) indices.  Rejection sampling keeps
+        the head strictly dominant and the tail below it on a small domain,
+        where the wrap distortion was most visible."""
+        trace = zipf_trace(50, 20000, exponent=1.3, seed=7)
+        counts = np.bincount(np.array(trace.indices), minlength=50)
+        # Head ranks are strictly ordered by popularity...
+        assert counts[0] > counts[1] > counts[2] > counts[3]
+        # ...and no tail index beats the head (the wrap used to pile the
+        # mass of every rank > 50 onto the low indices in multiples of 50).
+        assert counts[5:].max() < counts[2]
+
+    def test_zipf_small_domain_stays_in_range(self):
+        trace = zipf_trace(2, 200, exponent=1.1, seed=3)
+        assert set(trace.indices) <= {0, 1}
+        assert len(trace) == 200
+
     def test_sequential_trace_wraps(self):
         trace = sequential_trace(5, 7, start=3)
         assert list(trace) == [3, 4, 0, 1, 2, 3, 4]

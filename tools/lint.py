@@ -11,7 +11,13 @@ AST pass instead.  It flags:
   which defeat both checks above and hide a module's real dependencies;
 * ``asyncio.get_event_loop()`` — deprecated outside a running loop; library
   code must use ``asyncio.get_running_loop()`` (or ``asyncio.run`` at the
-  top level) so it never implicitly creates a loop.
+  top level) so it never implicitly creates a loop;
+* wall-clock reads under ``src/repro/control/`` — ``time.time()``,
+  ``time.monotonic()``, ``time.perf_counter()``, ``time.sleep()`` (through
+  any ``import time as ...`` alias), ``from time import ...`` and the
+  ``datetime`` module — the control plane runs on the simulated clock only
+  (``now`` comes from the caller), which is what keeps rebalancing
+  decisions deterministic and unit-testable.
 
 Usage::
 
@@ -70,6 +76,22 @@ class _UsageCollector(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+#: Wall-clock readers of the ``time`` module, banned under the simulated-
+#: clock-only control plane (``time.time`` et al. read the host's clock).
+WALL_CLOCK_ATTRS = {"time", "monotonic", "perf_counter", "sleep"}
+
+
+def _is_control_plane(path: Path) -> bool:
+    # The consecutive repro/control pair, not the two names anywhere in the
+    # path: a checkout living under a directory called "control" must not
+    # sweep the whole library into the simulated-clock ban.
+    parts = path.parts
+    return any(
+        parts[i] == "repro" and parts[i + 1] == "control"
+        for i in range(len(parts) - 1)
+    )
+
+
 def check_file(path: Path) -> List[Tuple[int, str]]:
     source = path.read_text(encoding="utf-8")
     try:
@@ -77,11 +99,47 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     except SyntaxError as error:
         return [(error.lineno or 0, f"syntax error: {error.msg}")]
     noqa = _noqa_lines(source)
+    simulated_clock_only = _is_control_plane(path)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
     wildcards: List[Tuple[int, str]] = []
     deprecated: List[Tuple[int, str]] = []
+    # Every name the ``time`` module is bound to (``import time``,
+    # ``import time as t``) — an alias must not dodge the wall-clock check.
+    time_aliases = {"time"}
+    if simulated_clock_only:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
     for node in ast.walk(tree):
+        if (
+            simulated_clock_only
+            and isinstance(node, ast.Attribute)
+            and node.attr in WALL_CLOCK_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in time_aliases
+        ):
+            deprecated.append(
+                (
+                    node.lineno,
+                    f"wall-clock time.{node.attr}() under src/repro/control/ — "
+                    "the control plane runs on the simulated clock only "
+                    "(take `now` from the caller)",
+                )
+            )
+        if simulated_clock_only and isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "datetime":
+                    deprecated.append(
+                        (
+                            node.lineno,
+                            "import datetime under src/repro/control/ — the "
+                            "control plane runs on the simulated clock only "
+                            "(take `now` from the caller)",
+                        )
+                    )
         if (
             isinstance(node, ast.Attribute)
             and node.attr == "get_event_loop"
@@ -102,6 +160,18 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
         elif isinstance(node, ast.ImportFrom):
             if node.module == "__future__":
                 continue
+            if simulated_clock_only and node.module in ("time", "datetime"):
+                # ``from time import time`` would dodge the attribute check
+                # above while binding the same wall-clock reader; datetime
+                # constructors (``datetime.now()``) read the host clock too.
+                deprecated.append(
+                    (
+                        node.lineno,
+                        f"from {node.module} import ... under src/repro/control/ — "
+                        "the control plane runs on the simulated clock only "
+                        "(take `now` from the caller)",
+                    )
+                )
             for alias in node.names:
                 if alias.name == "*":
                     module = node.module or "."
