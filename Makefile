@@ -17,11 +17,15 @@ lint:
 ## asyncio frontend (real timers, concurrent replica dispatch), then drives
 ## a drifting Zipf workload through the online control plane (asserts >= 1
 ## heat-driven shard migration, a nonzero hot-cache hit rate, and records
-## bit-identical to a static fleet); exits non-zero on any drift.
+## bit-identical to a static fleet), then re-drives the drift with the
+## plan-shape policy on (asserts >= 1 online split and merge, heat carried
+## across every topology version, records identical to a static fleet);
+## exits non-zero on any drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
 	$(PYTHON) -m repro.bench.cli smoke --async
 	$(PYTHON) -m repro.bench.cli smoke --rebalance
+	$(PYTHON) -m repro.bench.cli smoke --resplit
 
 figures:
 	$(PYTHON) -m repro.bench.cli all

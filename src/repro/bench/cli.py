@@ -24,7 +24,12 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
-from repro.bench.smoke import async_backend_smoke, backend_smoke, rebalance_smoke
+from repro.bench.smoke import (
+    async_backend_smoke,
+    backend_smoke,
+    rebalance_smoke,
+    resplit_smoke,
+)
 from repro.bench.reporting import (
     render_fig3,
     render_fig9,
@@ -95,17 +100,38 @@ def main(argv=None) -> int:
         "the online control plane (heat telemetry, live shard migration, "
         "hot-record cache) and cross-check records against a static fleet",
     )
+    parser.add_argument(
+        "--resplit",
+        dest="use_resplit",
+        action="store_true",
+        help="with the smoke target: drive the drifting Zipf workload with "
+        "the plan-shape policy enabled (online shard split/merge, versioned "
+        "topology, heat remap) and cross-check records against a static fleet",
+    )
     args = parser.parse_args(argv)
 
-    if args.use_async or args.use_rebalance:
+    smoke_flags = {
+        "--async": args.use_async,
+        "--rebalance": args.use_rebalance,
+        "--resplit": args.use_resplit,
+    }
+    selected = [flag for flag, enabled in smoke_flags.items() if enabled]
+    if selected:
         if args.target != "smoke":
-            flag = "--async" if args.use_async else "--rebalance"
-            print(f"{flag} applies to the smoke target only", file=sys.stderr)
+            print(f"{selected[0]} applies to the smoke target only", file=sys.stderr)
             return 2
-        if args.use_async and args.use_rebalance:
-            print("pick one of --async / --rebalance per run", file=sys.stderr)
+        if len(selected) > 1:
+            print(
+                "pick one of --async / --rebalance / --resplit per run",
+                file=sys.stderr,
+            )
             return 2
-        print(async_backend_smoke() if args.use_async else rebalance_smoke())
+        if args.use_async:
+            print(async_backend_smoke())
+        elif args.use_rebalance:
+            print(rebalance_smoke())
+        else:
+            print(resplit_smoke())
         return 0
 
     if args.target == "list":

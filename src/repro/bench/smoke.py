@@ -258,6 +258,124 @@ def rebalance_smoke(
     return "\n".join(lines)
 
 
+def resplit_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    seed: int = 9,
+) -> str:
+    """The ``--resplit`` smoke: online topology split/merge under drift.
+
+    Same drifting Zipf workload as :func:`rebalance_smoke`, but the control
+    plane's *plan-shape* policy is switched on: the topology itself follows
+    the heat.  Asserts the topology acceptance properties — at least one
+    online split and one merge occurred, every reshape pass carried nonzero
+    remapped heat across the plan-version change (telemetry survives, never
+    resets), the plan version advanced monotonically, and every retrieval is
+    bit-identical to a static fleet whose boundaries never move.
+    """
+    database = Database.random(num_records, record_size, seed=seed)
+    plan = ShardPlan.uniform(num_records, 4, block_records=8)
+    first, last = plan.shards[0], plan.shards[-1]
+
+    # The same drifting stream as the rebalance smoke: the Zipf hot spot
+    # jumps from the first shard to the last halfway through.
+    half = 96
+    skew = zipf_trace(num_records, 2 * half, exponent=1.4, seed=seed + 5)
+    offsets = [first.start] * half + [last.start] * half
+    stream = [
+        (offset + index) % num_records for offset, index in zip(offsets, skew)
+    ]
+    seed_heats = heats_from_trace(
+        plan,
+        stream[:half],
+        arrival_seconds=[0.02 * i for i in range(half)],
+        window_seconds=0.2,
+        decay=0.5,
+    )
+
+    def make_client(extra: int) -> PIRClient:
+        return PIRClient(
+            num_records, record_size, seed=seed + extra, prg=make_prg("numpy")
+        )
+
+    policy = BatchingPolicy(max_batch_size=8, max_wait_seconds=10.0)
+    static = FleetRouter(make_client(6), database, plan, seed_heats, policy=policy)
+    static_records = static.retrieve_batch(stream)
+
+    router, plane = controlled_fleet(
+        make_client(6),
+        database,
+        plan,
+        seed_heats,
+        window_seconds=0.2,
+        decay=0.5,
+        rebalance_interval_seconds=0.4,
+        cache_capacity=16,
+        admit_min_heat=1.0,
+        split_heat_share=0.5,
+        merge_heat_floor=0.5,
+        min_shards=2,
+        max_shards=8,
+        dedup=True,
+        policy=policy,
+    )
+    initial_version = router.plan.version
+
+    request_ids = []
+    now = 0.0
+    for index in stream:
+        request_ids.append(router.submit(index, arrival_seconds=now))
+        now += 0.02
+    router.close()
+    live_records = [router.take_record(request_id) for request_id in request_ids]
+
+    if live_records != static_records:
+        raise AssertionError(
+            "reshaping fleet drifted from the static fleet's records"
+        )
+    rebalancer = plane.rebalancer
+    if rebalancer.total_splits < 1 or rebalancer.total_merges < 1:
+        raise AssertionError(
+            f"expected at least one online split and one merge, got "
+            f"{rebalancer.total_splits} split(s) / {rebalancer.total_merges} merge(s)"
+        )
+    if router.plan.version <= initial_version:
+        raise AssertionError(
+            f"plan version did not advance: {router.plan.version}"
+        )
+    if router.plan.version != plane.tracker.plan.version:
+        raise AssertionError(
+            "router and tracker disagree on the live plan version"
+        )
+    for report in rebalancer.reports:
+        if (report.splits or report.merges) and sum(report.heats) <= 0:
+            raise AssertionError(
+                f"heat was reset (not remapped) across the reshape at "
+                f"{report.now:.3f}s: {report.heats}"
+            )
+
+    lines = [
+        "Resplit smoke: online topology split/merge under a drifting Zipf workload",
+        f"database: {num_records} records x {record_size} B, "
+        f"{len(stream)} queries, hot spot shard {first.index} -> {last.index}",
+        "",
+        f"plan: v{initial_version} ({plan.num_shards} shards) -> "
+        f"v{router.plan.version} ({router.plan.num_shards} shards)",
+        f"final topology: {router.plan!r}",
+        "",
+    ]
+    lines.extend(plane.describe())
+    lines.append("")
+    lines.extend(render_placements(router.placements))
+    lines.append(
+        f"{len(stream)} records verified bit-identical to the static fleet "
+        f"across {rebalancer.total_splits} split(s), {rebalancer.total_merges} "
+        f"merge(s) and {rebalancer.total_migrations} kind migration(s); heat "
+        f"remapped (never reset) across every plan version"
+    )
+    return "\n".join(lines)
+
+
 class _InFlightRecorder:
     """Wraps a replica and records the wall-clock window of each batch call.
 

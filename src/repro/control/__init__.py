@@ -10,7 +10,12 @@ separate from application logic):
 * :class:`Rebalancer` — periodic re-placement against the live window,
   migrating only the shards whose cheapest kind changed
   (:meth:`~repro.shard.backend.ShardedBackend.swap_child`; retrievals stay
-  bit-identical throughout);
+  bit-identical throughout), and — with the plan-shape policy enabled —
+  online topology reshaping: hot shards split at their in-shard heat
+  median, adjacent cold shards merge, applied to every fleet as one
+  versioned :class:`~repro.shard.plan.TopologyChange`
+  (:meth:`~repro.shard.backend.ShardedBackend.apply_topology`) with the
+  tracker's windows remapped across the change;
 * :class:`HotRecordCache` — an opt-in LRU tier with heat-informed
   admission in front of a fleet (requires ``dedup=True``; invalidated by
   ``apply_updates`` dirty indices);
@@ -22,7 +27,13 @@ the caller, and ``tools/lint.py`` rejects wall-clock reads in this package.
 
 from repro.control.cache import CacheStats, HotRecordCache
 from repro.control.plane import ControlPlane, controlled_fleet
-from repro.control.rebalancer import RebalanceReport, Rebalancer, ShardMigration
+from repro.control.rebalancer import (
+    RebalanceReport,
+    Rebalancer,
+    ShardMerge,
+    ShardMigration,
+    ShardSplit,
+)
 from repro.control.telemetry import HeatTracker
 
 __all__ = [
@@ -32,6 +43,8 @@ __all__ = [
     "controlled_fleet",
     "RebalanceReport",
     "Rebalancer",
+    "ShardMerge",
     "ShardMigration",
+    "ShardSplit",
     "HeatTracker",
 ]

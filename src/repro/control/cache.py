@@ -134,11 +134,18 @@ class HotRecordCache:
         if not records:
             return
         heats = None
+        plan = None
         if self.tracker is not None and self.admit_min_heat > 0:
+            # One coherent snapshot: the plan is online-mutable now (topology
+            # split/merge), so heats and the plan they index must be read
+            # together — a heat vector of the old plan zipped against the
+            # new plan's shard indices would admit on the wrong shard's heat
+            # (or fall off the end of the vector).
+            plan = self.tracker.plan
             heats = self.tracker.heats()
         for index, record in records.items():
             if heats is not None:
-                shard = self.tracker.plan.shard_for_record(index)
+                shard = plan.shard_for_record(index)
                 if heats[shard.index] < self.admit_min_heat:
                     self.stats.rejected_cold += 1
                     continue

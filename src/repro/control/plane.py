@@ -80,12 +80,16 @@ class ControlPlane:
         )
         if self.rebalancer is not None:
             lines.append(
-                f"rebalancer: {self.rebalancer.total_migrations} migration(s) "
+                f"rebalancer: {self.rebalancer.total_splits} split(s), "
+                f"{self.rebalancer.total_merges} merge(s), "
+                f"{self.rebalancer.total_migrations} migration(s) "
                 f"over {len(self.rebalancer.reports)} pass(es), "
-                f"{self.rebalancer.total_migration_seconds * 1e3:.3f}ms transfer"
+                f"{self.rebalancer.total_migration_seconds * 1e3:.3f}ms transfer "
+                f"(plan v{self.tracker.plan.version}, "
+                f"{self.tracker.plan.num_shards} shards)"
             )
             for report in self.rebalancer.reports:
-                if report.migrations:
+                if report.migrations or report.splits or report.merges:
                     lines.append("  " + report.describe())
         if self.cache is not None:
             stats = self.cache.stats
@@ -108,6 +112,10 @@ def controlled_fleet(
     rebalance_interval_seconds: Optional[float] = 1.0,
     cache_capacity: Optional[int] = None,
     admit_min_heat: float = 0.0,
+    split_heat_share: Optional[float] = None,
+    merge_heat_floor: Optional[float] = None,
+    min_shards: int = 1,
+    max_shards: Optional[int] = None,
     **router_kwargs,
 ) -> "tuple[FleetRouter, ControlPlane]":
     """Build a :class:`FleetRouter` with a live control plane attached.
@@ -117,7 +125,12 @@ def controlled_fleet(
     ``rebalance_interval_seconds=None`` to observe without migrating, and
     ``cache_capacity`` (with ``dedup=True`` in ``router_kwargs``) to enable
     the hot-record tier; ``admit_min_heat`` makes its admission
-    heat-informed.  Returns ``(router, control_plane)``.
+    heat-informed.  ``split_heat_share``/``merge_heat_floor`` (with the
+    ``min_shards``/``max_shards`` bounds) switch on the rebalancer's
+    plan-shape policy: the topology itself then follows the heat — hot
+    shards split at their in-shard heat median, adjacent cold shards merge
+    — with telemetry remapped (not reset) across every plan version.
+    Returns ``(router, control_plane)``.
     """
     tracker = HeatTracker(plan, window_seconds=window_seconds, decay=decay)
     cache = None
@@ -131,7 +144,13 @@ def controlled_fleet(
     rebalancer = None
     if rebalance_interval_seconds is not None:
         rebalancer = Rebalancer(
-            router, tracker, interval_seconds=rebalance_interval_seconds
+            router,
+            tracker,
+            interval_seconds=rebalance_interval_seconds,
+            split_heat_share=split_heat_share,
+            merge_heat_floor=merge_heat_floor,
+            min_shards=min_shards,
+            max_shards=max_shards,
         )
     plane = ControlPlane(tracker, rebalancer=rebalancer, cache=cache)
     router.observers.append(plane)

@@ -1,26 +1,40 @@
-"""Online shard rebalancing: re-place live fleets against measured heat.
+"""Online shard rebalancing: re-place and re-shape live fleets from heat.
 
 A :class:`~repro.shard.fleet.FleetRouter` places shards once, from an
 offline heat sample — a drifting workload (new hot certificates, a freshly
 leaked credential dump) then strands hot shards on streamed backends
-forever.  The :class:`Rebalancer` closes the loop: it periodically re-runs
-the same :func:`~repro.shard.fleet.plan_placements` cost comparison against
-a live :class:`~repro.control.telemetry.HeatTracker` window, diffs the
-result against the placements in effect, and migrates **only the shards
-whose chosen kind changed**.
+forever.  The :class:`Rebalancer` closes the loop, in two ways:
 
-A migration is a data-plane swap, not a protocol event: the shard's slice
-is re-cut through :meth:`~repro.shard.plan.ShardPlan.slice_shard` (the
-single slicing rule prepare and apply_updates already share), a fresh child
-backend of the new kind is prepared on it, and
+**Kind rebalancing** (PR 4): it periodically re-runs the same
+:func:`~repro.shard.fleet.plan_placements` cost comparison against a live
+:class:`~repro.control.telemetry.HeatTracker` window, diffs the result
+against the placements in effect, and migrates **only the shards whose
+chosen kind changed**.  A migration is a data-plane swap, not a protocol
+event: the shard's slice is re-cut through
+:meth:`~repro.shard.plan.ShardPlan.slice_shard` (the single slicing rule
+prepare and apply_updates already share), a fresh child backend of the new
+kind is prepared on it, and
 :meth:`~repro.shard.backend.ShardedBackend.swap_child` replaces the member
 atomically — queries keep hitting the old child until the swap and are
 bit-identical before, during and after, because both children hold the same
-bytes.  The migration's cost is the transfer term the shard's new
-placement already carries (:attr:`ShardPlacement.preload_seconds`, charged
-per the :class:`~repro.pim.timing.PIMTimingModel`): moving onto a preloaded
-kind pays the shard copy into MRAM, moving onto a streamed kind drops the
-standing copy and pays nothing up front.
+bytes.
+
+**Plan-shape rebalancing** (this PR): shard *boundaries* themselves follow
+the heat.  A shard whose heat share exceeds ``split_heat_share`` is split at
+its in-shard heat median (:meth:`HeatTracker.split_point` — block-aligned,
+so PIM/DPU children keep their layout invariants); adjacent shards whose
+heats both sit at or below ``merge_heat_floor`` are merged, coldest pair
+first.  Both are bounded by ``min_shards``/``max_shards``.  Each transform
+is a pure :meth:`~repro.shard.plan.ShardPlan.split_shard` /
+:meth:`~repro.shard.plan.ShardPlan.merge_shards` producing a versioned
+:class:`~repro.shard.plan.TopologyChange`; the pass composes them into one
+old→final change, remaps the tracker's decaying windows through it (heat
+survives the reshape instead of resetting), re-runs ``plan_placements``
+over the **new** shard set, and installs the agreed topology on every
+replica fleet through :meth:`~repro.shard.fleet.FleetRouter.apply_topology`
+(inside the frontend's reconfigure gate, so no flush spans two plan
+versions).  The reshape's cost is the placements' transfer terms for the
+changed ranges, exactly as migrations are charged.
 
 Simulated clock only (lint-enforced for this package): ``now`` comes from
 the frontend observe hook or the caller, never from ``time.time()``.
@@ -29,13 +43,13 @@ the frontend observe hook or the caller, never from ``time.time()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.control.telemetry import HeatTracker
 from repro.shard.backend import bare_backend_factory, default_child_config
 from repro.shard.fleet import FleetRouter, ShardPlacement, plan_placements
-from repro.shard.plan import ShardSpec
+from repro.shard.plan import ShardSpec, TopologyChange
 
 
 @dataclass(frozen=True)
@@ -52,45 +66,121 @@ class ShardMigration:
     transfer_seconds: float
 
 
+@dataclass(frozen=True)
+class ShardSplit:
+    """One hot shard cut in two by a rebalance pass."""
+
+    #: The shard as it was before the cut (old plan's indexing).
+    shard: ShardSpec
+    #: The block-aligned record index the shard was cut at (its in-shard
+    #: heat median, so each half inherits about half the load).
+    at: int
+    #: The shard's heat estimate when the policy fired.
+    heat: float
+    #: Its share of the fleet-wide heat that crossed ``split_heat_share``.
+    heat_share: float
+
+
+@dataclass(frozen=True)
+class ShardMerge:
+    """Two adjacent cold shards folded into one by a rebalance pass."""
+
+    left: ShardSpec
+    right: ShardSpec
+    #: Combined heat of the pair (both sat at or below ``merge_heat_floor``).
+    heat: float
+
+
 @dataclass
 class RebalanceReport:
     """What one rebalance pass observed and did."""
 
     now: float
+    #: Live heats **after** any reshape (per shard of ``placements``' plan) —
+    #: remapped through the topology change, not reset, so a nonzero vector
+    #: here is the proof telemetry survived the reshape.
     heats: List[float]
     placements: List[ShardPlacement]
     migrations: List[ShardMigration] = field(default_factory=list)
+    splits: List[ShardSplit] = field(default_factory=list)
+    merges: List[ShardMerge] = field(default_factory=list)
+    #: The composed old→new plan change, when the pass reshaped (else None).
+    topology: Optional[TopologyChange] = None
+    #: Plan version in effect after the pass.
+    plan_version: int = 0
+    #: Transfer cost of standing up the reshape's fresh children, per
+    #: replica (the changed placements' preload terms; replicas in parallel).
+    reshape_seconds: float = 0.0
 
     @property
     def migration_seconds(self) -> float:
-        """Simulated cost of the pass: shards migrate one after another on
-        each replica's host (sum), replicas migrate in parallel (max folds
-        to the same value, so the sum per replica is the makespan)."""
+        """Simulated cost of the pass's kind migrations: shards migrate one
+        after another on each replica's host (sum), replicas migrate in
+        parallel (max folds to the same value, so the sum per replica is
+        the makespan)."""
         return sum(migration.transfer_seconds for migration in self.migrations)
 
+    @property
+    def total_seconds(self) -> float:
+        """Reshape transfer plus kind-migration transfer for the pass."""
+        return self.reshape_seconds + self.migration_seconds
+
     def describe(self) -> str:
-        if not self.migrations:
+        actions = []
+        if self.splits:
+            actions.append(
+                ", ".join(
+                    f"split shard {s.shard.index} [{s.shard.start},{s.shard.stop}) "
+                    f"at {s.at} (heat {s.heat:.1f}, share {s.heat_share:.2f})"
+                    for s in self.splits
+                )
+            )
+        if self.merges:
+            actions.append(
+                ", ".join(
+                    f"merged shards {m.left.index}+{m.right.index} into "
+                    f"[{m.left.start},{m.right.stop}) (heat {m.heat:.1f})"
+                    for m in self.merges
+                )
+            )
+        if self.migrations:
+            actions.append(
+                ", ".join(
+                    f"shard {m.shard.index} {m.old_kind}->{m.new_kind} "
+                    f"(heat {m.heat:.1f}, {m.transfer_seconds * 1e3:.3f}ms)"
+                    for m in self.migrations
+                )
+            )
+        if not actions:
             return f"rebalance @ {self.now:.3f}s: placements unchanged"
-        moves = ", ".join(
-            f"shard {m.shard.index} {m.old_kind}->{m.new_kind} "
-            f"(heat {m.heat:.1f}, {m.transfer_seconds * 1e3:.3f}ms)"
-            for m in self.migrations
-        )
         return (
-            f"rebalance @ {self.now:.3f}s: {len(self.migrations)} migration(s) — "
-            f"{moves}"
+            f"rebalance @ {self.now:.3f}s (plan v{self.plan_version}): "
+            + "; ".join(actions)
         )
 
 
 class Rebalancer:
-    """Periodically re-places a live fleet's shards from measured heat.
+    """Periodically re-places (and optionally re-shapes) a live fleet.
 
     Wire it behind the frontend observe hook (directly, or via
     :class:`~repro.control.plane.ControlPlane`) and every flushed batch
     both feeds the tracker and gives the rebalancer a chance to act; or
     drive :meth:`maybe_rebalance`/:meth:`rebalance` explicitly from a
     management loop.  ``interval_seconds`` is simulated time between
-    passes; a pass that finds no kind changes migrates nothing.
+    passes; a pass that finds no kind changes and no shape triggers does
+    nothing.
+
+    Plan-shape policy (off unless configured):
+
+    * ``split_heat_share`` — split any shard owning more than this share of
+      the fleet-wide heat, at its in-shard heat median (block-aligned);
+      repeated within a pass until no shard crosses the threshold or
+      ``max_shards`` is reached.
+    * ``merge_heat_floor`` — merge adjacent shards whose heats both sit at
+      or below this absolute per-window heat, coldest pair first, until no
+      pair qualifies or ``min_shards`` is reached.  Keep the floor well
+      under ``split_heat_share`` of the typical total, or a pass could
+      undo its own splits.
     """
 
     def __init__(
@@ -98,6 +188,10 @@ class Rebalancer:
         router: FleetRouter,
         tracker: HeatTracker,
         interval_seconds: float = 1.0,
+        split_heat_share: Optional[float] = None,
+        merge_heat_floor: Optional[float] = None,
+        min_shards: int = 1,
+        max_shards: Optional[int] = None,
     ) -> None:
         if interval_seconds <= 0:
             raise ConfigurationError("interval_seconds must be positive")
@@ -106,9 +200,21 @@ class Rebalancer:
                 "tracker and router must share one ShardPlan (heat indices "
                 "are shard indices of that plan)"
             )
+        if split_heat_share is not None and not 0.0 < split_heat_share < 1.0:
+            raise ConfigurationError("split_heat_share must be in (0, 1)")
+        if merge_heat_floor is not None and merge_heat_floor < 0:
+            raise ConfigurationError("merge_heat_floor must be non-negative")
+        if min_shards < 1:
+            raise ConfigurationError("min_shards must be at least 1")
+        if max_shards is not None and max_shards < min_shards:
+            raise ConfigurationError("max_shards must be at least min_shards")
         self.router = router
         self.tracker = tracker
         self.interval_seconds = interval_seconds
+        self.split_heat_share = split_heat_share
+        self.merge_heat_floor = merge_heat_floor
+        self.min_shards = min_shards
+        self.max_shards = max_shards
         #: One report per completed pass, in time order.
         self.reports: List[RebalanceReport] = []
         self._last_pass: Optional[float] = None
@@ -132,27 +238,93 @@ class Rebalancer:
     # -- one pass -----------------------------------------------------------------
 
     def rebalance(self, now: float = 0.0) -> RebalanceReport:
-        """Re-place every shard against the live heat window, migrating diffs.
+        """Re-shape and re-place the fleet against the live heat window.
 
-        Recomputes placements with the router's own candidates (same cost
-        formulas, same machine model), swaps a fresh child of the new kind
-        into **every** replica fleet for each shard whose kind changed, and
-        installs the new placements on the router so its reporting surface
-        (``describe_placements`` etc.) reflects the live fleet.
+        Order of one pass: (1) shape — apply the split/merge policy as pure
+        plan transforms, composing them into one
+        :class:`~repro.shard.plan.TopologyChange` and remapping the
+        tracker's windows through each step; (2) place — re-run
+        :func:`plan_placements` with the router's own candidates (same cost
+        formulas, same machine model) **over the new shard set**;
+        (3) apply — install the agreed topology on every replica fleet
+        (fresh children for changed ranges are built at their placed kind),
+        then live-migrate any surviving shard whose chosen kind changed;
+        (4) install the new placements on the router so its reporting
+        surface (``describe_placements`` etc.) reflects the live fleet.
         """
         router = self.router
+        if self.tracker.plan is not router.plan:
+            raise ConfigurationError(
+                f"tracker and router topologies diverged: tracker follows "
+                f"plan version {self.tracker.plan.version}, router runs "
+                f"version {router.plan.version} — every reshape must remap "
+                f"both together (use this rebalancer's pass, not ad-hoc "
+                f"transforms)"
+            )
         record_size = router.fleets[0].database.record_size
-        heats = self.tracker.heats()
-        new_placements = plan_placements(
-            router.plan, record_size, heats, candidates=router.candidates
-        )
-        old_kinds: Dict[int, str] = {
+        old_kind_by_old: Dict[int, str] = {
             placement.shard.index: placement.kind for placement in router.placements
         }
-        report = RebalanceReport(now=now, heats=heats, placements=new_placements)
+
+        # Snapshot the tracker's remappable state before the shape phase
+        # mutates it: if the data-plane apply below fails, the telemetry
+        # must roll back to the plan the fleets still run, or every later
+        # pass would refuse with the divergence error above — a single
+        # failed migration permanently (and, under the async frontend's
+        # observer fault routing, silently) wedging the control plane.
+        shape_state = self.tracker.shape_state()
+        change, splits, merges = self._reshape()
+        heats = self.tracker.heats()
+        plan = self.tracker.plan
+        if len(heats) != plan.num_shards:
+            raise ConfigurationError(
+                f"heat vector carries {len(heats)} entries for a plan of "
+                f"{plan.num_shards} shards (version {plan.version}) — "
+                f"telemetry and topology fell out of step"
+            )
+        new_placements = plan_placements(
+            plan, record_size, heats, candidates=router.candidates
+        )
+        report = RebalanceReport(
+            now=now,
+            heats=heats,
+            placements=new_placements,
+            splits=splits,
+            merges=merges,
+            topology=change,
+            plan_version=plan.version,
+        )
+
+        changed: frozenset = frozenset()
+        if change is not None:
+            # One agreed topology across all replica fleets, inside the
+            # frontend's reconfigure gate; fresh children for the changed
+            # ranges come up at their *placed* kind directly (no interim
+            # default-kind child, no double transfer).
+            try:
+                router.apply_topology(change, new_placements)
+            except Exception:
+                # The router's apply is stage-all-then-commit-all: a
+                # failure means *no* fleet changed and the router still
+                # runs the old plan.  Put the tracker back beside it so
+                # the error is attributable and the next pass genuinely
+                # recovers, instead of every pass failing on divergence.
+                self.tracker.restore_shape(shape_state)
+                raise
+            changed = frozenset(change.changed_new_indices())
+            old_kind_by_new = {
+                new_index: old_kind_by_old.get(old_index)
+                for old_index, new_index in change.unchanged_pairs()
+            }
+        else:
+            old_kind_by_new = old_kind_by_old
+
         for placement in new_placements:
             shard_index = placement.shard.index
-            old_kind = old_kinds.get(shard_index)
+            if shard_index in changed:
+                report.reshape_seconds += placement.preload_seconds
+                continue
+            old_kind = old_kind_by_new.get(shard_index)
             if old_kind == placement.kind:
                 continue
             factory = bare_backend_factory(
@@ -174,18 +346,106 @@ class Rebalancer:
                     transfer_seconds=placement.preload_seconds,
                 )
             )
-        router.placements = new_placements
+        if change is None:
+            # Reshape passes installed the placements inside apply_topology;
+            # a migrations-only pass must land them (and the kind map the
+            # router's default child factory reads) here, or a later
+            # re-prepare would rebuild migrated shards at their old kinds.
+            router.install_placements(new_placements)
         self.reports.append(report)
         return report
+
+    # -- the plan-shape policy ------------------------------------------------------
+
+    def _reshape(
+        self,
+    ) -> Tuple[Optional[TopologyChange], List[ShardSplit], List[ShardMerge]]:
+        """Apply the split/merge policy to the tracker's plan (pure transforms).
+
+        Mutates only the tracker (remapping its windows through each step);
+        the composed change is applied to the data plane by the caller.
+        Splits run before merges, each loop re-reading the freshly remapped
+        heats, so decisions always see the topology they are about to
+        change.
+        """
+        tracker = self.tracker
+        splits: List[ShardSplit] = []
+        merges: List[ShardMerge] = []
+        overall: Optional[TopologyChange] = None
+
+        def apply(change: TopologyChange) -> None:
+            nonlocal overall
+            tracker.remap(change)
+            overall = change if overall is None else overall.compose(change)
+
+        if self.split_heat_share is not None:
+            while self.max_shards is None or tracker.plan.num_shards < self.max_shards:
+                plan = tracker.plan
+                heats = tracker.heats()
+                total = sum(heats)
+                if total <= 0:
+                    break
+                hottest: Optional[ShardSpec] = None
+                for shard in plan.shards:
+                    # A shard spanning a single block has no interior block
+                    # boundary to cut at, however hot it runs.
+                    if shard.num_records <= plan.block_records:
+                        continue
+                    if heats[shard.index] / total <= self.split_heat_share:
+                        continue
+                    if hottest is None or heats[shard.index] > heats[hottest.index]:
+                        hottest = shard
+                if hottest is None:
+                    break
+                at = tracker.split_point(hottest.index)
+                if at is None:
+                    break
+                heat = heats[hottest.index]
+                apply(plan.split_shard(hottest.index, at))
+                splits.append(
+                    ShardSplit(
+                        shard=hottest, at=at, heat=heat, heat_share=heat / total
+                    )
+                )
+        if self.merge_heat_floor is not None:
+            while tracker.plan.num_shards > self.min_shards:
+                plan = tracker.plan
+                heats = tracker.heats()
+                coldest: Optional[Tuple[int, float]] = None
+                for i in range(plan.num_shards - 1):
+                    if (
+                        heats[i] <= self.merge_heat_floor
+                        and heats[i + 1] <= self.merge_heat_floor
+                    ):
+                        combined = heats[i] + heats[i + 1]
+                        if coldest is None or combined < coldest[1]:
+                            coldest = (i, combined)
+                if coldest is None:
+                    break
+                i, combined = coldest
+                left, right = plan.shards[i], plan.shards[i + 1]
+                apply(plan.merge_shards(i, i + 1))
+                merges.append(ShardMerge(left=left, right=right, heat=combined))
+        return overall, splits, merges
 
     # -- rollups ------------------------------------------------------------------
 
     @property
     def total_migrations(self) -> int:
-        """Shards migrated across every pass so far."""
+        """Shards migrated between kinds across every pass so far."""
         return sum(len(report.migrations) for report in self.reports)
 
     @property
+    def total_splits(self) -> int:
+        """Shards split across every pass so far."""
+        return sum(len(report.splits) for report in self.reports)
+
+    @property
+    def total_merges(self) -> int:
+        """Shard pairs merged across every pass so far."""
+        return sum(len(report.merges) for report in self.reports)
+
+    @property
     def total_migration_seconds(self) -> float:
-        """Simulated transfer cost across every pass so far."""
-        return sum(report.migration_seconds for report in self.reports)
+        """Simulated transfer cost (reshapes + migrations) across every pass."""
+        return sum(report.total_seconds for report in self.reports)

@@ -18,6 +18,16 @@ per-window queries per shard — exactly the units
 since :func:`repro.shard.fleet.heats_from_trace` routes through this class)
 exactly the units offline planning uses.
 
+The tracker is also topology-aware.  Alongside the per-shard vectors it
+keeps sparse *per-record* counterparts, which give the control plane
+sub-shard resolution: :meth:`HeatTracker.split_point` finds the
+block-aligned in-shard heat median an online split should cut at, and
+:meth:`HeatTracker.remap` carries both the live window and the smoothed
+estimate across a :class:`~repro.shard.plan.TopologyChange`
+(record-rate-weighted on a split, summed on a merge) — so telemetry
+survives a reshape instead of resetting, and the very next placement pass
+still sees where the load is.
+
 The control plane runs on the **simulated clock only**: ``now`` always
 comes from the caller (the sync frontend's arrival stamps, the asyncio
 loop's time), never from ``time.time()`` — ``tools/lint.py`` enforces that
@@ -27,10 +37,15 @@ deterministic and unit-testable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError, ProtocolError
-from repro.shard.plan import ShardPlan
+from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
+
+#: Decayed per-record entries below this are dropped at every window roll —
+#: the per-record map must stay proportional to the *live* hot set, not grow
+#: monotonically with every record ever queried.
+_PRUNE_BELOW = 1e-9
 
 
 class HeatTracker:
@@ -75,6 +90,15 @@ class HeatTracker:
         self._window_counts = [0.0] * plan.num_shards
         self._smoothed: Optional[List[float]] = None
         self._window_start: Optional[float] = None
+        # Per-record counterparts of the per-shard vectors, kept sparse
+        # (records never queried hold no entry; cold entries are pruned at
+        # every roll).  They exist for the topology lifecycle: the in-shard
+        # heat median a split cuts at (:meth:`split_point`) and the
+        # record-rate weights a reshape remap divides shard heat by
+        # (:meth:`remap`) both need sub-shard resolution the per-shard
+        # vectors cannot provide.
+        self._window_index: Dict[int, float] = {}
+        self._smoothed_index: Optional[Dict[int, float]] = None
 
     # -- feeding ----------------------------------------------------------------
 
@@ -88,6 +112,8 @@ class HeatTracker:
         self.advance(now)
         for shard_index, routed in self.plan.route_records(indices).items():
             self._window_counts[shard_index] += len(routed)
+        for index in indices:
+            self._window_index[index] = self._window_index.get(index, 0.0) + 1.0
         self.observed_indices += len(indices)
 
     def advance(self, now: float) -> None:
@@ -114,15 +140,26 @@ class HeatTracker:
         # O(gap / window_seconds) list allocations.
         self._roll()
         if completed > 1:
+            factor = self.decay ** (completed - 1)
             if self._smoothed is not None:
-                factor = self.decay ** (completed - 1)
                 self._smoothed = [value * factor for value in self._smoothed]
+            if self._smoothed_index is not None:
+                self._smoothed_index = self._prune(
+                    {
+                        index: value * factor
+                        for index, value in self._smoothed_index.items()
+                    }
+                )
             self.windows_completed += completed - 1
         self._window_start += completed * self.window_seconds
 
     def _roll(self) -> None:
         self._smoothed = self._blend(self._smoothed, self._window_counts)
+        self._smoothed_index = self._blend_index(
+            self._smoothed_index, self._window_index
+        )
         self._window_counts = [0.0] * self.plan.num_shards
+        self._window_index = {}
         self.windows_completed += 1
 
     def _blend(
@@ -134,6 +171,24 @@ class HeatTracker:
             self.decay * old + (1.0 - self.decay) * new
             for old, new in zip(smoothed, counts)
         ]
+
+    def _blend_index(
+        self, smoothed: Optional[Dict[int, float]], counts: Dict[int, float]
+    ) -> Dict[int, float]:
+        if smoothed is None:
+            return dict(counts)
+        blended = {
+            index: self.decay * smoothed.get(index, 0.0)
+            + (1.0 - self.decay) * counts.get(index, 0.0)
+            for index in smoothed.keys() | counts.keys()
+        }
+        return self._prune(blended)
+
+    @staticmethod
+    def _prune(estimate: Dict[int, float]) -> Dict[int, float]:
+        return {
+            index: value for index, value in estimate.items() if value > _PRUNE_BELOW
+        }
 
     # -- reading ----------------------------------------------------------------
 
@@ -160,6 +215,160 @@ class HeatTracker:
     def record_heat(self, record_index: int) -> float:
         """The heat of the shard owning ``record_index``."""
         return self.heats()[self.plan.shard_for_record(record_index).index]
+
+    # -- the topology lifecycle ---------------------------------------------------
+
+    def _index_estimate(self) -> Dict[int, float]:
+        """Per-record heat on the same completed-windows basis as :meth:`heats`."""
+        if self._smoothed_index is None:
+            return self._window_index
+        return self._smoothed_index
+
+    def split_point(self, shard_index: int) -> Optional[int]:
+        """The block-aligned in-shard heat median of one shard, or ``None``.
+
+        The natural cut for an online split: the block boundary dividing the
+        shard's live per-record heat most evenly, so each half inherits
+        about half the load (a midpoint cut of a Zipf-headed shard would
+        leave one half as hot as the whole).  When several boundaries tie —
+        a Zipf head concentrated inside a *single* block makes every cut
+        equally uneven — the tie breaks toward the cut whose hotter side
+        spans the fewest records: that isolates the head into a minimal
+        shard (which the policy then leaves alone, being single-block)
+        instead of shaving useless cold slivers off the far end.  Falls
+        back to the middle boundary when the shard has no recorded heat;
+        returns ``None`` when the shard spans fewer than two blocks
+        (nothing to cut at).
+        """
+        if not 0 <= shard_index < self.plan.num_shards:
+            raise ConfigurationError(
+                f"shard index {shard_index} out of range [0, {self.plan.num_shards})"
+            )
+        shard = self.plan.shards[shard_index]
+        block = self.plan.block_records
+        candidates = list(range(shard.start + block, shard.stop, block))
+        # Aligned plans keep every internal boundary (and so every shard
+        # start) on a block multiple; guard anyway for hand-built plans.
+        candidates = [at for at in candidates if at % block == 0]
+        if not candidates:
+            return None
+        estimate = self._index_estimate()
+        # Per-candidate prefix heat in one pass over the sparse entries.
+        bucket_heat = [0.0] * (len(candidates) + 1)
+        total = 0.0
+        for index, value in estimate.items():
+            if shard.start <= index < shard.stop:
+                position = (index - shard.start) // block
+                bucket_heat[min(position, len(candidates))] += value
+                total += value
+        if total <= 0:
+            return candidates[len(candidates) // 2]
+        best = None  # (median gap, hotter-side records, at)
+        left = 0.0
+        for position, at in enumerate(candidates):
+            left += bucket_heat[position]
+            gap = abs(left - total / 2.0)
+            hot_side_records = (
+                at - shard.start if left >= total - left else shard.stop - at
+            )
+            key = (gap, hot_side_records, at)
+            if best is None or key < best:
+                best = key
+        return best[2]
+
+    def remap(self, change: TopologyChange) -> None:
+        """Carry the decaying windows across a topology change.
+
+        Telemetry must *survive* a reshape, not reset: zeroing the vectors
+        would blind the next placement pass exactly when it acts (right
+        after a split the fleet would look uniformly cold).  Every old
+        shard's heat — the live window counts and the smoothed estimate
+        alike — is divided over the new shards covering its range,
+        weighted by the measured per-record rates inside each overlap
+        (**record-rate-weighted split**), falling back to record-count
+        proportions where no per-record heat was recorded; a merge's new
+        shard simply receives the **sum** of its parents (the weights of
+        whole overlaps are 1).  Total heat is conserved by construction.
+        """
+        change.require_built_on(self.plan, "this tracker")
+        self._window_counts = self._remap_vector(
+            change, self._window_counts, self._window_index
+        )
+        if self._smoothed is not None:
+            self._smoothed = self._remap_vector(
+                change,
+                self._smoothed,
+                self._smoothed_index if self._smoothed_index is not None else {},
+            )
+        self.plan = change.new_plan
+
+    def shape_state(self) -> tuple:
+        """An opaque snapshot of the remappable state (plan + shard vectors).
+
+        Taken by the rebalancer before a reshape pass so a data-plane apply
+        that fails midway can :meth:`restore_shape` the telemetry to the
+        plan the fleet still runs — without it, a failed pass would leave
+        the tracker one version ahead forever and every later pass would
+        refuse to run.  Cheap: the vectors are copied, the per-record maps
+        (which a remap never mutates) are not.
+        """
+        return (
+            self.plan,
+            list(self._window_counts),
+            list(self._smoothed) if self._smoothed is not None else None,
+        )
+
+    def restore_shape(self, state: tuple) -> None:
+        """Roll the remappable state back to a :meth:`shape_state` snapshot."""
+        plan, window_counts, smoothed = state
+        self.plan = plan
+        self._window_counts = list(window_counts)
+        self._smoothed = list(smoothed) if smoothed is not None else None
+
+    def _remap_vector(
+        self,
+        change: TopologyChange,
+        values: List[float],
+        rates: Dict[int, float],
+    ) -> List[float]:
+        """One shard vector remapped old→new (weights from ``rates``)."""
+        remapped = [0.0] * change.new_plan.num_shards
+        old_for_new = change.old_for_new
+        for new_shard in change.new_plan.shards:
+            for old_index in old_for_new[new_shard.index]:
+                old_shard = change.old_plan.shards[old_index]
+                start, stop = change.overlap_records(old_index, new_shard.index)
+                if stop <= start:
+                    continue
+                if (start, stop) == (old_shard.start, old_shard.stop):
+                    weight = 1.0  # whole overlap: merges sum their parents
+                else:
+                    weight = self._overlap_weight(old_shard, start, stop, rates)
+                remapped[new_shard.index] += values[old_index] * weight
+        return remapped
+
+    @staticmethod
+    def _overlap_weight(
+        old_shard: ShardSpec, start: int, stop: int, rates: Dict[int, float]
+    ) -> float:
+        """The fraction of ``old_shard``'s heat owned by ``[start, stop)``.
+
+        Measured per-record rates where available; a shard with no recorded
+        heat splits proportionally to record counts (there is nothing
+        better to weight by, and the vector being divided is ~0 anyway).
+        """
+        shard_total = 0.0
+        overlap_total = 0.0
+        for index, value in rates.items():
+            if old_shard.start <= index < old_shard.stop:
+                shard_total += value
+                if start <= index < stop:
+                    overlap_total += value
+        if shard_total > 0:
+            return overlap_total / shard_total
+        if old_shard.num_records == 0:
+            return 0.0
+        return (stop - start) / old_shard.num_records
 
     def __repr__(self) -> str:
         return (

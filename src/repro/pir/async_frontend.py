@@ -30,6 +30,7 @@ every ``submit`` awaiting that batch with the
 from __future__ import annotations
 
 import asyncio
+from contextlib import asynccontextmanager
 from typing import Dict, List, Optional, Sequence
 
 from repro.pir.client import PIRClient
@@ -89,21 +90,73 @@ class AsyncPIRFrontend:
         self._futures: Dict[int, "asyncio.Future[bytes]"] = {}
         self._next_request_id = 0
         self._timer_task: Optional["asyncio.Task[None]"] = None
-        # Flush/update quiescence (a reader-writer discipline): flushes may
-        # overlap each other, but an update must wait for every in-flight
-        # flush to drain and blocks new flushes while it runs — otherwise a
-        # flush could reconstruct from mixed old/new replica states (XOR of
-        # the two is garbage) or re-admit pre-update bytes into the cache
-        # after the invalidation.
+        # Flush/writer quiescence (a reader-writer discipline): flushes may
+        # overlap each other, but a *writer* — a bulk update, or a topology
+        # reconfiguration (:meth:`reconfigure`) — must wait for every
+        # in-flight flush to drain and blocks new flushes while it runs.
+        # Otherwise a flush could reconstruct from mixed old/new replica
+        # states (XOR of the two is garbage), re-admit pre-update bytes
+        # into the cache after the invalidation, or span two plan versions
+        # across its replicas mid-reshape.
         self._quiesce: Optional[asyncio.Condition] = None
         self._inflight_flushes = 0
-        self._updates_waiting = 0
-        self._updating = False
+        self._writers_waiting = 0
+        self._writer_active = False
 
     def _quiesce_condition(self) -> asyncio.Condition:
         if self._quiesce is None:
             self._quiesce = asyncio.Condition()
         return self._quiesce
+
+    @asynccontextmanager
+    async def _quiesced(self):
+        """Hold the writer slot: no flush in flight, new flushes blocked.
+
+        Writer-preferring — announcing the waiting writer stops *new*
+        flushes from taking reader slots, or sustained traffic could keep
+        ``_inflight_flushes`` above zero forever and starve the writer
+        indefinitely.  Shared by :meth:`apply_updates` (bulk data swaps)
+        and :meth:`reconfigure` (topology swaps); both therefore guarantee
+        no retrieval reconstructs across the change.
+        """
+        quiesce = self._quiesce_condition()
+        async with quiesce:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._inflight_flushes:
+                    await quiesce.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+                quiesce.notify_all()
+        try:
+            yield
+        finally:
+            async with quiesce:
+                self._writer_active = False
+                quiesce.notify_all()
+
+    async def reconfigure(self, mutator):
+        """Run a data-plane reconfiguration inside the writer quiesce.
+
+        The asyncio counterpart of
+        :meth:`repro.pir.frontend.PIRFrontend.reconfigure`: ``mutator`` (a
+        plain callable — e.g. one applying a
+        :class:`~repro.shard.plan.TopologyChange` to every replica fleet)
+        runs only once every in-flight flush has drained, and no flush
+        starts until it returns — so no flush ever spans two plan versions,
+        even with replicas dispatched concurrently.  Returns ``mutator()``'s
+        result.  The mutator runs in a worker thread (like the appliers in
+        :meth:`apply_updates`): a topology swap prepares fresh children on
+        real database slices, and that blocking numpy work must stall only
+        the deliberately-quiesced flushes, not every coroutine on the loop.
+        Drive this from a management task, not from a frontend observer:
+        observers run while holding a *reader* slot, and waiting for the
+        writer slot there would deadlock against the flush that invoked
+        them.
+        """
+        async with self._quiesced():
+            return await asyncio.to_thread(mutator)
 
     def attach_cache(self, cache) -> None:
         """Enable the hot-record cache tier (requires ``dedup=True``) —
@@ -128,33 +181,17 @@ class AsyncPIRFrontend:
         if not updates:
             return
         appliers = collect_update_appliers(self.replicas)
-        quiesce = self._quiesce_condition()
-        async with quiesce:
-            # Writer-preferring: announcing the waiting update stops *new*
-            # flushes from taking reader slots, or sustained traffic could
-            # keep _inflight_flushes above zero forever and starve the
-            # update indefinitely.
-            self._updates_waiting += 1
+        async with self._quiesced():
             try:
-                while self._updating or self._inflight_flushes:
-                    await quiesce.wait()
-                self._updating = True
+                for replica_apply in appliers:
+                    await asyncio.to_thread(replica_apply, updates)
             finally:
-                self._updates_waiting -= 1
-                quiesce.notify_all()
-        try:
-            for replica_apply in appliers:
-                await asyncio.to_thread(replica_apply, updates)
-        finally:
-            # Invalidate even when an applier fails midway: the replicas may
-            # be left inconsistent (the caller sees the error), but a stale
-            # cached record silently masking that inconsistency would be
-            # strictly worse than the scan surfacing it.
-            if self.cache is not None:
-                self.cache.invalidate(sorted({index for index, _ in updates}))
-            async with quiesce:
-                self._updating = False
-                quiesce.notify_all()
+                # Invalidate even when an applier fails midway: the replicas
+                # may be left inconsistent (the caller sees the error), but a
+                # stale cached record silently masking that inconsistency
+                # would be strictly worse than the scan surfacing it.
+                if self.cache is not None:
+                    self.cache.invalidate(sorted({index for index, _ in updates}))
 
     # -- admission -------------------------------------------------------------------
 
@@ -280,11 +317,11 @@ class AsyncPIRFrontend:
         if not batch:
             return
         # Enter the flush pipeline as a "reader": overlaps freely with other
-        # flushes, but never with an apply_updates in progress (see the
-        # quiescence note in __init__).
+        # flushes, but never with a writer — an apply_updates or a topology
+        # reconfigure — in progress (see the quiescence note in __init__).
         quiesce = self._quiesce_condition()
         async with quiesce:
-            while self._updating or self._updates_waiting:
+            while self._writer_active or self._writers_waiting:
                 await quiesce.wait()
             self._inflight_flushes += 1
         try:

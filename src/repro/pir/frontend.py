@@ -273,6 +273,22 @@ class PIRFrontend:
         require_dedup_for_cache(self.dedup)
         self.cache = cache
 
+    def reconfigure(self, mutator):
+        """Run a data-plane reconfiguration strictly between flushes.
+
+        The sync frontend's "quiesce" is structural: everything runs on one
+        thread, a flush is atomic within :meth:`_flush`, and observers (the
+        control plane's rebalance hook) fire only after a batch's scans
+        completed — so by the time ``mutator`` runs there is never a flush
+        in flight, and no flush can span two plan versions.  The method
+        exists so reconfigurations (topology swaps, bulk migrations) go
+        through one named gate on both frontends: the asyncio counterpart
+        (:meth:`repro.pir.async_frontend.AsyncPIRFrontend.reconfigure`)
+        enforces the same guarantee with its writer-preferring quiesce.
+        Returns ``mutator()``'s result.
+        """
+        return mutator()
+
     def apply_updates(self, updates) -> None:
         """Apply ``(index, record_bytes)`` updates to every replica.
 

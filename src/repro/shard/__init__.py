@@ -7,6 +7,12 @@ the ordinary :class:`~repro.core.engine.PIRBackend` protocol, and
 :class:`FleetRouter` turns each privacy replica into a fleet whose shards
 are placed on the cheapest capable backend kind (hot shards on preloaded
 PIM, cold shards on streamed IM-PIR).
+
+Plans are versioned and online-mutable: ``ShardPlan.split_shard`` /
+``ShardPlan.merge_shards`` return a new plan plus a :class:`TopologyChange`
+mapping, which ``ShardedBackend.apply_topology`` / ``FleetRouter
+.apply_topology`` swap into the live data plane atomically (retrievals
+bit-identical throughout).
 """
 
 from repro.shard.backend import (
@@ -28,7 +34,7 @@ from repro.shard.fleet import (
     plan_placements,
     render_placements,
 )
-from repro.shard.plan import ShardPlan, ShardSpec
+from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
 
 __all__ = [
     "BARE_BACKEND_KINDS",
@@ -48,4 +54,5 @@ __all__ = [
     "render_placements",
     "ShardPlan",
     "ShardSpec",
+    "TopologyChange",
 ]

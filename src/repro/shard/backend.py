@@ -12,7 +12,11 @@ delegating to one child backend per (non-empty) shard of a
   timers fold with per-phase max) and XOR-folds the sub-payloads into one
   answer that is bit-identical to the unsharded scan;
 * ``apply_updates`` routes dirty records to the owning shard only, leaving
-  every other child's buffers untouched.
+  every other child's buffers untouched;
+* ``swap_child`` / ``apply_topology`` are the control plane's live
+  reconfiguration points: a child migration or a whole plan split/merge is
+  prepared off to the side and swapped in with one reference assignment,
+  in-flight queries finishing against the old snapshot.
 
 The engine on top is a completely ordinary :class:`QueryEngine`: validation,
 DPF evaluation and answer assembly neither know nor care that the database
@@ -33,10 +37,49 @@ from repro.common.events import PhaseTimer
 from repro.core.config import IMPIRConfig
 from repro.core.engine import BackendCapabilities, PIRBackend, QueryEngine
 from repro.pir.database import Database
-from repro.shard.plan import ShardPlan, ShardSpec
+from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
 
 #: A callable building the bare execution backend for one shard.
 ShardBackendFactory = Callable[[ShardSpec], PIRBackend]
+
+#: One fleet member: ``(shard, child backend, child lane count)``.
+ShardMember = Tuple[ShardSpec, PIRBackend, int]
+
+
+class _Topology:
+    """One immutable snapshot of the fleet's distribution state.
+
+    The plan and the member triples must be read *together*: a concurrent
+    ``execute`` that paired an old member tuple with a new plan (or vice
+    versa) would zip a selector split against the wrong children and
+    silently mis-fold the XOR.  Bundling them in one object — always
+    replaced by a single reference assignment, never mutated — makes every
+    reader's view consistent by construction: in-flight queries finish
+    against the snapshot they started with, the next query sees the new one.
+    """
+
+    __slots__ = ("plan", "members")
+
+    def __init__(self, plan: ShardPlan, members: Tuple[ShardMember, ...]) -> None:
+        self.plan = plan
+        self.members = members
+
+
+class StagedTopology:
+    """A reshape prepared but not yet installed (see ``stage_topology``).
+
+    Holds the fully prepared replacement snapshot plus the snapshot it was
+    built against, so ``commit_topology`` can refuse a staging that raced
+    another reconfiguration instead of silently dropping it.
+    """
+
+    __slots__ = ("backend", "built_on", "topology", "report")
+
+    def __init__(self, backend, built_on, topology, report) -> None:
+        self.backend = backend
+        self.built_on = built_on
+        self.topology = topology
+        self.report = report
 
 #: Backend kinds :func:`bare_backend_factory` can instantiate per shard.
 BARE_BACKEND_KINDS: Tuple[str, ...] = (
@@ -137,20 +180,37 @@ class ShardedBackend(PIRBackend):
         self._block_records = plan.block_records if plan is not None else block_records
         self._requested_plan = plan
         self._name = name
-        self.plan: Optional[ShardPlan] = None
-        #: ``(shard, child, lanes)`` triples for every non-empty shard, in
-        #: shard order.  One immutable tuple, always replaced by a single
-        #: reference assignment: a live migration (:meth:`swap_child`) must
-        #: never let a concurrent ``execute`` pair a new child with a stale
-        #: lane count, and the per-member lane cache lives *inside* the
-        #: triple for exactly that reason (the hot path must not rebuild
-        #: child capability objects per query either).
-        self._members: Tuple[Tuple[ShardSpec, PIRBackend, int], ...] = ()
+        #: The plan and the ``(shard, child, lanes)`` member triples, bundled
+        #: in one immutable :class:`_Topology` snapshot that is only ever
+        #: replaced by a single reference assignment.  A live migration
+        #: (:meth:`swap_child`) must never let a concurrent ``execute`` pair
+        #: a new child with a stale lane count, and an online reshape
+        #: (:meth:`apply_topology`) must never let it pair a new plan's
+        #: selector split with the old member tuple — both invariants fall
+        #: out of reading the snapshot once.  The per-member lane cache
+        #: lives *inside* the triple for the same reason (the hot path must
+        #: not rebuild child capability objects per query either).
+        self._topology: Optional[_Topology] = None
         self._database: Optional[Database] = None
         #: Persistent scan pool for the ``threads`` executor, (re)built at
         #: prepare — spawning threads per ``execute`` call would put
-        #: ms-scale thread churn on the per-query hot path.
+        #: ms-scale thread churn on the per-query hot path.  Sized with
+        #: headroom over the prepare-time member count because an online
+        #: split can grow the fleet without a re-prepare; scans beyond the
+        #: width queue (still correct, just less overlapped).
         self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def plan(self) -> Optional[ShardPlan]:
+        """The plan currently in effect (``None`` before ``prepare``)."""
+        snapshot = self._topology
+        return snapshot.plan if snapshot is not None else None
+
+    @property
+    def _members(self) -> Tuple[ShardMember, ...]:
+        """Current member triples (one consistent read of the snapshot)."""
+        snapshot = self._topology
+        return snapshot.members if snapshot is not None else ()
 
     # -- database lifecycle ------------------------------------------------------
 
@@ -167,28 +227,32 @@ class ShardedBackend(PIRBackend):
         self._database = database
         if self._requested_plan is not None:
             self._requested_plan.check_shape(database.num_records)
-            self.plan = self._requested_plan
+            plan = self._requested_plan
         else:
-            self.plan = ShardPlan.uniform(
+            plan = ShardPlan.uniform(
                 database.num_records, self._num_shards, self._block_records
             )
         timer = PhaseTimer()
-        members: List[Tuple[ShardSpec, PIRBackend, int]] = []
+        members: List[ShardMember] = []
         for shard, shard_db in zip(
-            self.plan.non_empty_shards, self.plan.slice_database(database)
+            plan.non_empty_shards, plan.slice_database(database)
         ):
             child = self._child_factory(shard)
             report = child.prepare(shard_db)
             if report is not None:
                 timer.merge_parallel(report)
             members.append((shard, child, child.capabilities().lanes))
-        self._members = tuple(members)
+        self._topology = _Topology(plan, tuple(members))
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self.executor == EXECUTOR_THREADS and len(self._members) > 1:
+        if self.executor == EXECUTOR_THREADS:
+            # Width headroom (+4) over the prepare-time member count: online
+            # splits grow the fleet without re-preparing, and the pool is
+            # deliberately kept for the backend's whole life — swapping pools
+            # mid-reshape could hand an in-flight execute a shut-down pool.
             self._pool = ThreadPoolExecutor(
-                max_workers=len(self._members), thread_name_prefix="shard-scan"
+                max_workers=len(members) + 4, thread_name_prefix="shard-scan"
             )
         return timer if timer.durations else None
 
@@ -201,19 +265,21 @@ class ShardedBackend(PIRBackend):
         backend's partial MRAM re-copy) get shard-local dirty indices;
         others re-prepare their shard slice.
         """
-        if self.plan is None:
+        snapshot = self._topology
+        if snapshot is None:
             raise ProtocolError("sharded backend has no prepared database")
-        self.plan.check_shape(database.num_records)
-        routed = self.plan.route_records(dirty_indices)
+        plan, members = snapshot.plan, snapshot.members
+        plan.check_shape(database.num_records)
+        routed = plan.route_records(dirty_indices)
         timer = PhaseTimer()
-        for shard, child, _ in self._members:
+        for shard, child, _ in members:
             dirty = routed.get(shard.index)
             if not dirty:
                 continue
             # Same slicing rule as prepare (plan.slice_database goes through
             # slice_shard too): update slices must be byte-identical to the
             # prepare-time slices or shards drift from the full database.
-            shard_db = self.plan.slice_shard(database, shard)
+            shard_db = plan.slice_shard(database, shard)
             local = sorted(index - shard.start for index in dirty)
             child_apply = getattr(child, "apply_updates", None)
             if child_apply is not None:
@@ -292,7 +358,8 @@ class ShardedBackend(PIRBackend):
         combine with per-phase max (schedule-wise parallel) before being
         charged to the query's breakdown.
         """
-        if self._database is None or self.plan is None:
+        snapshot = self._topology
+        if self._database is None or snapshot is None:
             raise ProtocolError("sharded backend has no prepared database")
 
         def scan_shard(job) -> Tuple[np.ndarray, PhaseTimer]:
@@ -304,10 +371,13 @@ class ShardedBackend(PIRBackend):
             sub = child.execute(selector_slice, child_timer, lane=child_lane)
             return np.asarray(sub, dtype=np.uint8).reshape(-1), child_timer
 
-        # One read of the members tuple: a live migration swapping a child
-        # mid-batch must not tear this job list (each triple already pairs
-        # the child with its lane count).
-        jobs = list(zip(self._members, self.plan.split_selector(selector_bits)))
+        # One read of the topology snapshot: a live migration swapping a
+        # child mid-batch — or a reshape swapping the whole plan — must not
+        # tear this job list (the snapshot pairs the plan with its members,
+        # and each triple pairs the child with its lane count).
+        jobs = list(
+            zip(snapshot.members, snapshot.plan.split_selector(selector_bits))
+        )
         if self._pool is not None and len(jobs) > 1:
             # Children are independent machines with independent state, so
             # their blocking scans can genuinely overlap; results come back
@@ -327,11 +397,19 @@ class ShardedBackend(PIRBackend):
     # -- views for facades/tests ----------------------------------------------------
 
     @property
-    def members(self) -> List[Tuple[ShardSpec, PIRBackend]]:
-        """``(shard, child backend)`` pairs, in shard order (read-only use)."""
-        return [(shard, child) for shard, child, _ in self._members]
+    def members(self) -> Tuple[Tuple[ShardSpec, PIRBackend], ...]:
+        """``(shard, child backend)`` pairs, in shard order.
 
-    # -- live migration (the control plane's swap point) -----------------------------
+        An **immutable snapshot**: the tuple is derived from one read of the
+        topology snapshot, so it stays internally consistent while
+        concurrent :meth:`swap_child` / :meth:`apply_topology` calls land —
+        but it also goes stale the moment one does.  Re-read the property
+        for a fresh view; mutating fleet membership goes through the swap
+        methods, never through this tuple.
+        """
+        return tuple((shard, child) for shard, child, _ in self._members)
+
+    # -- live reconfiguration (the control plane's swap points) ----------------------
 
     def swap_child(self, shard_index: int, child: PIRBackend) -> Optional[PhaseTimer]:
         """Atomically replace one shard's child backend with ``child``.
@@ -346,23 +424,130 @@ class ShardedBackend(PIRBackend):
         way because both children hold the same slice.  Returns the new
         child's preload report (the migration's transfer cost), if any.
         """
-        if self._database is None or self.plan is None:
+        snapshot = self._topology
+        if self._database is None or snapshot is None:
             raise ProtocolError("sharded backend has no prepared database")
-        for position, (shard, _, _) in enumerate(self._members):
+        plan, members = snapshot.plan, snapshot.members
+        for position, (shard, _, _) in enumerate(members):
             if shard.index == shard_index:
                 break
         else:
             raise ConfigurationError(
                 f"no non-empty shard with index {shard_index} to swap"
             )
-        report = child.prepare(self.plan.slice_shard(self._database, shard))
-        members = list(self._members)
-        members[position] = (shard, child, child.capabilities().lanes)
+        report = child.prepare(plan.slice_shard(self._database, shard))
+        replaced = list(members)
+        replaced[position] = (shard, child, child.capabilities().lanes)
         # Single reference assignment: an execute() running concurrently (the
         # threads executor under the asyncio frontend) reads either the old
-        # tuple or the new one, never a child paired with a stale lane count.
-        self._members = tuple(members)
+        # snapshot or the new one, never a child paired with a stale lane
+        # count or a stale plan.
+        self._topology = _Topology(plan, tuple(replaced))
         return report
+
+    def stage_topology(
+        self,
+        change: TopologyChange,
+        child_factory: Optional[ShardBackendFactory] = None,
+    ) -> "StagedTopology":
+        """Prepare a reshape off to the side, **mutating nothing**.
+
+        The fallible half of the two-phase reshape: children for the
+        *changed* ranges (the split halves, the merged spans) are built by
+        ``child_factory`` (defaulting to the backend's own) and prepared on
+        the **new** plan's slices; children whose shard range survived the
+        reshape byte-for-byte are reused as-is (their prepared buffers are
+        still exactly their slice — only the shard index moved).  Any
+        failure here — a factory error, a child refusing its slice —
+        leaves the backend exactly as it was.  The returned staging is
+        installed by :meth:`commit_topology`, which *cannot* fail: that is
+        what lets a router stage a change across every replica fleet
+        before any fleet commits, so a multi-fleet reshape never applies
+        partially.
+
+        Raises :class:`ConfigurationError` when ``change`` was built
+        against any plan but the one currently in effect (topology
+        versions must evolve linearly; a stale change would silently drop
+        a concurrent reshape).
+        """
+        snapshot = self._topology
+        if self._database is None or snapshot is None:
+            raise ProtocolError("sharded backend has no prepared database")
+        plan, members = snapshot.plan, snapshot.members
+        change.require_built_on(plan, "this backend")
+        factory = child_factory if child_factory is not None else self._child_factory
+        child_by_old_index: Dict[int, Tuple[PIRBackend, int]] = {
+            shard.index: (child, lanes) for shard, child, lanes in members
+        }
+        reused_old = {
+            new_index: old_index
+            for old_index, new_index in change.unchanged_pairs()
+        }
+        timer = PhaseTimer()
+        new_members: List[ShardMember] = []
+        for shard in change.new_plan.non_empty_shards:
+            old_index = reused_old.get(shard.index)
+            if old_index is not None and old_index in child_by_old_index:
+                child, lanes = child_by_old_index[old_index]
+                new_members.append((shard, child, lanes))
+                continue
+            child = factory(shard)
+            report = child.prepare(
+                change.new_plan.slice_shard(self._database, shard)
+            )
+            if report is not None:
+                timer.merge_parallel(report)
+            new_members.append((shard, child, child.capabilities().lanes))
+        return StagedTopology(
+            backend=self,
+            built_on=snapshot,
+            topology=_Topology(change.new_plan, tuple(new_members)),
+            report=timer if timer.durations else None,
+        )
+
+    def commit_topology(self, staged: "StagedTopology") -> Optional[PhaseTimer]:
+        """Install a staged reshape: one reference assignment, cannot fail.
+
+        Threaded in-flight ``execute`` calls finish against the old
+        snapshot and the next query sees the new topology whole; retrievals
+        are bit-identical throughout (both topologies tile the same
+        database bytes).  Returns the staging's preload report (the
+        reshape's transfer cost, folded per-phase max — changed ranges
+        stand up in parallel), or ``None`` when nothing charged a timer.
+        """
+        if staged.backend is not self:
+            raise ConfigurationError(
+                "staged topology belongs to a different backend"
+            )
+        if staged.built_on is not self._topology:
+            raise ConfigurationError(
+                "the topology moved between stage and commit; re-stage "
+                "against the live plan"
+            )
+        # The single-assignment swap (see _Topology): in-flight queries keep
+        # the old plan *and* the old members; nothing ever mixes the two.
+        self._topology = staged.topology
+        # A later full re-prepare must rebuild the topology in effect, not
+        # resurrect the pre-reshape plan.
+        self._requested_plan = staged.topology.plan
+        return staged.report
+
+    def apply_topology(
+        self,
+        change: TopologyChange,
+        child_factory: Optional[ShardBackendFactory] = None,
+    ) -> Optional[PhaseTimer]:
+        """Atomically reshape the fleet along a plan split/merge change.
+
+        The topology counterpart of :meth:`swap_child`:
+        :meth:`stage_topology` then :meth:`commit_topology` in one call —
+        the convenient form when there is only this one backend to
+        reshape.  A router coordinating *several* replica fleets stages
+        them all before committing any (see
+        :meth:`repro.shard.fleet.FleetRouter.apply_topology`), so a
+        failure can never leave the fleets on different plan versions.
+        """
+        return self.commit_topology(self.stage_topology(change, child_factory))
 
 
 class ShardedServer:
@@ -440,6 +625,15 @@ class ShardedServer:
         """Live-migrate one shard onto ``child`` (see
         :meth:`ShardedBackend.swap_child`); returns its preload report."""
         return self.backend.swap_child(shard_index, child)
+
+    def apply_topology(
+        self,
+        change: TopologyChange,
+        child_factory: Optional[ShardBackendFactory] = None,
+    ) -> Optional[PhaseTimer]:
+        """Live-reshape this replica's shards along ``change`` (see
+        :meth:`ShardedBackend.apply_topology`); returns the transfer report."""
+        return self.backend.apply_topology(change, child_factory)
 
     def shard_for_record(self, record_index: int) -> ShardSpec:
         """The shard owning ``record_index`` (routing/diagnostic helper)."""

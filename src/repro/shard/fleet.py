@@ -37,7 +37,7 @@ from repro.shard.backend import (
     bare_backend_factory,
     default_child_config,
 )
-from repro.shard.plan import ShardPlan, ShardSpec
+from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
 
 
 @dataclass(frozen=True)
@@ -260,17 +260,19 @@ class FleetRouter(PIRFrontend):
                 child_config if child_config is not None else default_child_config()
             )
         self.candidates = list(candidates)
-        self.placements = plan_placements(
-            plan, database.record_size, heats, candidates=candidates
+        # Placements and the kind map move together (install_placements):
+        # the factory below reads the map live — it is also the fleets'
+        # default child builder after online reshapes and kind migrations
+        # renumber or re-place the shards, so it must follow the placements
+        # in effect, never a construction-time snapshot.
+        self.install_placements(
+            plan_placements(plan, database.record_size, heats, candidates=candidates)
         )
-        kind_by_shard = {
-            placement.shard.index: placement.kind for placement in self.placements
-        }
 
         def child_factory(shard: ShardSpec) -> PIRBackend:
-            return bare_backend_factory(kind_by_shard[shard.index], config=child_config)(
-                shard
-            )
+            return bare_backend_factory(
+                self._kind_by_shard[shard.index], config=child_config
+            )(shard)
 
         replicas = [
             ShardedServer(
@@ -294,6 +296,77 @@ class FleetRouter(PIRFrontend):
     # Bulk updates ride the inherited PIRFrontend.apply_updates: each fleet
     # routes dirty records to their owning shards only, and an attached
     # hot-record cache drops the dirty indices first.
+
+    def apply_topology(
+        self,
+        change: TopologyChange,
+        placements: Sequence[ShardPlacement],
+    ) -> List[Optional["PhaseTimer"]]:
+        """Install one agreed topology across every replica fleet.
+
+        The router-level reshape point: ``placements`` (computed by
+        :func:`plan_placements` over the **new** plan, normally by the
+        control plane's rebalancer) chooses the backend kind each changed
+        shard's fresh children are built with, and every fleet rides the
+        same :class:`~repro.shard.plan.TopologyChange` — inside the
+        frontend's :meth:`reconfigure` gate, so no flush ever spans two
+        plan versions (structurally true on this simulated-clock frontend;
+        the asyncio frontend enforces the same guarantee with its
+        writer-preferring quiesce).
+
+        The apply is two-phase: every fleet *stages* the change first
+        (fresh children prepared off to the side — the only part that can
+        fail, and it mutates nothing), and only once all stagings succeed
+        does every fleet *commit* (pure reference assignments that cannot
+        fail).  A factory error or a child refusing its slice therefore
+        leaves router, fleets and kind map all exactly as they were — a
+        multi-replica reshape can never apply partially, which is what
+        makes the rebalancer's tracker rollback a genuine recovery.
+        Returns each fleet's transfer report, in replica order.
+        """
+        change.new_plan.check_shape(self.plan.num_records)
+        if len(placements) != len(change.new_plan.non_empty_shards):
+            raise ConfigurationError(
+                f"got {len(placements)} placements for "
+                f"{len(change.new_plan.non_empty_shards)} non-empty shards"
+            )
+        kind_by_new_shard = {
+            placement.shard.index: placement.kind for placement in placements
+        }
+
+        def child_factory(shard: ShardSpec) -> PIRBackend:
+            return bare_backend_factory(
+                kind_by_new_shard[shard.index], config=self.child_config
+            )(shard)
+
+        def mutate() -> List[Optional["PhaseTimer"]]:
+            staged = [
+                fleet.backend.stage_topology(change, child_factory)
+                for fleet in self.fleets
+            ]
+            reports = [
+                fleet.backend.commit_topology(staging)
+                for fleet, staging in zip(self.fleets, staged)
+            ]
+            self.plan = change.new_plan
+            self.install_placements(placements)
+            return reports
+
+        return self.reconfigure(mutate)
+
+    def install_placements(self, placements: Sequence[ShardPlacement]) -> None:
+        """Record the placements in effect — and the kind map the default
+        child factory reads — as one unit.
+
+        Every path that changes what kinds the fleets actually run (a
+        topology apply, the rebalancer's kind migrations) must land here,
+        or a later re-prepare / stage would rebuild children at stale
+        kinds while the reporting surface claims the new ones.
+        """
+        self.placements = list(placements)
+        self._kind_by_shard = {
+            placement.shard.index: placement.kind for placement in placements
+        }
 
     def placement_kinds(self) -> List[str]:
         """Chosen backend kind per non-empty shard, in shard order."""

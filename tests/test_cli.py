@@ -68,3 +68,20 @@ class TestMain:
     def test_async_and_rebalance_are_exclusive(self, capsys):
         assert main(["smoke", "--async", "--rebalance"]) == 2
         assert "one of" in capsys.readouterr().err
+
+    def test_resplit_smoke(self, capsys):
+        assert main(["smoke", "--resplit"]) == 0
+        out = capsys.readouterr().out
+        assert "Resplit smoke" in out
+        assert "split" in out
+        assert "merge" in out
+        assert "heat remapped" in out
+        assert "bit-identical" in out
+
+    def test_resplit_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--resplit"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_resplit_and_rebalance_are_exclusive(self, capsys):
+        assert main(["smoke", "--resplit", "--rebalance"]) == 2
+        assert "one of" in capsys.readouterr().err

@@ -74,6 +74,24 @@ class TestHeatDrivenMigration:
         assert migration.transfer_seconds == placement.preload_seconds > 0
         assert report.migration_seconds == migration.transfer_seconds
 
+    def test_migration_updates_the_routers_kind_map(self, database):
+        """A migrations-only pass must land the new kinds in the router's
+        live kind map: a later re-prepare rebuilds children through the
+        default factory, which must follow the migrated placements."""
+        plan = ShardPlan.uniform(database.num_records, 2)
+        router = make_router(database, plan, heats=[50.0, 0.0])
+        tracker = HeatTracker(plan)
+        tracker.observe_batch([120] * 30, now=0.0)  # heat drifts to shard 1
+        report = Rebalancer(router, tracker).rebalance(now=0.0)
+        assert report.migrations and report.topology is None
+        fleet = router.fleets[0]
+        fleet.backend.prepare(fleet.database)
+        member_kinds = [
+            child.capabilities().name for _, child in fleet.backend.members
+        ]
+        assert member_kinds == router.placement_kinds()
+        assert member_kinds == ["im-pir-streamed", "im-pir"]
+
     def test_no_migration_when_placement_is_stable(self, database):
         plan = ShardPlan.uniform(database.num_records, 2)
         router = make_router(database, plan, heats=[50.0, 0.0])

@@ -20,6 +20,7 @@ EXAMPLES = [
     "sharded_fleet",
     "async_frontend",
     "control_plane",
+    "topology_reshape",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",

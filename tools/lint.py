@@ -12,12 +12,13 @@ AST pass instead.  It flags:
 * ``asyncio.get_event_loop()`` — deprecated outside a running loop; library
   code must use ``asyncio.get_running_loop()`` (or ``asyncio.run`` at the
   top level) so it never implicitly creates a loop;
-* wall-clock reads under ``src/repro/control/`` — ``time.time()``,
-  ``time.monotonic()``, ``time.perf_counter()``, ``time.sleep()`` (through
-  any ``import time as ...`` alias), ``from time import ...`` and the
-  ``datetime`` module — the control plane runs on the simulated clock only
-  (``now`` comes from the caller), which is what keeps rebalancing
-  decisions deterministic and unit-testable.
+* wall-clock reads under ``src/repro/control/`` and ``src/repro/shard/`` —
+  ``time.time()``, ``time.monotonic()``, ``time.perf_counter()``,
+  ``time.sleep()`` (through any ``import time as ...`` alias), ``from time
+  import ...`` and the ``datetime`` module — the control plane *and* the
+  shard layer it mutates (topology swaps, live migrations) run on the
+  simulated clock only (``now`` comes from the caller), which is what keeps
+  rebalancing and reshape decisions deterministic and unit-testable.
 
 Usage::
 
@@ -81,13 +82,19 @@ class _UsageCollector(ast.NodeVisitor):
 WALL_CLOCK_ATTRS = {"time", "monotonic", "perf_counter", "sleep"}
 
 
-def _is_control_plane(path: Path) -> bool:
-    # The consecutive repro/control pair, not the two names anywhere in the
-    # path: a checkout living under a directory called "control" must not
-    # sweep the whole library into the simulated-clock ban.
+#: Packages whose code must never read the host clock: the control plane
+#: (rebalancing decisions) and the shard layer it mutates (topology swaps,
+#: live migrations) both run on the simulated clock only.
+SIMULATED_CLOCK_PACKAGES = ("control", "shard")
+
+
+def _is_simulated_clock_only(path: Path) -> bool:
+    # The consecutive repro/<package> pair, not the two names anywhere in
+    # the path: a checkout living under a directory called "control" or
+    # "shard" must not sweep the whole library into the simulated-clock ban.
     parts = path.parts
     return any(
-        parts[i] == "repro" and parts[i + 1] == "control"
+        parts[i] == "repro" and parts[i + 1] in SIMULATED_CLOCK_PACKAGES
         for i in range(len(parts) - 1)
     )
 
@@ -99,7 +106,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     except SyntaxError as error:
         return [(error.lineno or 0, f"syntax error: {error.msg}")]
     noqa = _noqa_lines(source)
-    simulated_clock_only = _is_control_plane(path)
+    simulated_clock_only = _is_simulated_clock_only(path)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
     wildcards: List[Tuple[int, str]] = []
@@ -124,9 +131,9 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
             deprecated.append(
                 (
                     node.lineno,
-                    f"wall-clock time.{node.attr}() under src/repro/control/ — "
-                    "the control plane runs on the simulated clock only "
-                    "(take `now` from the caller)",
+                    f"wall-clock time.{node.attr}() under a simulated-clock "
+                    "package (src/repro/{control,shard}/) — take `now` "
+                    "from the caller",
                 )
             )
         if simulated_clock_only and isinstance(node, ast.Import):
@@ -135,9 +142,9 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                     deprecated.append(
                         (
                             node.lineno,
-                            "import datetime under src/repro/control/ — the "
-                            "control plane runs on the simulated clock only "
-                            "(take `now` from the caller)",
+                            "import datetime under a simulated-clock package "
+                            "(src/repro/{control,shard}/) — take `now` "
+                            "from the caller",
                         )
                     )
         if (
@@ -167,9 +174,9 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                 deprecated.append(
                     (
                         node.lineno,
-                        f"from {node.module} import ... under src/repro/control/ — "
-                        "the control plane runs on the simulated clock only "
-                        "(take `now` from the caller)",
+                        f"from {node.module} import ... under a simulated-clock "
+                        "package (src/repro/{control,shard}/) — take "
+                        "`now` from the caller",
                     )
                 )
             for alias in node.names:
