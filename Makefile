@@ -1,10 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint smoke figures
+.PHONY: check test lint smoke bench bench-quick figures
 
-## The CI gate: tier-1 tests + lint + a functional cross-backend smoke run.
-check: test lint smoke
+## The CI gate: tier-1 tests + lint + a functional cross-backend smoke run
+## + a quick batched-vs-sequential perf smoke (asserts batched >= sequential).
+check: test lint smoke bench-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +27,19 @@ smoke:
 	$(PYTHON) -m repro.bench.cli smoke --async
 	$(PYTHON) -m repro.bench.cli smoke --rebalance
 	$(PYTHON) -m repro.bench.cli smoke --resplit
+	$(PYTHON) -m repro.bench.cli smoke --batched
+
+## Wall-clock benchmark of the batched one-pass scan path against the
+## sequential per-query path on the reference backend; writes BENCH_PR6.json
+## (records/sec, batched QPS, speedup, simulated p50/p99 latency).  Compare
+## two runs with `python tools/bench_compare.py OLD.json BENCH_PR6.json`.
+bench:
+	$(PYTHON) -m repro.bench.cli bench
+
+## Small-shape variant for `make check`: no JSON artifact, asserts the
+## batched path is no slower than the sequential one.
+bench-quick:
+	$(PYTHON) -m repro.bench.cli bench --quick
 
 figures:
 	$(PYTHON) -m repro.bench.cli all

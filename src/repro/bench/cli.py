@@ -24,9 +24,11 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
+from repro.bench.perf import DEFAULT_OUTPUT, render_bench, run_bench
 from repro.bench.smoke import (
     async_backend_smoke,
     backend_smoke,
+    batched_smoke,
     rebalance_smoke,
     resplit_smoke,
 )
@@ -82,7 +84,7 @@ def main(argv=None) -> int:
         "target",
         nargs="?",
         default="all",
-        help="one of: %s, all, list (default: all)" % ", ".join(_TARGETS),
+        help="one of: %s, bench, all, list (default: all)" % ", ".join(_TARGETS),
     )
     parser.add_argument(
         "--async",
@@ -108,12 +110,28 @@ def main(argv=None) -> int:
         "the plan-shape policy enabled (online shard split/merge, versioned "
         "topology, heat remap) and cross-check records against a static fleet",
     )
+    parser.add_argument(
+        "--batched",
+        dest="use_batched",
+        action="store_true",
+        help="with the smoke target: answer the same batch through the "
+        "sequential per-query path and the batched execute_many path on "
+        "every backend, asserting bit-identical payloads and simulated costs",
+    )
+    parser.add_argument(
+        "--quick",
+        dest="use_quick",
+        action="store_true",
+        help="with the bench target: a small shape without the JSON "
+        "artifact, asserting the batched path is no slower than sequential",
+    )
     args = parser.parse_args(argv)
 
     smoke_flags = {
         "--async": args.use_async,
         "--rebalance": args.use_rebalance,
         "--resplit": args.use_resplit,
+        "--batched": args.use_batched,
     }
     selected = [flag for flag, enabled in smoke_flags.items() if enabled]
     if selected:
@@ -122,7 +140,7 @@ def main(argv=None) -> int:
             return 2
         if len(selected) > 1:
             print(
-                "pick one of --async / --rebalance / --resplit per run",
+                "pick one of --async / --rebalance / --resplit / --batched per run",
                 file=sys.stderr,
             )
             return 2
@@ -130,12 +148,27 @@ def main(argv=None) -> int:
             print(async_backend_smoke())
         elif args.use_rebalance:
             print(rebalance_smoke())
-        else:
+        elif args.use_resplit:
             print(resplit_smoke())
+        else:
+            print(batched_smoke())
+        return 0
+
+    if args.use_quick and args.target != "bench":
+        print("--quick applies to the bench target only", file=sys.stderr)
+        return 2
+    if args.target == "bench":
+        metrics = run_bench(
+            quick=args.use_quick,
+            output_path=None if args.use_quick else DEFAULT_OUTPUT,
+        )
+        print(render_bench(metrics))
+        if not args.use_quick:
+            print(f"\nmetrics written to {DEFAULT_OUTPUT}")
         return 0
 
     if args.target == "list":
-        print("\n".join(list(_TARGETS) + ["all"]))
+        print("\n".join(list(_TARGETS) + ["bench", "all"]))
         return 0
     if args.target == "all":
         for name in _TARGETS:

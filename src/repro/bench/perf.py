@@ -1,0 +1,174 @@
+"""Wall-clock microbenchmark for the batched one-pass scan path (PR 6).
+
+The simulated cost models elsewhere in :mod:`repro.bench` answer "what would
+the paper's hardware do"; this module answers a different question: how fast
+does *this* repository actually run, and how much does the batched
+``execute_many`` path (one pass over the database for a whole batch, one PRG
+sweep per GGM level for every key) gain over the sequential per-query path.
+
+Two modes share one harness:
+
+* ``quick`` — a small shape wired into ``make check``: it smoke-asserts that
+  the batched path is at least as fast as the sequential one and that both
+  return bit-identical payloads.
+* full — the ``make bench`` shape (4096 x 32 B records, batch of 32 on the
+  reference backend), written to ``BENCH_PR6.json`` so runs can be diffed
+  with ``tools/bench_compare.py``.
+
+Wall-clock numbers come from a best-of-``repeats`` loop (the minimum is the
+least noisy estimator on a shared machine); the p50/p99 latencies are
+*simulated* ones taken from the IM-PIR cluster schedule, so they are exactly
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import create_server
+from repro.dpf.prf import make_prg
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+
+#: Default output artifact for the full benchmark run.
+DEFAULT_OUTPUT = "BENCH_PR6.json"
+
+#: The full-mode shape: chosen so the fixed per-query numpy/Python overhead
+#: the batched path amortises is visible but the database is still far from
+#: memory-bound (where batching cannot beat a scan that is already DRAM-rate).
+FULL_SHAPE = {"num_records": 4096, "record_size": 32, "batch_size": 32, "repeats": 7}
+
+#: The quick-mode shape: small enough for ``make check``.
+QUICK_SHAPE = {"num_records": 1024, "record_size": 32, "batch_size": 16, "repeats": 3}
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation, deterministic)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def run_bench(
+    quick: bool = False,
+    output_path: Optional[str] = None,
+    seed: int = 11,
+) -> Dict[str, object]:
+    """Run the batched-vs-sequential benchmark and return its metrics.
+
+    When ``output_path`` is given the metrics are also written there as JSON
+    (the full mode's default artifact is :data:`DEFAULT_OUTPUT`; pass
+    ``output_path=None`` to skip writing).
+
+    Quick mode additionally *asserts* the batched path is no slower than the
+    sequential one — that is its role as a ``make check`` smoke.
+    """
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    num_records = int(shape["num_records"])
+    record_size = int(shape["record_size"])
+    batch_size = int(shape["batch_size"])
+    repeats = int(shape["repeats"])
+
+    database = Database.random(num_records, record_size, seed=seed)
+    client = PIRClient(num_records, record_size, seed=seed + 1, prg=make_prg("numpy"))
+    engine = create_server("reference", database, server_id=0).engine
+    queries = [client.query(i % num_records)[0] for i in range(batch_size)]
+
+    # Correctness gate before timing anything: the batched path must return
+    # the same bytes as the sequential one, query for query.
+    sequential_payloads = [engine.answer(query).answer.payload for query in queries]
+    batched_payloads = [
+        result.answer.payload for result in engine.answer_many(queries).results
+    ]
+    if sequential_payloads != batched_payloads:
+        raise AssertionError("batched payloads differ from sequential payloads")
+
+    sequential_seconds = _best_of(
+        lambda: [engine.answer(query) for query in queries], repeats
+    )
+    batched_seconds = _best_of(lambda: engine.answer_many(queries), repeats)
+    speedup = sequential_seconds / batched_seconds if batched_seconds > 0 else 0.0
+
+    # Simulated per-query latency distribution from the IM-PIR cluster
+    # schedule (deterministic: it comes from the cost model, not the clock).
+    impir = create_server("im-pir", database, server_id=0).engine
+    schedule = impir.answer_many(queries).schedule
+    latencies: List[float] = [query.latency for query in schedule.queries]
+
+    metrics: Dict[str, object] = {
+        "bench": "batched_scan",
+        "mode": "quick" if quick else "full",
+        "shape": {
+            "num_records": num_records,
+            "record_size": record_size,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "backend": "reference",
+        },
+        "wall_clock": {
+            "sequential_seconds": sequential_seconds,
+            "batched_seconds": batched_seconds,
+            "batched_vs_sequential_speedup": speedup,
+            "sequential_qps": batch_size / sequential_seconds,
+            "batched_qps": batch_size / batched_seconds,
+            "records_per_second": batch_size * num_records / batched_seconds,
+        },
+        "simulated_impir": {
+            "p50_latency_seconds": _percentile(latencies, 0.50),
+            "p99_latency_seconds": _percentile(latencies, 0.99),
+            "batch_makespan_seconds": schedule.makespan,
+        },
+    }
+
+    if quick and speedup < 1.0:
+        raise AssertionError(
+            f"batched path is slower than sequential ({speedup:.2f}x); "
+            "the one-pass scan should never lose to per-query dispatch"
+        )
+
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    return metrics
+
+
+def render_bench(metrics: Dict[str, object]) -> str:
+    """Plain-text rendering of :func:`run_bench` metrics."""
+    shape = metrics["shape"]
+    wall = metrics["wall_clock"]
+    simulated = metrics["simulated_impir"]
+    lines = [
+        f"Batched scan benchmark ({metrics['mode']} mode)",
+        f"shape: {shape['num_records']} records x {shape['record_size']} B, "
+        f"batch of {shape['batch_size']} on the {shape['backend']} backend "
+        f"(best of {shape['repeats']})",
+        "",
+        f"sequential per-query: {wall['sequential_seconds'] * 1e3:8.1f} ms "
+        f"({wall['sequential_qps']:8.1f} q/s)",
+        f"batched execute_many: {wall['batched_seconds'] * 1e3:8.1f} ms "
+        f"({wall['batched_qps']:8.1f} q/s)",
+        f"speedup: {wall['batched_vs_sequential_speedup']:.2f}x   "
+        f"scan rate: {wall['records_per_second']:,.0f} records/s",
+        "",
+        "simulated IM-PIR latency (cost model, deterministic):",
+        f"p50 {simulated['p50_latency_seconds'] * 1e6:8.2f} us   "
+        f"p99 {simulated['p99_latency_seconds'] * 1e6:8.2f} us   "
+        f"batch makespan {simulated['batch_makespan_seconds'] * 1e6:8.2f} us",
+    ]
+    return "\n".join(lines)

@@ -480,3 +480,91 @@ def async_backend_smoke(
             f"batches (recorded in-flight windows)",
         ]
     )
+
+
+def batched_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    batch_size: int = 6,
+    seed: int = 9,
+    segment_records: Optional[int] = 128,
+) -> str:
+    """The ``--batched`` smoke: one-pass batch scans against per-query answers.
+
+    For every registered backend this answers the same query batch twice —
+    once through the sequential :meth:`QueryEngine.answer` loop, once through
+    the batched :meth:`QueryEngine.answer_many` / ``execute_many`` path — and
+    asserts three properties of the batched fast path:
+
+    * the answer payloads are bit-identical;
+    * every simulated phase except ``eval`` charges exactly the same seconds
+      (``eval`` legitimately differs: the batch path uses the backend's batch
+      cost model, the per-query path its latency model);
+    * the backend's ``execute_many`` override agrees byte-for-byte *and*
+      phase-for-phase with the generic per-row fallback, so overriding the
+      hook changes wall-clock speed only, never simulated cost.
+    """
+    import numpy as np
+
+    from repro.common.events import PhaseTimer
+    from repro.core.engine import PIRBackend
+
+    database = Database.random(num_records, record_size, seed=seed)
+    client = PIRClient(num_records, record_size, seed=seed + 1, prg=make_prg("numpy"))
+    queries = [
+        client.query((i * 97) % num_records)[0] for i in range(batch_size)
+    ]
+
+    lines: List[str] = [
+        "Batched smoke: execute_many against the sequential per-query path",
+        f"database: {num_records} records x {record_size} B, batch of {batch_size}",
+        "",
+        f"{'backend':>16} {'payloads':>9} {'phases':>7} {'fallback':>9}",
+    ]
+    for name in available_backends():
+        kwargs = {"segment_records": segment_records} if name == "im-pir-streamed" else {}
+        engine = create_server(name, database, server_id=0, **kwargs).engine
+
+        sequential = [engine.answer(query) for query in queries]
+        batched = engine.answer_many(queries)
+        if any(
+            s.answer.payload != b.answer.payload
+            for s, b in zip(sequential, batched.results)
+        ):
+            raise AssertionError(f"backend {name!r}: batched payloads drifted")
+        for s, b in zip(sequential, batched.results):
+            seq_phases = {k: v for k, v in s.breakdown.durations.items() if k != "eval"}
+            bat_phases = {k: v for k, v in b.breakdown.durations.items() if k != "eval"}
+            if seq_phases != bat_phases:
+                raise AssertionError(
+                    f"backend {name!r}: batched simulated phases drifted: "
+                    f"{seq_phases} vs {bat_phases}"
+                )
+
+        selectors = engine.selector_matrix(queries)
+        lanes = [0] * batch_size
+        override_timers = [PhaseTimer() for _ in queries]
+        fallback_timers = [PhaseTimer() for _ in queries]
+        got = engine.backend.execute_many(selectors, override_timers, lanes)
+        want = PIRBackend.execute_many(
+            engine.backend, selectors, fallback_timers, lanes
+        )
+        if not np.array_equal(got, want):
+            raise AssertionError(
+                f"backend {name!r}: execute_many override drifted from fallback"
+            )
+        if any(
+            a.durations != b.durations
+            for a, b in zip(override_timers, fallback_timers)
+        ):
+            raise AssertionError(
+                f"backend {name!r}: execute_many override charges different phases"
+            )
+        lines.append(f"{name:>16} {'ok':>9} {'ok':>7} {'ok':>9}")
+
+    lines.append("")
+    lines.append(
+        f"{len(tuple(available_backends()))} backends answer batches "
+        f"bit-identically to the per-query path (simulated costs unchanged)."
+    )
+    return "\n".join(lines)

@@ -42,7 +42,7 @@ from repro.dpf.dpf import DPF
 from repro.dpf.prf import LengthDoublingPRG
 from repro.pir.database import Database
 from repro.pir.messages import DPFQuery, NaiveQuery, PIRAnswer
-from repro.pir.xor_ops import dpxor
+from repro.pir.xor_ops import dpxor, dpxor_many
 
 Query = Union[DPFQuery, NaiveQuery]
 
@@ -111,6 +111,34 @@ class PIRBackend(ABC):
         bytes.
         """
 
+    def execute_many(
+        self,
+        selector_matrix: np.ndarray,
+        breakdowns: Sequence[PhaseTimer],
+        lanes: Sequence[int],
+    ) -> np.ndarray:
+        """Scan the prepared database under a whole batch of selector shares.
+
+        ``selector_matrix`` is ``(B, num_records)`` with one selector share
+        per row; ``breakdowns`` and ``lanes`` carry one entry per row.
+        Returns the ``(B, record_size)`` uint8 matrix of sub-results.
+
+        This default serves the rows through :meth:`execute` one by one, so
+        every backend supports the batched surface; backends with a one-pass
+        batched kernel override it.  Overrides must stay bit-identical to the
+        sequential path and charge each row's breakdown the same simulated
+        costs — batching is a wall-clock optimisation only.
+        """
+        rows = [
+            np.asarray(
+                self.execute(selector_matrix[position], breakdowns[position],
+                             lane=lanes[position]),
+                dtype=np.uint8,
+            ).reshape(-1)
+            for position in range(selector_matrix.shape[0])
+        ]
+        return np.stack(rows)
+
     # -- timing hooks (cost-model backends override; functional-only ones don't) --
 
     def latency_eval_seconds(self, num_records: int) -> float:
@@ -163,6 +191,12 @@ class QueryEngine:
         self.stats = stats
         self._prg = prg
         self._dpf_cache: Dict[Tuple[int, int], DPF] = {}
+        #: Reusable ``(B, N)`` selector buffers for :meth:`selector_matrix`.
+        #: A tiny checkout pool rather than a bare attribute: ``list.pop`` /
+        #: ``list.append`` are atomic under the GIL, so concurrent flushes on
+        #: one engine (the asyncio frontend overlaps them) can never scribble
+        #: into the same buffer — a loser of the race just allocates fresh.
+        self._selector_pool: List[np.ndarray] = []
         self.database: Optional[Database] = None
         self.preload_report: Optional[PhaseTimer] = None
         backend.engine = self
@@ -208,15 +242,73 @@ class QueryEngine:
     def selector_bits(self, query: Query) -> np.ndarray:
         """Expand the query into the per-record selector-bit share."""
         if isinstance(query, NaiveQuery):
+            # Already the right dtype (NaiveShare normalises to uint8): no copy.
             return query.share.bits
-        key = (query.key.domain_bits, query.key.output_bits)
-        dpf = self._dpf_cache.get(key)
-        if dpf is None:
-            dpf = DPF(key[0], output_bits=key[1], prg=self._prg)
-            self._dpf_cache[key] = dpf
+        dpf = self._dpf((query.key.domain_bits, query.key.output_bits))
         eval_stats = getattr(self.stats, "eval", None)
         values = dpf.eval_full(query.key, num_points=query.num_records, stats=eval_stats)
-        return values.astype(np.uint8)
+        return values.astype(np.uint8, copy=False)
+
+    def _dpf(self, params: Tuple[int, int]) -> DPF:
+        """The cached DPF evaluator for ``(domain_bits, output_bits)``."""
+        dpf = self._dpf_cache.get(params)
+        if dpf is None:
+            dpf = DPF(params[0], output_bits=params[1], prg=self._prg)
+            self._dpf_cache[params] = dpf
+        return dpf
+
+    def selector_matrix(self, queries: Sequence[Query]) -> np.ndarray:
+        """Stack every query's selector share into one ``(B, N)`` uint8 matrix.
+
+        The batched half of the eval stage: DPF queries sharing key
+        parameters expand through one :meth:`~repro.dpf.dpf.DPF.eval_full_many`
+        sweep (the PRG sees ``B x 2^level`` seeds per level instead of
+        ``2^level`` seeds ``B`` times); naive shares are written straight in.
+        The matrix comes from a per-engine checkout pool so steady-state
+        flushes of one shape reuse one preallocated buffer; every row is
+        fully overwritten, so stale contents can never leak.  Hand the buffer
+        back with :meth:`_recycle_selector_matrix` once the batch is served.
+        """
+        num_records = self.database.num_records
+        buffer = self._take_selector_buffer((len(queries), num_records))
+        eval_stats = getattr(self.stats, "eval", None)
+        dpf_groups: Dict[Tuple[int, int], List[int]] = {}
+        for position, query in enumerate(queries):
+            if isinstance(query, NaiveQuery):
+                buffer[position] = query.share.bits
+            else:
+                params = (query.key.domain_bits, query.key.output_bits)
+                dpf_groups.setdefault(params, []).append(position)
+        for params, positions in dpf_groups.items():
+            dpf = self._dpf(params)
+            if len(positions) == 1:
+                query = queries[positions[0]]
+                buffer[positions[0]] = dpf.eval_full(
+                    query.key, num_points=num_records, stats=eval_stats
+                )
+                continue
+            values = dpf.eval_full_many(
+                [queries[position].key for position in positions],
+                num_points=num_records,
+                stats=eval_stats,
+            )
+            for row, position in enumerate(positions):
+                buffer[position] = values[row]
+        return buffer
+
+    def _take_selector_buffer(self, shape: Tuple[int, int]) -> np.ndarray:
+        try:
+            buffer = self._selector_pool.pop()
+        except IndexError:
+            buffer = None
+        if buffer is None or buffer.shape != shape:
+            buffer = np.empty(shape, dtype=np.uint8)
+        return buffer
+
+    def _recycle_selector_matrix(self, buffer: np.ndarray) -> None:
+        """Return a :meth:`selector_matrix` buffer to the checkout pool."""
+        if not self._selector_pool:
+            self._selector_pool.append(buffer)
 
     # -- single-query path (latency mode) -----------------------------------------
 
@@ -242,6 +334,11 @@ class QueryEngine:
         Queries run round-robin over the backend's lanes; the simulated
         makespan comes from the :class:`BatchScheduler` fed with each query's
         measured stage durations.
+
+        The whole flush goes through the batched fast path: one
+        :meth:`selector_matrix` eval sweep and one
+        :meth:`PIRBackend.execute_many` scan serve every query, bit-identical
+        to (and charged exactly like) answering them one at a time.
         """
         if not queries:
             raise ProtocolError("answer_batch needs at least one query")
@@ -251,17 +348,22 @@ class QueryEngine:
         scheduler = batch_scheduler_for(caps, len(queries))
         eval_seconds = self.backend.batch_eval_seconds(self.database.num_records)
 
+        lanes = [position % max(1, caps.lanes) for position in range(len(queries))]
+        breakdowns = [PhaseTimer() for _ in queries]
+        selectors = self.selector_matrix(queries)
+        if eval_seconds > 0:
+            for breakdown in breakdowns:
+                breakdown.record(PHASE_EVAL, eval_seconds)
+        payloads = self.backend.execute_many(selectors, breakdowns, lanes)
+        self._recycle_selector_matrix(selectors)
+
         results: List[IMPIRQueryResult] = []
         tasks: List[QueryTask] = []
         for position, query in enumerate(queries):
-            lane = position % max(1, caps.lanes)
-            breakdown = PhaseTimer()
-            selector = self.selector_bits(query)
-            if eval_seconds > 0:
-                breakdown.record(PHASE_EVAL, eval_seconds)
-            payload = self.backend.execute(selector, breakdown, lane=lane)
-            result = self._assemble(query, payload, breakdown, lane)
-            results.append(result)
+            breakdown = breakdowns[position]
+            results.append(
+                self._assemble(query, payloads[position], breakdown, lanes[position])
+            )
             tasks.append(
                 QueryTask(
                     query_id=query.query_id,
@@ -329,6 +431,18 @@ class ReferenceBackend(PIRBackend):
         self, selector_bits: np.ndarray, breakdown: PhaseTimer, lane: int = 0
     ) -> np.ndarray:
         return dpxor(self._database.records, selector_bits, stats=self._dpxor_stats)
+
+    def execute_many(
+        self,
+        selector_matrix: np.ndarray,
+        breakdowns: Sequence[PhaseTimer],
+        lanes: Sequence[int],
+    ) -> np.ndarray:
+        # One pass over the database serves the whole batch; the stats charge
+        # B full scans either way (batching never discounts simulated bytes).
+        return dpxor_many(
+            self._database.records, selector_matrix, stats=self._dpxor_stats
+        )
 
 
 # ---------------------------------------------------------------------------

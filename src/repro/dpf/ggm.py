@@ -15,7 +15,7 @@ convenience used in tests and analysis to reason about node counts and depths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -96,6 +96,77 @@ def expand_level(
         t_right = t_right.copy()
         t_left[mask] ^= np.uint8(correction.t_left)
         t_right[mask] ^= np.uint8(correction.t_right)
+
+    count = seeds.shape[0]
+    child_seeds = np.empty((2 * count, SEED_BYTES), dtype=np.uint8)
+    child_bits = np.empty(2 * count, dtype=np.uint8)
+    child_seeds[0::2] = left
+    child_seeds[1::2] = right
+    child_bits[0::2] = t_left
+    child_bits[1::2] = t_right
+    return child_seeds, child_bits
+
+
+def expand_level_many(
+    prg: LengthDoublingPRG,
+    seeds: np.ndarray,
+    control_bits: np.ndarray,
+    corrections: Sequence[CorrectionWord],
+    nodes_per_key: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand one GGM level for several keys' node fronts in one PRG sweep.
+
+    The fronts are stacked key-major: key ``i``'s ``nodes_per_key`` sibling-
+    ordered nodes occupy rows ``[i * nodes_per_key, (i+1) * nodes_per_key)``
+    of ``seeds``/``control_bits``, and ``corrections[i]`` is that key's
+    correction word for this level.  One :meth:`prg.expand` call covers every
+    node of every key (``B x 2^level`` seeds instead of ``2^level`` seeds
+    ``B`` times), with each key's correction broadcast over its rows.
+
+    Children come back key-major with the same sibling interleave as
+    :func:`expand_level`, so each key's slice of the output is bit-identical
+    to expanding that key alone.
+    """
+    seeds = np.ascontiguousarray(seeds, dtype=np.uint8)
+    control_bits = np.ascontiguousarray(control_bits, dtype=np.uint8)
+    num_keys = len(corrections)
+    if nodes_per_key <= 0:
+        raise ValueError("nodes_per_key must be positive")
+    if seeds.ndim != 2 or seeds.shape[1] != SEED_BYTES:
+        raise ValueError("seeds must have shape (m, 16)")
+    if seeds.shape[0] != num_keys * nodes_per_key:
+        raise ValueError(
+            f"seeds hold {seeds.shape[0]} nodes, expected "
+            f"{num_keys} keys x {nodes_per_key} nodes"
+        )
+    if control_bits.shape != (seeds.shape[0],):
+        raise ValueError("control_bits must have shape (m,)")
+
+    left, right, t_left, t_right = prg.expand(seeds)
+
+    if control_bits.any():
+        # The fronts are key-major and contiguous, so a reshape exposes the
+        # (key, node) structure and one broadcast XOR applies every key's
+        # correction at once: ``control_bits`` gates each node (0 or 1) and
+        # multiplying it into the per-key correction rows zeroes the rows of
+        # unset nodes.  No per-key Python loop, no masked gather/scatter —
+        # those dominate the level cost once fronts hold thousands of nodes.
+        cw_seeds = np.stack([word.seed_array() for word in corrections])
+        t_left_cw = np.fromiter(
+            (word.t_left for word in corrections), dtype=np.uint8, count=num_keys
+        )
+        t_right_cw = np.fromiter(
+            (word.t_right for word in corrections), dtype=np.uint8, count=num_keys
+        )
+        gate = control_bits.reshape(num_keys, nodes_per_key, 1)
+        seed_correction = gate * cw_seeds[:, None, :]
+        left.reshape(num_keys, nodes_per_key, SEED_BYTES)[...] ^= seed_correction
+        right.reshape(num_keys, nodes_per_key, SEED_BYTES)[...] ^= seed_correction
+        t_left = t_left.copy()
+        t_right = t_right.copy()
+        bit_gate = control_bits.reshape(num_keys, nodes_per_key)
+        t_left.reshape(num_keys, nodes_per_key)[...] ^= bit_gate * t_left_cw[:, None]
+        t_right.reshape(num_keys, nodes_per_key)[...] ^= bit_gate * t_right_cw[:, None]
 
     count = seeds.shape[0]
     child_seeds = np.empty((2 * count, SEED_BYTES), dtype=np.uint8)

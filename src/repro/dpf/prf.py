@@ -256,10 +256,12 @@ class NumpyPRG(LengthDoublingPRG):
         with np.errstate(over="ignore"):
             left_lanes = self._child(lanes, self._GAMMA_LEFT)
             right_lanes = self._child(lanes, self._GAMMA_RIGHT)
-        left = left_lanes.astype(np.uint64).view(np.uint8).reshape(-1, SEED_BYTES)
-        right = right_lanes.astype(np.uint64).view(np.uint8).reshape(-1, SEED_BYTES)
-        t_left = (left[:, 8] & 1).astype(np.uint8)
-        t_right = (right[:, 8] & 1).astype(np.uint8)
+        # _child returns fresh C-contiguous uint64 lanes, so a view suffices;
+        # astype here would silently copy 16 bytes per child seed.
+        left = left_lanes.view(np.uint8).reshape(-1, SEED_BYTES)
+        right = right_lanes.view(np.uint8).reshape(-1, SEED_BYTES)
+        t_left = (left[:, 8] & 1).astype(np.uint8, copy=False)
+        t_right = (right[:, 8] & 1).astype(np.uint8, copy=False)
         self.expand_calls += seeds.shape[0]
         return left, right, t_left, t_right
 

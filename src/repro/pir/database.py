@@ -115,8 +115,7 @@ class Database:
         return self.num_records
 
     def __iter__(self) -> Iterator[bytes]:
-        for i in range(self.num_records):
-            yield self.record(i)
+        return (row.tobytes() for row in self._records)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):

@@ -46,6 +46,30 @@ class DpXorStats:
         return self.db_bytes_read + self.selector_bytes_read + self.output_bytes_written
 
 
+#: Word width of the fast XOR path: eight uint8 lanes folded per operation.
+WORD_BYTES = 8
+
+#: Target per-chunk database footprint of the batched one-pass scan.  Sized
+#: to sit comfortably inside a per-core cache so the ``B`` accumulator passes
+#: over a chunk re-read hot lines instead of streaming the database ``B``
+#: times from DRAM.
+BATCH_CHUNK_BYTES = 1 << 18
+
+
+def word_view(array: np.ndarray) -> Optional[np.ndarray]:
+    """View ``array``'s last axis as uint64 words, or ``None`` when it can't.
+
+    The fast path needs the byte count along the last axis to be a multiple
+    of the word width and the buffer to be C-contiguous; odd record sizes and
+    strided views take the uint8 fallback instead.
+    """
+    if array.shape[-1] % WORD_BYTES or array.shape[-1] == 0:
+        return None
+    if not array.flags["C_CONTIGUOUS"]:
+        return None
+    return array.view(np.uint64)
+
+
 def _validate(database: np.ndarray, selector: np.ndarray) -> tuple:
     database = np.asarray(database, dtype=np.uint8)
     selector = np.asarray(selector, dtype=np.uint8)
@@ -56,6 +80,19 @@ def _validate(database: np.ndarray, selector: np.ndarray) -> tuple:
             f"selector length {selector.shape} does not match database rows {database.shape[0]}"
         )
     return database, selector
+
+
+def _validate_many(database: np.ndarray, selectors: np.ndarray) -> tuple:
+    database = np.asarray(database, dtype=np.uint8)
+    selectors = np.asarray(selectors, dtype=np.uint8)
+    if database.ndim != 2:
+        raise DatabaseError("database chunk must be 2-D (records x bytes)")
+    if selectors.ndim != 2 or selectors.shape[1] != database.shape[0]:
+        raise DatabaseError(
+            f"selector matrix {selectors.shape} does not match database rows "
+            f"{database.shape[0]} (expected (batch, records))"
+        )
+    return database, selectors
 
 
 def dpxor(
@@ -142,6 +179,126 @@ def dpxor_two_stage(
     return xor_fold(partials)
 
 
+def dpxor_many(
+    database: np.ndarray,
+    selectors: np.ndarray,
+    stats: Optional[DpXorStats] = None,
+    chunk_records: Optional[int] = None,
+) -> np.ndarray:
+    """Batched dpXOR: serve a whole batch of selectors in one database pass.
+
+    ``database`` is ``(N, record_size)`` uint8 and ``selectors`` is
+    ``(B, N)`` of 0/1 values — one selector share per row.  Returns the
+    ``(B, record_size)`` matrix of XOR accumulators, bit-identical to calling
+    :func:`dpxor` on each row.
+
+    The scan walks the database once in cache-sized record chunks
+    (``chunk_records`` rows at a time, defaulting to ~``BATCH_CHUNK_BYTES``
+    worth) and folds every batch row's selected records into its accumulator
+    while the chunk is hot, via uint64-word views when the record size is a
+    multiple of :data:`WORD_BYTES` (uint8 fallback otherwise).  Batching is a
+    wall-clock optimisation only: ``stats`` is charged exactly what ``B``
+    sequential full scans charge (the all-for-one principle holds per query).
+    """
+    database, selectors = _validate_many(database, selectors)
+    num_records, record_size = database.shape
+    batch = selectors.shape[0]
+    out = np.zeros((batch, record_size), dtype=np.uint8)
+    selected = selectors.astype(bool)
+    if num_records and batch and record_size:
+        if chunk_records is None:
+            chunk_records = max(1, BATCH_CHUNK_BYTES // record_size)
+        elif chunk_records <= 0:
+            raise DatabaseError("chunk_records must be positive")
+        db_words = word_view(database)
+        scan_db = db_words if db_words is not None else database
+        accumulators = out.view(np.uint64) if db_words is not None else out
+        for start in range(0, num_records, chunk_records):
+            block = scan_db[start : start + chunk_records]
+            block_masks = selected[:, start : start + chunk_records]
+            for row in range(batch):
+                mask = block_masks[row]
+                if mask.any():
+                    accumulators[row] ^= np.bitwise_xor.reduce(block[mask], axis=0)
+    if stats is not None:
+        stats.merge(
+            DpXorStats(
+                records_scanned=batch * num_records,
+                records_selected=int(selected.sum()),
+                db_bytes_read=batch * num_records * record_size,
+                selector_bytes_read=batch * num_records,
+                output_bytes_written=batch * record_size,
+            )
+        )
+    return out
+
+
+def dpxor_many_chunked(
+    database: np.ndarray,
+    selectors: np.ndarray,
+    num_chunks: int,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """Batched :func:`dpxor_chunked`: per-chunk batched scans, folded.
+
+    Splits the records exactly like :func:`dpxor_chunked` (so the PIM/CPU/GPU
+    cost models charge the same simulated bytes per chunk) and serves the
+    whole batch within each chunk via :func:`dpxor_many`.
+    """
+    database, selectors = _validate_many(database, selectors)
+    if num_chunks <= 0:
+        raise DatabaseError("num_chunks must be positive")
+    result = np.zeros((selectors.shape[0], database.shape[1]), dtype=np.uint8)
+    bounds = np.linspace(0, database.shape[0], num_chunks + 1, dtype=np.int64)
+    for chunk_index in range(num_chunks):
+        start, stop = int(bounds[chunk_index]), int(bounds[chunk_index + 1])
+        _xor_into(
+            result,
+            dpxor_many(database[start:stop], selectors[:, start:stop], stats=stats),
+        )
+    return result
+
+
+def dpxor_many_two_stage(
+    database: np.ndarray,
+    selectors: np.ndarray,
+    num_workers: int,
+    stats: Optional[DpXorStats] = None,
+) -> np.ndarray:
+    """Batched :func:`dpxor_two_stage`: per-tasklet batched partials, folded.
+
+    Stage 1 splits the records across ``num_workers`` exactly like the
+    sequential kernel; each worker serves the whole batch over its slice in
+    one pass, and stage 2 XOR-folds the ``(B, record_size)`` partials.
+    """
+    database, selectors = _validate_many(database, selectors)
+    if num_workers <= 0:
+        raise DatabaseError("num_workers must be positive")
+    result = np.zeros((selectors.shape[0], database.shape[1]), dtype=np.uint8)
+    num_records = database.shape[0]
+    per_worker = -(-num_records // num_workers) if num_records else 0
+    for worker in range(num_workers):
+        start = min(worker * per_worker, num_records)
+        stop = min(start + per_worker, num_records)
+        if start == stop:
+            continue
+        _xor_into(
+            result,
+            dpxor_many(database[start:stop], selectors[:, start:stop], stats=stats),
+        )
+    return result
+
+
+def _xor_into(accumulator: np.ndarray, partial: np.ndarray) -> None:
+    """XOR ``partial`` into ``accumulator`` in place, word-wide when possible."""
+    acc_words = word_view(accumulator)
+    part_words = word_view(partial)
+    if acc_words is not None and part_words is not None:
+        acc_words ^= part_words
+    else:
+        accumulator ^= partial
+
+
 def xor_fold(partials: Sequence[np.ndarray]) -> np.ndarray:
     """XOR-fold a sequence of equal-length byte vectors into one."""
     if len(partials) == 0:
@@ -152,8 +309,13 @@ def xor_fold(partials: Sequence[np.ndarray]) -> np.ndarray:
         if array.ndim != 1 or array.shape[0] != length:
             raise DatabaseError(f"partial result {i} has mismatched shape {array.shape}")
     result = np.zeros(length, dtype=np.uint8)
+    result_words = word_view(result)
     for array in arrays:
-        result ^= array
+        array_words = word_view(array)
+        if result_words is not None and array_words is not None:
+            result_words ^= array_words
+        else:
+            result ^= array
     return result
 
 
@@ -161,6 +323,12 @@ def xor_bytes(left: bytes, right: bytes) -> bytes:
     """XOR two equal-length byte strings (client-side reconstruction step)."""
     if len(left) != len(right):
         raise DatabaseError("cannot XOR byte strings of different lengths")
+    if len(left) % WORD_BYTES == 0 and len(left):
+        # XOR is bytewise, so folding eight lanes per uint64 operation leaves
+        # the output bytes identical regardless of host endianness.
+        left_words = np.frombuffer(left, dtype=np.uint64)
+        right_words = np.frombuffer(right, dtype=np.uint64)
+        return (left_words ^ right_words).tobytes()
     left_arr = np.frombuffer(left, dtype=np.uint8)
     right_arr = np.frombuffer(right, dtype=np.uint8)
     return (left_arr ^ right_arr).tobytes()

@@ -394,6 +394,62 @@ class ShardedBackend(PIRBackend):
         breakdown.merge(combined)
         return accumulator
 
+    def execute_many(
+        self,
+        selector_matrix: np.ndarray,
+        breakdowns: Sequence[PhaseTimer],
+        lanes: Sequence[int],
+    ) -> np.ndarray:
+        """Batched sharded scan: split the matrix per shard once, fan out once.
+
+        The selector matrix is split into per-shard column views **once per
+        batch** (not once per query) and each child serves the whole batch
+        over its slice through its own ``execute_many`` — one pass over every
+        shard serves every query.  Per-shard batched scans run through the
+        same serial/threads executor as :meth:`execute`, and each query's
+        breakdown folds its per-shard child timers with per-phase max exactly
+        like the sequential path, so simulated time is identical.
+        """
+        snapshot = self._topology
+        if self._database is None or snapshot is None:
+            raise ProtocolError("sharded backend has no prepared database")
+        selector_matrix = np.asarray(selector_matrix, dtype=np.uint8)
+        batch = selector_matrix.shape[0]
+
+        def scan_shard_batch(job) -> Tuple[np.ndarray, List[PhaseTimer]]:
+            (shard, child, child_lanes), selector_block = job
+            child_timers = [PhaseTimer() for _ in range(batch)]
+            child_query_lanes = [min(lane, child_lanes - 1) for lane in lanes]
+            subs = child.execute_many(selector_block, child_timers, child_query_lanes)
+            return (
+                np.asarray(subs, dtype=np.uint8).reshape(batch, -1),
+                child_timers,
+            )
+
+        # One read of the topology snapshot, same as execute: the whole batch
+        # runs against one consistent plan/member pairing even if a live
+        # migration or reshape lands mid-flight.
+        jobs = list(
+            zip(
+                snapshot.members,
+                snapshot.plan.split_selector_many(selector_matrix),
+            )
+        )
+        if self._pool is not None and len(jobs) > 1:
+            scans = list(self._pool.map(scan_shard_batch, jobs))
+        else:
+            scans = [scan_shard_batch(job) for job in jobs]
+
+        accumulators = np.zeros((batch, self._database.record_size), dtype=np.uint8)
+        combined = [PhaseTimer() for _ in range(batch)]
+        for subs, child_timers in scans:
+            accumulators ^= subs
+            for query_combined, child_timer in zip(combined, child_timers):
+                query_combined.merge_parallel(child_timer)
+        for breakdown, query_combined in zip(breakdowns, combined):
+            breakdown.merge(query_combined)
+        return accumulators
+
     # -- views for facades/tests ----------------------------------------------------
 
     @property

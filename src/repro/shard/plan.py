@@ -209,6 +209,25 @@ class ShardPlan:
             selector_bits[shard.start : shard.stop] for shard in self.non_empty_shards
         ]
 
+    def split_selector_many(self, selector_matrix: np.ndarray) -> List[np.ndarray]:
+        """Per-shard column blocks of a ``(B, num_records)`` selector matrix.
+
+        The batched counterpart of :meth:`split_selector`: the matrix is
+        split **once per batch** into zero-copy column views (one per
+        non-empty shard, in :attr:`non_empty_shards` order), not once per
+        query.
+        """
+        selector_matrix = np.asarray(selector_matrix)
+        if selector_matrix.ndim != 2 or selector_matrix.shape[1] != self.num_records:
+            raise ConfigurationError(
+                f"selector matrix {selector_matrix.shape} does not match plan "
+                f"({self.num_records} records; expected (batch, records))"
+            )
+        return [
+            selector_matrix[:, shard.start : shard.stop]
+            for shard in self.non_empty_shards
+        ]
+
     def check_shape(self, num_records: int) -> None:
         if num_records != self.num_records:
             raise ConfigurationError(

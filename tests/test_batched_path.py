@@ -1,0 +1,249 @@
+"""Batched execute_many path: bit-equivalence with the sequential path.
+
+The batched scan is a wall-clock optimisation only.  These tests pin the two
+invariants that make it safe to enable everywhere:
+
+* **payload equivalence** — ``answer_many`` returns exactly the bytes the
+  ``answer`` loop returns, on every registered backend and on adversarial
+  shapes (single record, more shards than records, non-power-of-two domains,
+  1-byte records, batches of one, all-zero selector shares);
+* **simulated-cost equivalence** — every phase except ``eval`` charges the
+  same seconds (``eval`` differs by design: the batch path prices the
+  backend's batch cost model, the per-query path its latency model), and a
+  backend's ``execute_many`` override matches the generic per-row fallback
+  both in bytes and in per-query phase charges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.events import PhaseTimer
+from repro.core.engine import PIRBackend, available_backends, create_server
+from repro.dpf.dpf import DPF, EvalStats
+from repro.dpf.prf import make_prg
+from repro.pir.client import PIRClient
+from repro.pir.database import Database
+from repro.dpf.naive import NaiveShare
+from repro.pir.messages import NaiveQuery
+from repro.pir.server import PIRServer
+
+
+def _batch(num_records, record_size, batch, *, seed=7, stride=13):
+    database = Database.random(num_records, record_size, seed=seed)
+    client = PIRClient(num_records, record_size, seed=seed + 1, prg=make_prg("numpy"))
+    queries = [client.query((i * stride) % num_records)[0] for i in range(batch)]
+    return database, queries
+
+
+def _non_eval(timer):
+    return {k: v for k, v in timer.durations.items() if k != "eval"}
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+class TestEveryBackend:
+    def _engine(self, backend, database):
+        kwargs = {"segment_records": 128} if backend == "im-pir-streamed" else {}
+        return create_server(backend, database, server_id=0, **kwargs).engine
+
+    def test_payloads_and_phases_match_sequential(self, backend):
+        database, queries = _batch(256, 32, 5)
+        engine = self._engine(backend, database)
+        sequential = [engine.answer(query) for query in queries]
+        batched = engine.answer_many(queries)
+        for seq, bat in zip(sequential, batched.results):
+            assert seq.answer.payload == bat.answer.payload
+            assert _non_eval(seq.breakdown) == _non_eval(bat.breakdown)
+
+    def test_execute_many_override_matches_generic_fallback(self, backend):
+        database, queries = _batch(256, 32, 5)
+        engine = self._engine(backend, database)
+        selectors = engine.selector_matrix(queries)
+        lanes = [0] * len(queries)
+        override_timers = [PhaseTimer() for _ in queries]
+        fallback_timers = [PhaseTimer() for _ in queries]
+        got = engine.backend.execute_many(selectors, override_timers, lanes)
+        want = PIRBackend.execute_many(
+            engine.backend, selectors, fallback_timers, lanes
+        )
+        assert np.array_equal(got, want)
+        for a, b in zip(override_timers, fallback_timers):
+            assert a.durations == b.durations
+
+    def test_batch_of_one(self, backend):
+        database, queries = _batch(64, 32, 1)
+        engine = self._engine(backend, database)
+        expected = engine.answer(queries[0]).answer.payload
+        batched = engine.answer_many(queries)
+        assert [r.answer.payload for r in batched.results] == [expected]
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize(
+        "num_records,record_size",
+        [(1, 32), (2, 32), (1, 1), (100, 1), (37, 24), (200, 32)],
+    )
+    def test_reference_odd_shapes(self, num_records, record_size):
+        # Non-power-of-two domains, single-record databases, 1-byte records.
+        database, queries = _batch(num_records, record_size, 4)
+        engine = create_server("reference", database, server_id=0).engine
+        sequential = [engine.answer(query).answer.payload for query in queries]
+        batched = engine.answer_many(queries)
+        assert [r.answer.payload for r in batched.results] == sequential
+
+    def test_more_shards_than_records(self):
+        database, queries = _batch(2, 32, 3)
+        engine = create_server(
+            "sharded", database, server_id=0, num_shards=4
+        ).engine
+        sequential = [engine.answer(query).answer.payload for query in queries]
+        batched = engine.answer_many(queries)
+        assert [r.answer.payload for r in batched.results] == sequential
+
+    def test_sharded_threads_executor(self):
+        database, queries = _batch(128, 32, 6)
+        engine = create_server(
+            "sharded", database, server_id=0, num_shards=4, executor="threads"
+        ).engine
+        sequential = [engine.answer(query).answer.payload for query in queries]
+        batched = engine.answer_many(queries)
+        assert [r.answer.payload for r in batched.results] == sequential
+
+    def test_all_zero_naive_share(self):
+        # An all-zero selector share is a legal additive share; the batched
+        # accumulator row must stay zero, not inherit a neighbour's XOR.
+        database = Database.random(32, 16, seed=3)
+        engine = create_server("reference", database, server_id=0).engine
+        zero = NaiveQuery(
+            query_id=0,
+            server_id=0,
+            share=NaiveShare(server_id=0, bits=np.zeros(32, dtype=np.uint8)),
+            num_records=32,
+        )
+        one_hot = np.zeros(32, dtype=np.uint8)
+        one_hot[5] = 1
+        hot = NaiveQuery(
+            query_id=1,
+            server_id=0,
+            share=NaiveShare(server_id=0, bits=one_hot),
+            num_records=32,
+        )
+        batched = engine.answer_many([zero, hot, zero])
+        payloads = [r.answer.payload for r in batched.results]
+        assert payloads[0] == bytes(16)
+        assert payloads[2] == bytes(16)
+        assert payloads[1] == database.record(5)
+
+    def test_mixed_naive_and_dpf_batch(self):
+        database = Database.random(64, 32, seed=4)
+        client = PIRClient(64, 32, seed=5, prg=make_prg("numpy"))
+        engine = create_server("reference", database, server_id=0).engine
+        one_hot = np.zeros(64, dtype=np.uint8)
+        one_hot[9] = 1
+        naive = NaiveQuery(
+            query_id=2,
+            server_id=0,
+            share=NaiveShare(server_id=0, bits=one_hot),
+            num_records=64,
+        )
+        dpf_query = client.query(17)[0]
+        sequential = [
+            engine.answer(q).answer.payload for q in (naive, dpf_query)
+        ]
+        batched = engine.answer_many([naive, dpf_query])
+        assert [r.answer.payload for r in batched.results] == sequential
+
+
+class TestStatsRegression:
+    def test_dpxor_stats_identical_bytes(self):
+        # Batching must not discount the all-for-one scan: the server's dpXOR
+        # counters after a batch equal those after the same queries one at a
+        # time, byte for byte.
+        database, queries = _batch(128, 32, 5)
+        sequential = PIRServer(database, server_id=0)
+        for query in queries:
+            sequential.answer(query)
+        batched = PIRServer(database, server_id=0)
+        batched.engine.answer_many(queries)
+        assert batched.stats.dpxor == sequential.stats.dpxor
+        assert batched.stats.queries_answered == sequential.stats.queries_answered
+
+    def test_eval_stats_identical(self):
+        database, queries = _batch(128, 32, 5)
+        sequential = PIRServer(database, server_id=0)
+        for query in queries:
+            sequential.answer(query)
+        batched = PIRServer(database, server_id=0)
+        batched.engine.answer_many(queries)
+        assert batched.stats.eval == sequential.stats.eval
+
+
+class TestEvalFullMany:
+    @pytest.mark.parametrize("prg_backend", ["numpy", "aes"])
+    def test_matches_eval_full_per_key(self, prg_backend):
+        prg = make_prg(prg_backend)
+        dpf = DPF(domain_bits=6, prg=prg)
+        keys = [dpf.gen(alpha)[0] for alpha in (0, 7, 63)]
+        keys += [dpf.gen(12)[1]]
+        expected = np.stack([dpf.eval_full(key) for key in keys])
+        got = dpf.eval_full_many(keys)
+        assert np.array_equal(got, expected)
+
+    def test_num_points_truncation(self):
+        dpf = DPF(domain_bits=5, prg=make_prg("numpy"))
+        keys = [dpf.gen(3)[0], dpf.gen(19)[1]]
+        expected = np.stack(
+            [dpf.eval_full(key, num_points=21) for key in keys]
+        )
+        got = dpf.eval_full_many(keys, num_points=21)
+        assert np.array_equal(got, expected)
+        assert got.shape == (2, 21)
+
+    def test_stats_match_sequential(self):
+        prg_seq = make_prg("numpy")
+        dpf_seq = DPF(domain_bits=6, prg=prg_seq)
+        keys_seq = [dpf_seq.gen(alpha)[0] for alpha in (1, 2, 3)]
+        seq_stats = EvalStats()
+        for key in keys_seq:
+            dpf_seq.eval_full(key, stats=seq_stats)
+
+        prg_bat = make_prg("numpy")
+        dpf_bat = DPF(domain_bits=6, prg=prg_bat)
+        keys_bat = [dpf_bat.gen(alpha)[0] for alpha in (1, 2, 3)]
+        bat_stats = EvalStats()
+        dpf_bat.eval_full_many(keys_bat, stats=bat_stats)
+
+        assert bat_stats == seq_stats
+
+    def test_single_key_batch(self):
+        dpf = DPF(domain_bits=4, prg=make_prg("numpy"))
+        key = dpf.gen(11)[0]
+        assert np.array_equal(
+            dpf.eval_full_many([key]), dpf.eval_full(key)[None, :]
+        )
+
+    def test_empty_batch_rejected(self):
+        dpf = DPF(domain_bits=4, prg=make_prg("numpy"))
+        with pytest.raises(Exception):
+            dpf.eval_full_many([])
+
+
+class TestSelectorBufferReuse:
+    def test_recycled_buffer_does_not_corrupt_results(self):
+        database, queries = _batch(128, 32, 4)
+        engine = create_server("reference", database, server_id=0).engine
+        first = [r.answer.payload for r in engine.answer_many(queries).results]
+        # Same engine, new flush: the pooled buffer is reused and must be
+        # fully overwritten for the new batch.
+        other = _batch(128, 32, 4, seed=7, stride=29)[1]
+        engine.answer_many(other)
+        again = [r.answer.payload for r in engine.answer_many(queries).results]
+        assert again == first
+
+    def test_shape_change_reallocates(self):
+        database, queries = _batch(128, 32, 4)
+        engine = create_server("reference", database, server_id=0).engine
+        engine.answer_many(queries)
+        smaller = queries[:2]
+        expected = [engine.answer(q).answer.payload for q in smaller]
+        got = [r.answer.payload for r in engine.answer_many(smaller).results]
+        assert got == expected

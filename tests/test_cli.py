@@ -85,3 +85,32 @@ class TestMain:
     def test_resplit_and_rebalance_are_exclusive(self, capsys):
         assert main(["smoke", "--resplit", "--rebalance"]) == 2
         assert "one of" in capsys.readouterr().err
+
+    def test_batched_smoke(self, capsys):
+        assert main(["smoke", "--batched"]) == 0
+        out = capsys.readouterr().out
+        assert "Batched smoke" in out
+        assert "bit-identically" in out
+        assert "reference" in out and "sharded" in out
+
+    def test_batched_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--batched"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_batched_and_async_are_exclusive(self, capsys):
+        assert main(["smoke", "--batched", "--async"]) == 2
+        assert "one of" in capsys.readouterr().err
+
+    def test_bench_quick(self, capsys):
+        assert main(["bench", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Batched scan benchmark (quick mode)" in out
+        assert "speedup" in out
+
+    def test_quick_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--quick"]) == 2
+        assert "bench" in capsys.readouterr().err
+
+    def test_bench_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "bench" in capsys.readouterr().out

@@ -104,6 +104,20 @@ class TestFoldPartials:
         with pytest.raises(ConfigurationError):
             fold_partials([np.zeros(4, dtype=np.uint8)], 3)
 
+    @pytest.mark.parametrize("record_size", [1, 3, 7, 8, 16, 24])
+    def test_fold_word_and_byte_paths_agree(self, record_size):
+        # Word-aligned sizes take the uint64 fast path, odd sizes the uint8
+        # fallback; both must equal the plain per-byte XOR.
+        rng = np.random.default_rng(13)
+        parts = [
+            rng.integers(0, 256, size=record_size, dtype=np.uint8)
+            for _ in range(4)
+        ]
+        expected = np.zeros(record_size, dtype=np.uint8)
+        for part in parts:
+            expected ^= part
+        assert np.array_equal(fold_partials(parts, record_size), expected)
+
 
 class TestPartitioningProperties:
     @settings(max_examples=30, deadline=None)

@@ -1,0 +1,142 @@
+"""The PR 6 perf tooling: bench harness, JSON diff tool, vectorised-scan lint."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import render_bench, run_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        f"tools_{name}", REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunBench:
+    def test_quick_mode_structure_and_assertion(self, tmp_path):
+        out = tmp_path / "bench.json"
+        metrics = run_bench(quick=True, output_path=str(out))
+        assert metrics["mode"] == "quick"
+        wall = metrics["wall_clock"]
+        # Quick mode only returns if its internal batched >= sequential
+        # assertion held.
+        assert wall["batched_vs_sequential_speedup"] >= 1.0
+        assert wall["records_per_second"] > 0
+        simulated = metrics["simulated_impir"]
+        assert 0 < simulated["p50_latency_seconds"] <= simulated["p99_latency_seconds"]
+        written = json.loads(out.read_text())
+        assert written["shape"]["backend"] == "reference"
+        assert written["wall_clock"]["batched_seconds"] > 0
+
+    def test_render_mentions_speedup_and_percentiles(self):
+        metrics = run_bench(quick=True, output_path=None)
+        text = render_bench(metrics)
+        assert "speedup" in text
+        assert "p50" in text and "p99" in text
+        assert "records/s" in text
+
+    def test_simulated_percentiles_are_deterministic(self):
+        first = run_bench(quick=True, output_path=None)["simulated_impir"]
+        second = run_bench(quick=True, output_path=None)["simulated_impir"]
+        assert first == second
+
+
+class TestBenchCompare:
+    def test_flatten_and_compare(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        old = {"a": {"x": 2.0, "y": 4}, "label": "text", "ok": True}
+        new = {"a": {"x": 3.0, "y": 4}, "extra": 1}
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+
+        flat = compare.flatten_numeric(old)
+        assert flat == {"a.x": 2.0, "a.y": 4.0}  # strings/bools are not metrics
+
+        assert compare.main([str(old_path), str(new_path)]) == 0
+        text = capsys.readouterr().out
+        assert "+50.0%" in text
+        assert "added" in text
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        assert compare.main([str(tmp_path / "nope.json"), str(tmp_path / "x")]) == 2
+
+
+class TestVectorizedScanLint:
+    def _check(self, tmp_path, relative, source):
+        lint = _load_tool("lint")
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return lint.check_file(path)
+
+    @pytest.mark.parametrize("package", ["pir", "core"])
+    def test_per_record_loop_flagged(self, tmp_path, package):
+        findings = self._check(
+            tmp_path,
+            f"src/repro/{package}/scan.py",
+            "def scan(num_records):\n"
+            "    total = 0\n"
+            "    for i in range(num_records):\n"
+            "        total += i\n"
+            "    return total\n",
+        )
+        assert any("per-record Python loop" in message for _, message in findings)
+
+    def test_attribute_bound_flagged(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/pir/scan.py",
+            "def scan(db):\n"
+            "    for i in range(db.num_records):\n"
+            "        pass\n",
+        )
+        assert any("per-record Python loop" in message for _, message in findings)
+
+    def test_chunked_range_is_legal(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/pir/scan.py",
+            "def scan(num_records, chunk):\n"
+            "    for start in range(0, num_records, chunk):\n"
+            "        pass\n",
+        )
+        assert not findings
+
+    def test_other_packages_unaffected(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/bench/scan.py",
+            "def scan(num_records):\n"
+            "    for i in range(num_records):\n"
+            "        pass\n",
+        )
+        assert not findings
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/core/scan.py",
+            "def scan(num_records):\n"
+            "    for i in range(num_records):  # noqa\n"
+            "        pass\n",
+        )
+        assert not findings
+
+    def test_repo_source_is_clean(self):
+        lint = _load_tool("lint")
+        total = []
+        for path in lint.iter_python_files([str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]):
+            total.extend(lint.check_file(path))
+        assert total == []

@@ -9,8 +9,12 @@ from repro.pir.xor_ops import (
     DpXorStats,
     dpxor,
     dpxor_chunked,
+    dpxor_many,
+    dpxor_many_chunked,
+    dpxor_many_two_stage,
     dpxor_two_stage,
     inner_product_mod,
+    word_view,
     xor_bytes,
     xor_fold,
 )
@@ -171,3 +175,123 @@ class TestDpxorProperties:
         v2 = rng.integers(0, 2, size=num_records, dtype=np.uint8)
         combined = dpxor(database, v1 ^ v2)
         assert np.array_equal(combined, dpxor(database, v1) ^ dpxor(database, v2))
+
+
+class TestDpxorMany:
+    def _random_case(self, num_records, record_size, batch, seed):
+        rng = np.random.default_rng(seed)
+        database = rng.integers(0, 256, size=(num_records, record_size), dtype=np.uint8)
+        selectors = rng.integers(0, 2, size=(batch, num_records), dtype=np.uint8)
+        return database, selectors
+
+    @pytest.mark.parametrize("record_size", [1, 3, 7, 8, 24, 32, 40])
+    def test_matches_sequential_dpxor(self, record_size):
+        database, selectors = self._random_case(100, record_size, 9, seed=21)
+        expected = np.stack([dpxor(database, row) for row in selectors])
+        assert np.array_equal(dpxor_many(database, selectors), expected)
+
+    def test_single_query_batch(self):
+        database, selectors = self._random_case(50, 16, 1, seed=22)
+        assert np.array_equal(
+            dpxor_many(database, selectors), dpxor(database, selectors[0])[None, :]
+        )
+
+    def test_all_zero_selector_row(self):
+        database, selectors = self._random_case(60, 8, 4, seed=23)
+        selectors[2] = 0
+        result = dpxor_many(database, selectors)
+        assert np.array_equal(result[2], np.zeros(8, dtype=np.uint8))
+        assert np.array_equal(result[0], dpxor(database, selectors[0]))
+
+    def test_chunk_boundary_forced(self):
+        # A chunk smaller than the record count forces the multi-chunk walk.
+        database, selectors = self._random_case(97, 8, 5, seed=24)
+        expected = np.stack([dpxor(database, row) for row in selectors])
+        assert np.array_equal(
+            dpxor_many(database, selectors, chunk_records=16), expected
+        )
+
+    def test_stats_identical_to_sequential(self):
+        database, selectors = self._random_case(80, 32, 6, seed=25)
+        sequential = DpXorStats()
+        for row in selectors:
+            dpxor(database, row, stats=sequential)
+        batched = DpXorStats()
+        dpxor_many(database, selectors, stats=batched)
+        assert batched == sequential
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatabaseError):
+            dpxor_many(np.zeros((4, 2), dtype=np.uint8), np.zeros((3,), dtype=np.uint8))
+        with pytest.raises(DatabaseError):
+            dpxor_many(np.zeros((4, 2), dtype=np.uint8), np.zeros((2, 5), dtype=np.uint8))
+
+    @pytest.mark.parametrize("num_chunks", [1, 3, 7])
+    def test_chunked_variant(self, num_chunks):
+        # Bit-identical to the one-pass kernel; stats identical to running the
+        # *sequential chunked* kernel once per batch row (each chunk charges
+        # its own partial output, exactly as on real per-DPU hardware).
+        database, selectors = self._random_case(90, 24, 5, seed=26)
+        expected = dpxor_many(database, selectors)
+        stats = DpXorStats()
+        got = dpxor_many_chunked(database, selectors, num_chunks, stats=stats)
+        assert np.array_equal(got, expected)
+        baseline = DpXorStats()
+        for row in selectors:
+            dpxor_chunked(database, row, num_chunks, stats=baseline)
+        assert stats == baseline
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 5, 16])
+    def test_two_stage_variant(self, num_workers):
+        database, selectors = self._random_case(90, 24, 5, seed=27)
+        expected = dpxor_many(database, selectors)
+        stats = DpXorStats()
+        got = dpxor_many_two_stage(database, selectors, num_workers, stats=stats)
+        assert np.array_equal(got, expected)
+        baseline = DpXorStats()
+        for row in selectors:
+            dpxor_two_stage(database, row, num_workers, stats=baseline)
+        assert stats == baseline
+
+    @given(
+        num_records=st.integers(min_value=1, max_value=80),
+        record_size=st.integers(min_value=1, max_value=17),
+        batch=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_sequential(self, num_records, record_size, batch, seed):
+        database, selectors = self._random_case(num_records, record_size, batch, seed)
+        expected = np.stack([dpxor(database, row) for row in selectors])
+        assert np.array_equal(dpxor_many(database, selectors), expected)
+
+
+class TestWordFastPaths:
+    @pytest.mark.parametrize("size", [1, 3, 7, 8, 15, 16, 24, 32])
+    def test_xor_bytes_all_sizes(self, size):
+        rng = np.random.default_rng(31)
+        left = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        right = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        expected = bytes(a ^ b for a, b in zip(left, right))
+        assert xor_bytes(left, right) == expected
+
+    @pytest.mark.parametrize("size", [1, 5, 8, 24])
+    def test_xor_fold_all_sizes(self, size):
+        rng = np.random.default_rng(32)
+        arrays = [
+            rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(5)
+        ]
+        expected = np.zeros(size, dtype=np.uint8)
+        for array in arrays:
+            expected ^= array
+        assert np.array_equal(xor_fold(arrays), expected)
+
+    def test_word_view_word_aligned(self):
+        aligned = np.zeros((4, 16), dtype=np.uint8)
+        view = word_view(aligned)
+        assert view is not None and view.dtype == np.uint64
+
+    def test_word_view_odd_and_noncontiguous(self):
+        assert word_view(np.zeros((4, 7), dtype=np.uint8)) is None
+        strided = np.zeros((4, 32), dtype=np.uint8)[:, ::2]
+        assert word_view(strided) is None

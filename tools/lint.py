@@ -18,7 +18,11 @@ AST pass instead.  It flags:
   import ...`` and the ``datetime`` module — the control plane *and* the
   shard layer it mutates (topology swaps, live migrations) run on the
   simulated clock only (``now`` comes from the caller), which is what keeps
-  rebalancing and reshape decisions deterministic and unit-testable.
+  rebalancing and reshape decisions deterministic and unit-testable;
+* per-record Python loops (single-argument ``for ... in range(num_records)``)
+  under ``src/repro/pir/`` and ``src/repro/core/`` — data-plane scans must go
+  through the vectorised kernels; chunked ``range(start, stop, step)`` walks
+  remain legal.
 
 Usage::
 
@@ -99,6 +103,43 @@ def _is_simulated_clock_only(path: Path) -> bool:
     )
 
 
+#: Packages whose data-plane scans must stay vectorised: a per-record Python
+#: loop over the whole database re-introduces the O(N) interpreter cost the
+#: batched numpy kernels (``dpxor_many`` and friends) exist to remove.
+VECTORIZED_SCAN_PACKAGES = ("pir", "core")
+
+
+def _is_vectorized_scan_only(path: Path) -> bool:
+    parts = path.parts
+    return any(
+        parts[i] == "repro" and parts[i + 1] in VECTORIZED_SCAN_PACKAGES
+        for i in range(len(parts) - 1)
+    )
+
+
+def _is_per_record_loop(node: ast.AST) -> bool:
+    """True for ``for ... in range(num_records)`` (single-argument form only).
+
+    Chunk walks like ``range(0, num_records, chunk)`` stay legal — they
+    iterate once per cache-sized block, not once per record.
+    """
+    if not isinstance(node, ast.For):
+        return False
+    call = node.iter
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "range"
+        and len(call.args) == 1
+        and not call.keywords
+    ):
+        return False
+    bound = call.args[0]
+    if isinstance(bound, ast.Name):
+        return bound.id == "num_records"
+    return isinstance(bound, ast.Attribute) and bound.attr == "num_records"
+
+
 def check_file(path: Path) -> List[Tuple[int, str]]:
     source = path.read_text(encoding="utf-8")
     try:
@@ -107,6 +148,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
         return [(error.lineno or 0, f"syntax error: {error.msg}")]
     noqa = _noqa_lines(source)
     simulated_clock_only = _is_simulated_clock_only(path)
+    vectorized_scan_only = _is_vectorized_scan_only(path)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
     wildcards: List[Tuple[int, str]] = []
@@ -147,6 +189,15 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                             "from the caller",
                         )
                     )
+        if vectorized_scan_only and _is_per_record_loop(node):
+            deprecated.append(
+                (
+                    node.lineno,
+                    "per-record Python loop (for ... in range(num_records)) "
+                    "under a vectorised-scan package (src/repro/{pir,core}/) "
+                    "— use the batched numpy kernels or a chunked range",
+                )
+            )
         if (
             isinstance(node, ast.Attribute)
             and node.attr == "get_event_loop"
