@@ -20,7 +20,10 @@ lint:
 ## heat-driven shard migration, a nonzero hot-cache hit rate, and records
 ## bit-identical to a static fleet), then re-drives the drift with the
 ## plan-shape policy on (asserts >= 1 online split and merge, heat carried
-## across every topology version, records identical to a static fleet);
+## across every topology version, records identical to a static fleet),
+## then re-drives it with the observability hub attached (asserts records
+## bit-identical to the uninstrumented run, span totals float-equal to the
+## engine's PhaseTimer totals, >= 1 rebalance event, nonzero cache hits);
 ## exits non-zero on any drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
@@ -28,11 +31,14 @@ smoke:
 	$(PYTHON) -m repro.bench.cli smoke --rebalance
 	$(PYTHON) -m repro.bench.cli smoke --resplit
 	$(PYTHON) -m repro.bench.cli smoke --batched
+	$(PYTHON) -m repro.bench.cli smoke --traced
 
 ## Wall-clock benchmark of the batched one-pass scan path against the
 ## sequential per-query path on the reference backend; writes BENCH_PR6.json
-## (records/sec, batched QPS, speedup, simulated p50/p99 latency).  Compare
-## two runs with `python tools/bench_compare.py OLD.json BENCH_PR6.json`.
+## (records/sec, batched QPS, speedup, simulated p50/p99 latency) and
+## archives the run to benchmarks/history/BENCH_<git-sha>.json.  Compare two
+## runs with `python tools/bench_compare.py OLD.json BENCH_PR6.json`, or the
+## whole trajectory with `python tools/bench_compare.py benchmarks/history`.
 bench:
 	$(PYTHON) -m repro.bench.cli bench
 

@@ -24,13 +24,20 @@ from repro.bench.figures import (
     fig11_clustering,
     fig12_gpu_comparison,
 )
-from repro.bench.perf import DEFAULT_OUTPUT, render_bench, run_bench
+from repro.bench.perf import (
+    DEFAULT_HISTORY_DIR,
+    DEFAULT_OUTPUT,
+    render_bench,
+    run_bench,
+)
 from repro.bench.smoke import (
     async_backend_smoke,
     backend_smoke,
     batched_smoke,
+    observability_report,
     rebalance_smoke,
     resplit_smoke,
+    traced_smoke,
 )
 from repro.bench.reporting import (
     render_fig3,
@@ -84,7 +91,7 @@ def main(argv=None) -> int:
         "target",
         nargs="?",
         default="all",
-        help="one of: %s, bench, all, list (default: all)" % ", ".join(_TARGETS),
+        help="one of: %s, bench, report, all, list (default: all)" % ", ".join(_TARGETS),
     )
     parser.add_argument(
         "--async",
@@ -119,6 +126,15 @@ def main(argv=None) -> int:
         "every backend, asserting bit-identical payloads and simulated costs",
     )
     parser.add_argument(
+        "--traced",
+        dest="use_traced",
+        action="store_true",
+        help="with the smoke target: drive the drifting workload bare and "
+        "with the observability hub attached, asserting bit-identical "
+        "records, float-exact span/PhaseTimer agreement, and visible "
+        "rebalance + cache activity",
+    )
+    parser.add_argument(
         "--quick",
         dest="use_quick",
         action="store_true",
@@ -132,6 +148,7 @@ def main(argv=None) -> int:
         "--rebalance": args.use_rebalance,
         "--resplit": args.use_resplit,
         "--batched": args.use_batched,
+        "--traced": args.use_traced,
     }
     selected = [flag for flag, enabled in smoke_flags.items() if enabled]
     if selected:
@@ -140,7 +157,8 @@ def main(argv=None) -> int:
             return 2
         if len(selected) > 1:
             print(
-                "pick one of --async / --rebalance / --resplit / --batched per run",
+                "pick one of --async / --rebalance / --resplit / --batched / "
+                "--traced per run",
                 file=sys.stderr,
             )
             return 2
@@ -150,6 +168,8 @@ def main(argv=None) -> int:
             print(rebalance_smoke())
         elif args.use_resplit:
             print(resplit_smoke())
+        elif args.use_traced:
+            print(traced_smoke())
         else:
             print(batched_smoke())
         return 0
@@ -161,14 +181,20 @@ def main(argv=None) -> int:
         metrics = run_bench(
             quick=args.use_quick,
             output_path=None if args.use_quick else DEFAULT_OUTPUT,
+            history_dir=None if args.use_quick else DEFAULT_HISTORY_DIR,
         )
         print(render_bench(metrics))
         if not args.use_quick:
             print(f"\nmetrics written to {DEFAULT_OUTPUT}")
+            print(f"archived to {metrics['archived_to']}")
+        return 0
+
+    if args.target == "report":
+        print(observability_report())
         return 0
 
     if args.target == "list":
-        print("\n".join(list(_TARGETS) + ["bench", "all"]))
+        print("\n".join(list(_TARGETS) + ["bench", "report", "all"]))
         return 0
     if args.target == "all":
         for name in _TARGETS:

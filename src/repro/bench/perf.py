@@ -24,6 +24,8 @@ reproducible run to run.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -34,6 +36,10 @@ from repro.pir.database import Database
 
 #: Default output artifact for the full benchmark run.
 DEFAULT_OUTPUT = "BENCH_PR6.json"
+
+#: Where ``make bench`` archives each run's artifact (one file per tag, so
+#: the perf trajectory across commits accumulates instead of overwriting).
+DEFAULT_HISTORY_DIR = "benchmarks/history"
 
 #: The full-mode shape: chosen so the fixed per-query numpy/Python overhead
 #: the batched path amortises is visible but the database is still far from
@@ -63,16 +69,55 @@ def _percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[rank]
 
 
+def bench_tag() -> str:
+    """A short identifier for an archived artifact: the git commit, or ``local``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+    tag = proc.stdout.strip()
+    return tag if tag else "local"
+
+
+def archive_metrics(
+    metrics: Dict[str, object], history_dir: str, tag: Optional[str] = None
+) -> str:
+    """Write ``metrics`` to ``<history_dir>/BENCH_<tag>.json``; returns the path.
+
+    The archived payload carries the tag, so a trajectory listing
+    (``python tools/bench_compare.py <history_dir>``) can label each run
+    even after files are copied around.
+    """
+    resolved = tag if tag is not None else bench_tag()
+    os.makedirs(history_dir, exist_ok=True)
+    path = os.path.join(history_dir, f"BENCH_{resolved}.json")
+    payload = dict(metrics)
+    payload["tag"] = resolved
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def run_bench(
     quick: bool = False,
     output_path: Optional[str] = None,
     seed: int = 11,
+    history_dir: Optional[str] = None,
+    tag: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the batched-vs-sequential benchmark and return its metrics.
 
     When ``output_path`` is given the metrics are also written there as JSON
     (the full mode's default artifact is :data:`DEFAULT_OUTPUT`; pass
-    ``output_path=None`` to skip writing).
+    ``output_path=None`` to skip writing).  ``history_dir`` additionally
+    archives the run as ``BENCH_<tag>.json`` (tag defaults to the current
+    git commit) and records the path under ``metrics["archived_to"]``.
 
     Quick mode additionally *asserts* the batched path is no slower than the
     sequential one — that is its role as a ``make check`` smoke.
@@ -144,6 +189,9 @@ def run_bench(
         with open(output_path, "w", encoding="utf-8") as handle:
             json.dump(metrics, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    if history_dir is not None:
+        metrics["archived_to"] = archive_metrics(metrics, history_dir, tag=tag)
 
     return metrics
 

@@ -21,6 +21,8 @@ from repro.common.units import format_seconds
 from repro.control.plane import controlled_fleet
 from repro.core.engine import available_backends, create_server
 from repro.dpf.prf import make_prg
+from repro.obs import ObservabilityHub
+from repro.obs.tracing import KIND_PHASE, KIND_SERVER, KIND_SHARD
 from repro.pir.async_frontend import AsyncPIRFrontend
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
@@ -170,23 +172,11 @@ def rebalance_smoke(
     # Drifting workload: Zipf ranks concentrate near index 0, so offsetting
     # them by a shard's start pins the hot spot inside that shard; halfway
     # through the stream the hot spot jumps from the first shard to the last.
-    half = 96
-    skew = zipf_trace(num_records, 2 * half, exponent=1.4, seed=seed + 5)
-    offsets = [first.start] * half + [last.start] * half
-    stream = [
-        (offset + index) % num_records for offset, index in zip(offsets, skew)
-    ]
     # Both deployments start from the same offline placement, seeded with a
     # sample of the stream's *first* phase (the drift is what comes after).
     # The sample carries the live arrival stamps and the tracker's window
     # parameters, so the seed heats and the online estimates share a scale.
-    seed_heats = heats_from_trace(
-        plan,
-        stream[:half],
-        arrival_seconds=[0.02 * i for i in range(half)],
-        window_seconds=0.2,
-        decay=0.5,
-    )
+    stream, seed_heats = _drifting_workload(num_records, plan, seed)
 
     def make_client(extra: int) -> PIRClient:
         return PIRClient(
@@ -279,19 +269,7 @@ def resplit_smoke(
 
     # The same drifting stream as the rebalance smoke: the Zipf hot spot
     # jumps from the first shard to the last halfway through.
-    half = 96
-    skew = zipf_trace(num_records, 2 * half, exponent=1.4, seed=seed + 5)
-    offsets = [first.start] * half + [last.start] * half
-    stream = [
-        (offset + index) % num_records for offset, index in zip(offsets, skew)
-    ]
-    seed_heats = heats_from_trace(
-        plan,
-        stream[:half],
-        arrival_seconds=[0.02 * i for i in range(half)],
-        window_seconds=0.2,
-        decay=0.5,
-    )
+    stream, seed_heats = _drifting_workload(num_records, plan, seed)
 
     def make_client(extra: int) -> PIRClient:
         return PIRClient(
@@ -374,6 +352,195 @@ def resplit_smoke(
         f"remapped (never reset) across every plan version"
     )
     return "\n".join(lines)
+
+
+def _drifting_workload(
+    num_records: int, plan: ShardPlan, seed: int, half: int = 96
+) -> Tuple[List[int], List[float]]:
+    """The shared drifting Zipf stream: hot spot jumps first → last shard.
+
+    Returns ``(stream, seed_heats)`` — the same workload the rebalance and
+    resplit smokes drive, factored for the traced smoke and the report
+    target (a third copy of the construction would drift).
+    """
+    first, last = plan.shards[0], plan.shards[-1]
+    skew = zipf_trace(num_records, 2 * half, exponent=1.4, seed=seed + 5)
+    offsets = [first.start] * half + [last.start] * half
+    stream = [
+        (offset + index) % num_records for offset, index in zip(offsets, skew)
+    ]
+    seed_heats = heats_from_trace(
+        plan,
+        stream[:half],
+        arrival_seconds=[0.02 * i for i in range(half)],
+        window_seconds=0.2,
+        decay=0.5,
+    )
+    return stream, seed_heats
+
+
+def _drive_controlled(
+    database: Database,
+    plan: ShardPlan,
+    seed_heats: Sequence[float],
+    stream: Sequence[int],
+    seed: int,
+    hub=None,
+):
+    """Drive the drifting stream through one controlled fleet.
+
+    Arrivals 20ms apart on the simulated clock (heat windows roll,
+    rebalance passes fire); returns ``(router, plane, records)``.  With a
+    ``hub`` the fleet is fully instrumented; without one every telemetry
+    slot stays ``None`` — the two runs must return bit-identical records.
+    """
+    router, plane = controlled_fleet(
+        PIRClient(
+            database.num_records,
+            database.record_size,
+            seed=seed + 6,
+            prg=make_prg("numpy"),
+        ),
+        database,
+        plan,
+        seed_heats,
+        window_seconds=0.2,
+        decay=0.5,
+        rebalance_interval_seconds=0.4,
+        cache_capacity=16,
+        admit_min_heat=1.0,
+        dedup=True,
+        policy=BatchingPolicy(max_batch_size=8, max_wait_seconds=10.0),
+        hub=hub,
+    )
+    request_ids = []
+    now = 0.0
+    for index in stream:
+        request_ids.append(router.submit(index, arrival_seconds=now))
+        now += 0.02
+    router.close()
+    records = [router.take_record(request_id) for request_id in request_ids]
+    return router, plane, records
+
+
+def traced_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    seed: int = 9,
+) -> str:
+    """The ``--traced`` smoke: the observability hub is strictly read-only.
+
+    Drives the drifting Zipf workload twice — once bare, once with an
+    :class:`~repro.obs.hub.ObservabilityHub` attached — and asserts the
+    observability acceptance properties:
+
+    * the instrumented run's records are **bit-identical** to the bare
+      run's (telemetry never touches the data plane);
+    * at least one complete pipeline trace was reconstructed — request →
+      server → phase leaves → per-shard scan spans — whose server span
+      total equals the engine's ``PhaseTimer`` total *float-exactly*;
+    * the event stream carried at least one ``rebalance.pass`` and the
+      cache-hit counter is nonzero (the control plane is visible);
+    * no event was dropped by any sink.
+    """
+    database = Database.random(num_records, record_size, seed=seed)
+    plan = ShardPlan.uniform(num_records, 4, block_records=8)
+    stream, seed_heats = _drifting_workload(num_records, plan, seed)
+
+    _, _, bare_records = _drive_controlled(
+        database, plan, seed_heats, stream, seed, hub=None
+    )
+    hub = ObservabilityHub()
+    router, plane, records = _drive_controlled(
+        database, plan, seed_heats, stream, seed, hub=hub
+    )
+
+    for index, record in zip(stream, records):
+        if record != database.record(index):
+            raise AssertionError(f"instrumented fleet returned a wrong record for {index}")
+    if records != bare_records:
+        raise AssertionError(
+            "instrumented fleet drifted from the uninstrumented fleet's records"
+        )
+    if hub.events.dropped:
+        raise AssertionError(
+            f"sink chain dropped {hub.events.dropped} event(s): {hub.events.last_error!r}"
+        )
+    rebalance_events = hub.ring.named("rebalance.pass")
+    if not rebalance_events:
+        raise AssertionError("no rebalance.pass event reached the ring buffer")
+    cache_hits = hub.registry.get("repro_cache_hits_total").total()
+    if cache_hits <= 0:
+        raise AssertionError("cache-hit counter never incremented")
+
+    traces = hub.tracer.traces()
+    if len(traces) != len(stream):
+        raise AssertionError(
+            f"expected one trace per request: {len(traces)} != {len(stream)}"
+        )
+    complete = 0
+    for trace in traces:
+        servers = trace.root.find(KIND_SERVER)
+        if not servers:
+            continue
+        pipeline_complete = True
+        for server in servers:
+            engine_seconds = server.labels.get("engine_seconds")
+            if engine_seconds is None or not server.find(KIND_PHASE):
+                pipeline_complete = False
+                break
+            if server.seconds != engine_seconds:
+                raise AssertionError(
+                    f"trace {trace.trace_id}: span total {server.seconds!r} != "
+                    f"engine PhaseTimer total {engine_seconds!r}"
+                )
+            if not server.find(KIND_SHARD):
+                pipeline_complete = False
+                break
+        if pipeline_complete:
+            complete += 1
+    if complete < 1:
+        raise AssertionError("no complete pipeline trace was reconstructed")
+
+    counts = hub.ring.counts()
+    lines = [
+        "Traced smoke: the observability hub over the drifting-Zipf control plane",
+        f"database: {num_records} records x {record_size} B, {len(stream)} queries",
+        "",
+        f"records bit-identical to the uninstrumented run: {len(records)}/{len(stream)}",
+        f"traces: {len(traces)} ({complete} complete pipeline trees; span totals "
+        f"== engine PhaseTimer totals, float-exact)",
+        f"events: {sum(counts.values())} in ring "
+        f"({', '.join(f'{name}={count}' for name, count in sorted(counts.items()))})",
+        f"rebalance passes observed: {len(rebalance_events)}; "
+        f"cache hits counted: {int(cache_hits)}",
+        "",
+        "slowest trace:",
+    ]
+    slowest = hub.tracer.slowest(1)
+    if slowest:
+        lines.extend(slowest[0].render())
+    return "\n".join(lines)
+
+
+def observability_report(
+    num_records: int = 512,
+    record_size: int = 32,
+    seed: int = 9,
+    top_n: int = 3,
+) -> str:
+    """The ``report`` target: a full hub report from one instrumented run."""
+    database = Database.random(num_records, record_size, seed=seed)
+    plan = ShardPlan.uniform(num_records, 4, block_records=8)
+    stream, seed_heats = _drifting_workload(num_records, plan, seed)
+    hub = ObservabilityHub()
+    _drive_controlled(database, plan, seed_heats, stream, seed, hub=hub)
+    header = [
+        "Observability report: drifting Zipf workload through a controlled fleet",
+        f"database: {num_records} records x {record_size} B, {len(stream)} queries",
+        "",
+    ]
+    return "\n".join(header) + hub.report(top_n=top_n)
 
 
 class _InFlightRecorder:

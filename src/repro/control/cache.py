@@ -82,6 +82,9 @@ class HotRecordCache:
     tracker: Optional[HeatTracker] = None
     admit_min_heat: float = 0.0
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional :class:`~repro.obs.events.EventLog`; admission/eviction/
+    #: invalidation emit events when set (the hub wires this).
+    events: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -119,6 +122,8 @@ class HotRecordCache:
         if self.tracker is not None and self.admit_min_heat > 0:
             if self.tracker.record_heat(index) < self.admit_min_heat:
                 self.stats.rejected_cold += 1
+                if self.events is not None:
+                    self.events.emit("cache.reject_cold", index=index)
                 return False
         self._store(index, record)
         return True
@@ -148,6 +153,8 @@ class HotRecordCache:
                 shard = plan.shard_for_record(index)
                 if heats[shard.index] < self.admit_min_heat:
                     self.stats.rejected_cold += 1
+                    if self.events is not None:
+                        self.events.emit("cache.reject_cold", index=index)
                     continue
             self._store(index, record)
 
@@ -157,9 +164,13 @@ class HotRecordCache:
         self._records.move_to_end(index)
         if not already_resident:
             self.stats.admissions += 1
+            if self.events is not None:
+                self.events.emit("cache.admit", index=index)
             if len(self._records) > self.capacity:
-                self._records.popitem(last=False)
+                evicted, _ = self._records.popitem(last=False)
                 self.stats.evictions += 1
+                if self.events is not None:
+                    self.events.emit("cache.evict", index=evicted)
 
     def invalidate(self, indices: Iterable[int]) -> int:
         """Drop every cached record in ``indices`` (the dirty set of an
@@ -169,12 +180,17 @@ class HotRecordCache:
             if self._records.pop(index, None) is not None:
                 dropped += 1
         self.stats.invalidations += dropped
+        if dropped and self.events is not None:
+            self.events.emit("cache.invalidate", dropped=dropped)
         return dropped
 
     def clear(self) -> None:
         """Drop everything (e.g. after a full database swap)."""
-        self.stats.invalidations += len(self._records)
+        resident = len(self._records)
+        self.stats.invalidations += resident
         self._records.clear()
+        if resident and self.events is not None:
+            self.events.emit("cache.invalidate", dropped=resident)
 
     def resident_indices(self) -> list:
         """Cached record indices in LRU-to-MRU order (diagnostic)."""

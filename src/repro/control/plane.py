@@ -116,6 +116,7 @@ def controlled_fleet(
     merge_heat_floor: Optional[float] = None,
     min_shards: int = 1,
     max_shards: Optional[int] = None,
+    hub=None,
     **router_kwargs,
 ) -> "tuple[FleetRouter, ControlPlane]":
     """Build a :class:`FleetRouter` with a live control plane attached.
@@ -130,7 +131,11 @@ def controlled_fleet(
     plan-shape policy: the topology itself then follows the heat — hot
     shards split at their in-shard heat median, adjacent cold shards merge
     — with telemetry remapped (not reset) across every plan version.
-    Returns ``(router, control_plane)``.
+    ``hub`` (an :class:`~repro.obs.hub.ObservabilityHub`) instruments the
+    whole assembly — frontend flushes, engine batches, shard scans, heat
+    windows, rebalance passes and cache churn — in one call; without it
+    every telemetry slot stays ``None`` and the data plane runs exactly as
+    before.  Returns ``(router, control_plane)``.
     """
     tracker = HeatTracker(plan, window_seconds=window_seconds, decay=decay)
     cache = None
@@ -154,4 +159,8 @@ def controlled_fleet(
         )
     plane = ControlPlane(tracker, rebalancer=rebalancer, cache=cache)
     router.observers.append(plane)
+    if hub is not None:
+        # After the plane: flush observers run in list order, so the plane
+        # folds heat (and maybe rebalances) before the hub snapshots state.
+        hub.attach(router, plane)
     return router, plane

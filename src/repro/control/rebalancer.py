@@ -218,6 +218,9 @@ class Rebalancer:
         #: One report per completed pass, in time order.
         self.reports: List[RebalanceReport] = []
         self._last_pass: Optional[float] = None
+        #: Optional :class:`~repro.obs.events.EventLog`; each completed
+        #: pass emits a ``rebalance.pass`` event when set (hub-wired).
+        self.events = None
 
     # -- observe hook (period check) ---------------------------------------------
 
@@ -352,6 +355,17 @@ class Rebalancer:
             # router's default child factory reads) here, or a later
             # re-prepare would rebuild migrated shards at their old kinds.
             router.install_placements(new_placements)
+        if self.events is not None:
+            self.events.emit(
+                "rebalance.pass",
+                now=now,
+                splits=len(report.splits),
+                merges=len(report.merges),
+                migrations=len(report.migrations),
+                plan_version=report.plan_version,
+                reshape_seconds=report.reshape_seconds,
+                migration_seconds=report.migration_seconds,
+            )
         self.reports.append(report)
         return report
 

@@ -99,6 +99,9 @@ class HeatTracker:
         # vectors cannot provide.
         self._window_index: Dict[int, float] = {}
         self._smoothed_index: Optional[Dict[int, float]] = None
+        #: Optional structured event log (:class:`repro.obs.events.EventLog`),
+        #: wired by the observability hub; window rolls and remaps emit there.
+        self.events = None
 
     # -- feeding ----------------------------------------------------------------
 
@@ -152,6 +155,14 @@ class HeatTracker:
                 )
             self.windows_completed += completed - 1
         self._window_start += completed * self.window_seconds
+        if self.events is not None:
+            self.events.emit(
+                "heat.window_rolled",
+                now=now,
+                rolled=completed,
+                windows=self.windows_completed,
+                total_heat=sum(self.heats()),
+            )
 
     def _roll(self) -> None:
         self._smoothed = self._blend(self._smoothed, self._window_counts)
@@ -301,6 +312,14 @@ class HeatTracker:
                 self._smoothed_index if self._smoothed_index is not None else {},
             )
         self.plan = change.new_plan
+        if self.events is not None:
+            self.events.emit(
+                "heat.remapped",
+                old_version=change.old_plan.version,
+                new_version=change.new_plan.version,
+                shards=change.new_plan.num_shards,
+                total_heat=sum(self.heats()),
+            )
 
     def shape_state(self) -> tuple:
         """An opaque snapshot of the remappable state (plan + shard vectors).

@@ -199,6 +199,10 @@ class QueryEngine:
         self._selector_pool: List[np.ndarray] = []
         self.database: Optional[Database] = None
         self.preload_report: Optional[PhaseTimer] = None
+        #: Optional structured event log (:class:`repro.obs.events.EventLog`),
+        #: wired by the observability hub.  ``None`` keeps the hot path at a
+        #: single identity check — the uninstrumented engine is the default.
+        self.events = None
         backend.engine = self
 
     # -- database lifecycle -------------------------------------------------------
@@ -324,7 +328,16 @@ class QueryEngine:
         if eval_seconds > 0:
             breakdown.record(PHASE_EVAL, eval_seconds)
         payload = self.backend.execute(selector, breakdown, lane=lane)
-        return self._assemble(query, payload, breakdown, lane)
+        result = self._assemble(query, payload, breakdown, lane)
+        if self.events is not None:
+            self.events.emit(
+                "engine.answer",
+                server=self.server_id,
+                query=query.query_id,
+                lane=lane,
+                seconds=breakdown.total,
+            )
+        return result
 
     # -- batch path (throughput mode) ----------------------------------------------
 
@@ -371,7 +384,16 @@ class QueryEngine:
                     dpu_seconds=breakdown.total - breakdown.get(PHASE_EVAL),
                 )
             )
-        return IMPIRBatchResult(results=results, schedule=scheduler.schedule(tasks))
+        schedule = scheduler.schedule(tasks)
+        if self.events is not None:
+            self.events.emit(
+                "engine.batch",
+                server=self.server_id,
+                batch=len(queries),
+                eval_seconds=eval_seconds,
+                makespan=schedule.makespan,
+            )
+        return IMPIRBatchResult(results=results, schedule=schedule)
 
     # -- answer assembly ------------------------------------------------------------
 

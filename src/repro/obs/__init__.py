@@ -1,0 +1,51 @@
+"""Unified observability: structured events, metrics, tracing, and the hub.
+
+The layers compose bottom-up — :mod:`~repro.obs.events` (what happened) →
+:mod:`~repro.obs.metrics` (how often / how long) → :mod:`~repro.obs.tracing`
+(where each request's simulated time went) — and
+:class:`~repro.obs.hub.ObservabilityHub` wires all three into a running
+fleet in one call.  Everything is simulated-clock only and strictly
+read-only over the data plane: an instrumented run returns bit-identical
+records to an uninstrumented one.
+"""
+
+from repro.obs.events import Event, EventLog, JsonlSink, RingBufferSink
+from repro.obs.hub import ObservabilityHub
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    KIND_CACHE,
+    KIND_PHASE,
+    KIND_REQUEST,
+    KIND_SERVER,
+    KIND_SHARD,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "JsonlSink",
+    "RingBufferSink",
+    "ObservabilityHub",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "KIND_CACHE",
+    "KIND_PHASE",
+    "KIND_REQUEST",
+    "KIND_SERVER",
+    "KIND_SHARD",
+    "Span",
+    "Trace",
+    "Tracer",
+]

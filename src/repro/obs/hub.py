@@ -1,0 +1,323 @@
+"""The observability hub: one object wiring events, metrics and traces.
+
+:class:`ObservabilityHub` is the assembly point for the three obs layers —
+it owns an :class:`~repro.obs.events.EventLog` whose sink chain is a ring
+buffer, a metrics bridge (folding events into a
+:class:`~repro.obs.metrics.MetricsRegistry`) and an optional JSONL
+exporter, plus a :class:`~repro.obs.tracing.Tracer` for per-request span
+trees.  Registering the hub as a frontend observer and calling
+:meth:`attach` instruments a whole fleet in one step:
+
+* the hub's ``observe_batch`` keeps the event log's simulated clock
+  current, and its ``observe_flush`` turns every completed flush into a
+  ``frontend.flush`` event *and* one trace per retrieved request —
+  client → server → phase (→ shard) spans whose seconds are the engine's
+  own :class:`~repro.common.events.PhaseTimer` values, float-exactly;
+* every replica's :class:`~repro.core.engine.QueryEngine` gets the event
+  log on its ``events`` slot, every sharded backend is handed the log and
+  the tracer via :meth:`~repro.shard.backend.ShardedBackend.instrument`,
+  and the control plane's tracker / rebalancer / cache emit through the
+  same log.
+
+Pass a hub to :func:`repro.control.plane.controlled_fleet` (``hub=``) and
+the wiring happens inside the builder.  Everything stays strictly
+read-only with respect to the data plane: the hub only ever observes
+settled results, so an instrumented run returns bit-identical records
+(``smoke --traced`` asserts this end to end).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.events import Event, EventLog, JsonlSink, RingBufferSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import KIND_CACHE, KIND_SERVER, KIND_SHARD, Tracer
+
+#: Buckets for flush batch sizes (requests per flush, not seconds).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class _MetricsBridge:
+    """An event sink that folds events into the hub's registry.
+
+    Sits in the sink chain like any exporter; a fold fault is caught by
+    :meth:`EventLog.emit` (counted in ``dropped``) like any sink fault.
+    """
+
+    def __init__(self, hub: "ObservabilityHub") -> None:
+        self._hub = hub
+
+    def emit(self, event: Event) -> None:
+        self._hub._fold_event(event)
+
+
+class ObservabilityHub:
+    """Sinks + registry + tracer behind one frontend-observer facade."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 2048,
+        jsonl_path=None,
+        max_traces: int = 512,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(max_traces=max_traces)
+        self.ring = RingBufferSink(capacity=ring_capacity)
+        self.jsonl = JsonlSink(jsonl_path) if jsonl_path is not None else None
+        sinks = [self.ring, _MetricsBridge(self)]
+        if self.jsonl is not None:
+            sinks.append(self.jsonl)
+        self.events = EventLog(sinks)
+
+        # Pre-registered families: a snapshot taken before any traffic
+        # already shows the full schema (unlabeled counters render 0).
+        metric = self.registry
+        self._flushes = metric.counter(
+            "repro_flushes_total", "Completed frontend flushes", ("reason",)
+        )
+        self._requests = metric.counter(
+            "repro_requests_total", "Requests retired through flushes"
+        )
+        self._cache_hits = metric.counter(
+            "repro_cache_hits_total", "Requests served from the hot-record cache"
+        )
+        self._deduped = metric.counter(
+            "repro_dedup_suppressed_total", "Duplicate requests collapsed in-batch"
+        )
+        self._batch_sizes = metric.histogram(
+            "repro_flush_batch_size",
+            "Requests per flushed batch",
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        self._makespans = metric.histogram(
+            "repro_flush_makespan_seconds", "Simulated makespan per flush"
+        )
+        self._shard_scans = metric.counter(
+            "repro_shard_scans_total", "Per-shard scans executed", ("shard",)
+        )
+        self._scan_seconds = metric.histogram(
+            "repro_shard_scan_seconds", "Simulated seconds per shard scan"
+        )
+        self._engine_batches = metric.counter(
+            "repro_engine_batches_total", "Engine batch evaluations", ("server",)
+        )
+        self._answer_seconds = metric.histogram(
+            "repro_engine_answer_seconds", "Simulated seconds per engine answer"
+        )
+        self._window_rolls = metric.counter(
+            "repro_heat_window_rolls_total", "Heat telemetry windows completed"
+        )
+        self._rebalance_passes = metric.counter(
+            "repro_rebalance_passes_total", "Rebalancer passes completed"
+        )
+        self._rebalance_splits = metric.counter(
+            "repro_rebalance_splits_total", "Shard splits applied"
+        )
+        self._rebalance_merges = metric.counter(
+            "repro_rebalance_merges_total", "Shard merges applied"
+        )
+        self._rebalance_migrations = metric.counter(
+            "repro_rebalance_migrations_total", "Shard kind migrations applied"
+        )
+        self._topology_version = metric.gauge(
+            "repro_topology_version", "Current shard plan version"
+        )
+        self._cache_admissions = metric.counter(
+            "repro_cache_admissions_total", "Hot-record cache admissions"
+        )
+        self._cache_evictions = metric.counter(
+            "repro_cache_evictions_total", "Hot-record cache evictions"
+        )
+        self._cache_invalidations = metric.counter(
+            "repro_cache_invalidations_total", "Hot-record cache records invalidated"
+        )
+        self._cache_rejected = metric.counter(
+            "repro_cache_rejected_cold_total", "Cache admissions refused (cold shard)"
+        )
+
+    # -- the frontend observer protocol -------------------------------------------
+
+    def observe_batch(self, indices, now: float) -> None:
+        """Keep the event log's simulated clock current (every flush)."""
+        self.events.advance(now)
+
+    def observe_flush(self, observation) -> None:
+        """Fold one settled flush into events, metrics and traces."""
+        self.events.emit(
+            "frontend.flush",
+            now=observation.now,
+            reason=observation.reason,
+            requests=len(observation.batch),
+            scanned=len(observation.scanned),
+            cache_hits=observation.cache_hits,
+            deduped=observation.deduped,
+            makespan=max(observation.makespans, default=0.0),
+        )
+        self._record_traces(observation)
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, frontend, plane=None):
+        """Instrument a frontend (and optionally its control plane) in place.
+
+        Appends the hub to the frontend's observers (idempotent), hands the
+        event log to every replica engine, instruments every sharded
+        backend with the log and the tracer, and wires the control plane's
+        tracker / rebalancer / cache.  Returns the frontend for chaining.
+        """
+        if self not in frontend.observers:
+            frontend.observers.append(self)
+        for replica in getattr(frontend, "replicas", ()):
+            engine = getattr(replica, "engine", None)
+            if engine is not None and hasattr(engine, "events"):
+                engine.events = self.events
+            instrument = getattr(getattr(replica, "backend", None), "instrument", None)
+            if instrument is not None:
+                instrument(events=self.events, tracer=self.tracer)
+        if plane is not None:
+            plane.tracker.events = self.events
+            if plane.rebalancer is not None:
+                plane.rebalancer.events = self.events
+            if plane.cache is not None:
+                plane.cache.events = self.events
+        return frontend
+
+    def close(self) -> None:
+        """Close the JSONL exporter, if one is attached."""
+        if self.jsonl is not None:
+            self.jsonl.close()
+
+    # -- event → metrics folding ----------------------------------------------------
+
+    def _fold_event(self, event: Event) -> None:
+        fields = event.fields
+        name = event.name
+        if name == "frontend.flush":
+            self._flushes.inc(reason=fields.get("reason", "?"))
+            self._requests.inc(fields.get("requests", 0))
+            self._cache_hits.inc(fields.get("cache_hits", 0))
+            self._deduped.inc(fields.get("deduped", 0))
+            self._batch_sizes.observe(fields.get("requests", 0))
+            self._makespans.observe(fields.get("makespan", 0.0))
+        elif name == "shard.scan":
+            self._shard_scans.inc(shard=fields.get("shard", "?"))
+            self._scan_seconds.observe(fields.get("seconds", 0.0))
+        elif name == "engine.batch":
+            self._engine_batches.inc(server=fields.get("server", "?"))
+        elif name == "engine.answer":
+            self._answer_seconds.observe(fields.get("seconds", 0.0))
+        elif name == "heat.window_rolled":
+            self._window_rolls.inc(fields.get("rolled", 1))
+        elif name == "rebalance.pass":
+            self._rebalance_passes.inc()
+            self._rebalance_splits.inc(fields.get("splits", 0))
+            self._rebalance_merges.inc(fields.get("merges", 0))
+            self._rebalance_migrations.inc(fields.get("migrations", 0))
+            self._topology_version.set(fields.get("plan_version", 0))
+        elif name == "topology.applied":
+            self._topology_version.set(fields.get("version", 0))
+        elif name == "cache.admit":
+            self._cache_admissions.inc()
+        elif name == "cache.evict":
+            self._cache_evictions.inc()
+        elif name == "cache.invalidate":
+            self._cache_invalidations.inc(fields.get("dropped", 1))
+        elif name == "cache.reject_cold":
+            self._cache_rejected.inc()
+
+    # -- flush → traces -------------------------------------------------------------
+
+    def _record_traces(self, observation) -> None:
+        """One trace per request of the flush: the paper's pipeline, per query.
+
+        Scanned requests get the full tree — a server span per replica
+        (seconds accumulated from the engine's PhaseTimer, so the span
+        total equals ``PhaseTimer.total`` float-exactly), phase leaves
+        under each, and per-shard scan spans popped from the tracer's side
+        channel (parallel detail: shard seconds do not sum into the
+        server).  Requests served by the cache or as dedup followers get a
+        zero-cost marker trace — they spent no simulated pipeline time.
+        """
+        tracer = self.tracer
+        scanned_ids = set()
+        for request_id, index, expected in observation.scanned:
+            scanned_ids.add(request_id)
+            trace = tracer.start_trace(
+                f"req-{request_id}",
+                f"retrieve[{index}]",
+                now=observation.now,
+                index=index,
+            )
+            root = trace.root
+            for query_id, server_id in expected:
+                server = root.child(
+                    f"server-{server_id}",
+                    kind=KIND_SERVER,
+                    query_id=query_id,
+                    server_id=server_id,
+                )
+                detail = observation.details.get((query_id, server_id))
+                if detail is None:
+                    continue
+                if detail.simulated_seconds is not None:
+                    server.labels["engine_seconds"] = detail.simulated_seconds
+                if detail.breakdown is not None:
+                    server.add_phases(detail.breakdown)
+                    for shard_index, phases in tracer.pop_shard_scans(
+                        detail.breakdown
+                    ):
+                        shard = server.child(
+                            f"shard-{shard_index}", kind=KIND_SHARD, shard=shard_index
+                        )
+                        shard.add_phases(phases)
+                elif detail.simulated_seconds is not None:
+                    # Backends without per-phase breakdowns (CPU analytic
+                    # batches, the reference server) still get a total.
+                    server.seconds = float(detail.simulated_seconds)
+            # Replicas run in parallel: the request costs its slowest server.
+            root.seconds = max(
+                (span.seconds for span in root.find(KIND_SERVER)), default=0.0
+            )
+        for request_id, index in observation.batch:
+            if request_id in scanned_ids:
+                continue
+            trace = tracer.start_trace(
+                f"req-{request_id}",
+                f"retrieve[{index}]",
+                now=observation.now,
+                index=index,
+            )
+            if not trace.root.children:
+                if index in observation.cached_indices:
+                    trace.root.child("cache-hit", kind=KIND_CACHE)
+                else:
+                    trace.root.child("dedup-follower", kind=KIND_CACHE)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def report(self, top_n: int = 5) -> str:
+        """A plain-text snapshot: event counts, metrics, slowest traces."""
+        lines: List[str] = ["== events =="]
+        counts = self.ring.counts()
+        if not counts:
+            lines.append("(none)")
+        for name in sorted(counts):
+            lines.append(f"{name:28s} {counts[name]}")
+        if self.events.dropped:
+            lines.append(
+                f"dropped: {self.events.dropped} (last: {self.events.last_error!r})"
+            )
+        lines.append("")
+        lines.append("== metrics ==")
+        lines.append(self.registry.render())
+        lines.append("")
+        lines.append(f"== slowest traces (top {top_n}) ==")
+        slowest = self.tracer.slowest(top_n)
+        if not slowest:
+            lines.append("(none)")
+        for trace in slowest:
+            lines.extend(trace.render())
+        return "\n".join(lines)

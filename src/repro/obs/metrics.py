@@ -1,0 +1,284 @@
+"""Metrics registry: counters, gauges and bucketed histograms with labels.
+
+The aggregated counterpart of :mod:`repro.obs.events`: where the event log
+records *what happened*, the registry keeps *how often and how long* in a
+form cheap enough to read at any instant — counters (monotonic totals),
+gauges (last-set values) and bucketed histograms (cumulative ``le`` buckets
+plus sum/count), each a *family* keyed by a fixed tuple of label names.
+
+:meth:`MetricsRegistry.render` emits a Prometheus-style text snapshot
+(``# HELP`` / ``# TYPE`` headers, ``name{label="value"} number`` samples,
+``_bucket``/``_sum``/``_count`` series for histograms) so a run's metrics
+can be diffed, grepped, or scraped without any dependency; ``as_dict``
+gives the same data as plain nested dicts for JSON artifacts and tests.
+
+Everything is deterministic: histogram bucket bounds are fixed at
+construction, samples render sorted by label values, and nothing reads a
+clock — values come from the simulated timers the callers already hold.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets: simulated seconds from microseconds to tens of
+#: seconds, the range every PhaseTimer in this repository actually spans.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    0.1,
+    1.0,
+    10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(
+    label_names: Tuple[str, ...], labels: Dict[str, object], metric: str
+) -> Tuple[str, ...]:
+    """The values tuple for one sample, validated against the family's names."""
+    if set(labels) != set(label_names):
+        raise ConfigurationError(
+            f"metric {metric!r} takes labels {sorted(label_names)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+def _render_labels(label_names: Tuple[str, ...], key: Tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{value}"' for name, value in zip(label_names, key)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing total, one sample per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        key = _label_key(self.label_names, labels, self.name)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """The total for one label set (0.0 if never incremented)."""
+        return self._values.get(_label_key(self.label_names, labels, self.name), 0.0)
+
+    def total(self) -> float:
+        """The total summed across every label set."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        return [
+            (dict(zip(self.label_names, key)), value)
+            for key, value in sorted(self._values.items())
+        ]
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        if not self._values and not self.label_names:
+            # Unlabeled families always expose their (zero) sample, matching
+            # the Prometheus client convention; labeled ones appear on use.
+            lines.append(f"{self.name} 0")
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(self.label_names, key)} "
+                f"{_format_number(self._values[key])}"
+            )
+        return lines
+
+
+class Gauge(Counter):
+    """A value that can go anywhere; ``set`` replaces, ``inc`` adjusts."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.label_names, labels, self.name)
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(self.label_names, labels, self.name)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics) per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigurationError("histogram buckets must be distinct and non-empty")
+        self.buckets = bounds
+        #: per label key: (per-bound counts, sum, count)
+        self._series: Dict[Tuple[str, ...], Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.label_names, labels, self.name)
+        counts, total, count = self._series.get(
+            key, ([0] * len(self.buckets), 0.0, 0)
+        )
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[position] += 1
+        self._series[key] = (counts, total + float(value), count + 1)
+
+    def snapshot(self, **labels) -> Dict[str, object]:
+        """``{"count", "sum", "buckets": {le: cumulative}}`` for one label set."""
+        key = _label_key(self.label_names, labels, self.name)
+        counts, total, count = self._series.get(
+            key, ([0] * len(self.buckets), 0.0, 0)
+        )
+        return {
+            "count": count,
+            "sum": total,
+            "buckets": {bound: counts[i] for i, bound in enumerate(self.buckets)},
+        }
+
+    def count(self, **labels) -> int:
+        return int(self.snapshot(**labels)["count"])
+
+    def samples(self) -> List[Tuple[Dict[str, str], Dict[str, object]]]:
+        return [
+            (
+                dict(zip(self.label_names, key)),
+                {"count": count, "sum": total},
+            )
+            for key, (counts, total, count) in sorted(self._series.items())
+        ]
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self._series):
+            counts, total, count = self._series[key]
+            for position, bound in enumerate(self.buckets):
+                labels = dict(zip(self.label_names, key))
+                labels["le"] = _format_number(bound)
+                names = tuple(list(self.label_names) + ["le"])
+                values = tuple(list(key) + [labels["le"]])
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(names, values)} "
+                    f"{counts[position]}"
+                )
+            names = tuple(list(self.label_names) + ["le"])
+            values = tuple(list(key) + ["+Inf"])
+            lines.append(f"{self.name}_bucket{_render_labels(names, values)} {count}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(self.label_names, key)} "
+                f"{_format_number(total)}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(self.label_names, key)} {count}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Create-or-fetch families by name; render the whole set at once.
+
+    Registration is idempotent for a matching (kind, labels) signature and
+    raises on a conflicting re-registration — two layers silently sharing a
+    name with different label sets would corrupt each other's samples.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, cls, name: str, help: str, label_names, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(label_names):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}{existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help=help, label_names=label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "", label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, label_names, buckets=buckets)
+
+    def get(self, name: str):
+        """The registered family, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The Prometheus-style text snapshot of every family, name-sorted."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested-dict snapshot (JSON artifacts, assertions in tests)."""
+        snapshot: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            snapshot[name] = {
+                "kind": metric.kind,
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in metric.samples()
+                ],
+            }
+        return snapshot

@@ -42,6 +42,7 @@ from repro.pir.frontend import (
     FrontendMetrics,
     PendingRequest,
     admit_scanned,
+    build_flush_observation,
     check_replicas,
     collect_answers,
     collect_update_appliers,
@@ -49,10 +50,12 @@ from repro.pir.frontend import (
     dedup_leaders,
     fanout_dedup,
     fold_metrics,
+    notify_flush_observers,
     per_server_queries,
     reconstruct_scanned,
     require_dedup_for_cache,
     require_no_orphans,
+    wants_flush_observation,
 )
 
 
@@ -381,6 +384,8 @@ class AsyncPIRFrontend:
                 future.set_result(completed[request.request_id])
         loop = asyncio.get_running_loop()
         try:
+            now = loop.time()
+            cache_hits = count_cache_hits(batch, cached)
             fold_metrics(
                 self.metrics,
                 self.policy,
@@ -389,11 +394,26 @@ class AsyncPIRFrontend:
                 makespans,
                 schedules,
                 indices=[request.index for request in batch],
-                now=loop.time(),
+                now=now,
                 observers=self.observers,
-                cache_hits=count_cache_hits(batch, cached),
+                cache_hits=cache_hits,
             )
             self.metrics.deduped_requests += deduped
+            if wants_flush_observation(self.observers):
+                notify_flush_observers(
+                    self.observers,
+                    build_flush_observation(
+                        reason=reason,
+                        now=now,
+                        batch=batch,
+                        scanned=scanned,
+                        cached=cached,
+                        deduped=deduped,
+                        cache_hits=cache_hits,
+                        makespans=makespans,
+                        raw_results=raw_results,
+                    ),
+                )
         except Exception as error:
             # The batch already succeeded and its futures are resolved; an
             # observer fault (e.g. a control-plane migration failing) must

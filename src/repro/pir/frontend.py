@@ -411,11 +411,14 @@ class PIRFrontend:
         admit_scanned(self.cache, record_by_index)
         record_by_index.update(cached)
         self._completed.update(completed)
+        deduped = 0
         if self.dedup:
-            self.metrics.deduped_requests += fanout_dedup(
+            deduped = fanout_dedup(
                 batch, self._completed, record_by_index, cached_indices=cached
             )
+            self.metrics.deduped_requests += deduped
         require_no_orphans(answers_by_key)
+        cache_hits = count_cache_hits(batch, cached)
         fold_metrics(
             self.metrics,
             self.policy,
@@ -426,8 +429,23 @@ class PIRFrontend:
             indices=[request.index for request in batch],
             now=self._clock,
             observers=self.observers,
-            cache_hits=count_cache_hits(batch, cached),
+            cache_hits=cache_hits,
         )
+        if wants_flush_observation(self.observers):
+            notify_flush_observers(
+                self.observers,
+                build_flush_observation(
+                    reason=reason,
+                    now=self._clock,
+                    batch=batch,
+                    scanned=scanned,
+                    cached=cached,
+                    deduped=deduped,
+                    cache_hits=cache_hits,
+                    makespans=makespans,
+                    raw_results=raw_results,
+                ),
+            )
 
 
 #: The frontend is a request router; both names are part of the public API.
@@ -686,6 +704,128 @@ def fold_metrics(
         observe_batch = getattr(observer, "observe_batch", None)
         if observe_batch is not None:
             observe_batch(indices, now)
+
+
+@dataclass(frozen=True)
+class ResultDetail:
+    """Per-answer timing detail captured from a replica's raw batch result.
+
+    ``breakdown`` is the engine's per-query :class:`PhaseTimer` **by
+    reference** (the sharded backend keys per-shard scan detail by its
+    identity); ``simulated_seconds`` is the engine-written
+    :attr:`PIRAnswer.simulated_seconds` — an independently computed total a
+    trace's span sum can be cross-checked against.
+    """
+
+    breakdown: Optional[object]
+    simulated_seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class FlushObservation:
+    """Everything one flushed batch can tell an ``observe_flush`` observer.
+
+    Built only when some observer exposes ``observe_flush`` (the
+    observability hub), *after* the batch's futures/records are settled —
+    instrumentation can never change what the data plane returns.  The
+    per-request tuples use plain ids/indices so the observation is safe to
+    retain; only ``details`` holds live objects (the breakdown timers).
+    """
+
+    reason: str
+    now: float
+    #: ``(request_id, index)`` for every request of the batch.
+    batch: Tuple[Tuple[int, int], ...]
+    #: ``(request_id, index, expected (query_id, server_id) keys)`` for the
+    #: requests that actually reached the replicas.
+    scanned: Tuple[Tuple[int, int, Tuple[Tuple[int, int], ...]], ...]
+    #: Indices served straight from the hot-record cache.
+    cached_indices: frozenset
+    cache_hits: int
+    deduped: int
+    makespans: Tuple[float, ...]
+    #: ``(query_id, server_id)`` -> :class:`ResultDetail`.
+    details: Dict[Tuple[int, int], ResultDetail]
+
+
+def wants_flush_observation(observers: Sequence) -> bool:
+    """Whether any observer wants the (costlier) per-flush observation."""
+    return any(
+        getattr(observer, "observe_flush", None) is not None for observer in observers
+    )
+
+
+def collect_result_details(raw_results: Sequence) -> Dict[Tuple[int, int], ResultDetail]:
+    """Capture per-answer breakdowns/totals from raw ``answer_batch`` results.
+
+    Accepts the same result dialects as :func:`_normalize_batch`; answers
+    without a per-query breakdown (CPU/GPU analytic batch results, bare
+    :class:`PIRAnswer` lists) still contribute their engine-simulated
+    seconds.
+    """
+    details: Dict[Tuple[int, int], ResultDetail] = {}
+
+    def harvest(item) -> None:
+        answer = getattr(item, "answer", item)
+        details[(answer.query_id, answer.server_id)] = ResultDetail(
+            breakdown=getattr(item, "breakdown", None),
+            simulated_seconds=answer.simulated_seconds,
+        )
+
+    for raw in raw_results:
+        results = getattr(raw, "results", None)
+        if results is not None:
+            for item in results:
+                harvest(item)
+        elif hasattr(raw, "answers"):
+            for answer in raw.answers:
+                harvest(answer)
+        else:
+            for item in raw:
+                harvest(item)
+    return details
+
+
+def build_flush_observation(
+    reason: str,
+    now: float,
+    batch: Sequence[PendingRequest],
+    scanned: Sequence[PendingRequest],
+    cached: Dict[int, bytes],
+    deduped: int,
+    cache_hits: int,
+    makespans: Sequence[float],
+    raw_results: Sequence,
+) -> FlushObservation:
+    """Assemble the :class:`FlushObservation` for one completed flush."""
+    return FlushObservation(
+        reason=reason,
+        now=now,
+        batch=tuple((request.request_id, request.index) for request in batch),
+        scanned=tuple(
+            (request.request_id, request.index, tuple(request.expected_keys))
+            for request in scanned
+        ),
+        cached_indices=frozenset(cached),
+        cache_hits=cache_hits,
+        deduped=deduped,
+        makespans=tuple(makespans),
+        details=collect_result_details(raw_results),
+    )
+
+
+def notify_flush_observers(observers: Sequence, observation: FlushObservation) -> None:
+    """Hand the observation to every observer exposing ``observe_flush``.
+
+    Fault semantics follow :func:`fold_metrics`: in the sync frontend an
+    observer fault propagates to the flushing caller (the batch's records
+    are already claimable), in the async frontend the caller routes it to
+    the loop's exception handler.
+    """
+    for observer in observers:
+        observe_flush = getattr(observer, "observe_flush", None)
+        if observe_flush is not None:
+            observe_flush(observation)
 
 
 def _normalize_batch(raw) -> Tuple[List[PIRAnswer], float, Optional[BatchSchedule]]:

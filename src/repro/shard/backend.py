@@ -192,6 +192,13 @@ class ShardedBackend(PIRBackend):
         #: not rebuild child capability objects per query either).
         self._topology: Optional[_Topology] = None
         self._database: Optional[Database] = None
+        #: Optional observability hooks (:meth:`instrument`): a structured
+        #: event log for per-shard scan / topology events and a tracer whose
+        #: shard-scan side channel carries per-shard timers up to per-query
+        #: traces.  Both default to ``None`` — the uninstrumented hot path
+        #: pays one identity check per fold.
+        self.events = None
+        self.tracer = None
         #: Persistent scan pool for the ``threads`` executor, (re)built at
         #: prepare — spawning threads per ``execute`` call would put
         #: ms-scale thread churn on the per-query hot path.  Sized with
@@ -388,9 +395,18 @@ class ShardedBackend(PIRBackend):
 
         accumulator = np.zeros(self._database.record_size, dtype=np.uint8)
         combined = PhaseTimer()
-        for sub, child_timer in scans:
+        for (shard, _, _), (sub, child_timer) in zip(snapshot.members, scans):
             accumulator ^= sub
             combined.merge_parallel(child_timer)
+            if self.tracer is not None:
+                self.tracer.record_shard_scan(breakdown, shard.index, child_timer)
+            if self.events is not None:
+                self.events.emit(
+                    "shard.scan",
+                    shard=shard.index,
+                    records=shard.num_records,
+                    seconds=child_timer.total,
+                )
         breakdown.merge(combined)
         return accumulator
 
@@ -442,10 +458,21 @@ class ShardedBackend(PIRBackend):
 
         accumulators = np.zeros((batch, self._database.record_size), dtype=np.uint8)
         combined = [PhaseTimer() for _ in range(batch)]
-        for subs, child_timers in scans:
+        for (shard, _, _), (subs, child_timers) in zip(snapshot.members, scans):
             accumulators ^= subs
             for query_combined, child_timer in zip(combined, child_timers):
                 query_combined.merge_parallel(child_timer)
+            if self.tracer is not None:
+                for breakdown, child_timer in zip(breakdowns, child_timers):
+                    self.tracer.record_shard_scan(breakdown, shard.index, child_timer)
+            if self.events is not None:
+                self.events.emit(
+                    "shard.scan",
+                    shard=shard.index,
+                    records=shard.num_records,
+                    batch=batch,
+                    seconds=sum(timer.total for timer in child_timers),
+                )
         for breakdown, query_combined in zip(breakdowns, combined):
             breakdown.merge(query_combined)
         return accumulators
@@ -464,6 +491,22 @@ class ShardedBackend(PIRBackend):
         methods, never through this tuple.
         """
         return tuple((shard, child) for shard, child, _ in self._members)
+
+    # -- observability ---------------------------------------------------------------
+
+    def instrument(self, events=None, tracer=None) -> None:
+        """Attach observability hooks (both optional, both default off).
+
+        ``events`` (an :class:`repro.obs.events.EventLog`) receives per-shard
+        ``shard.scan`` events and the ``topology.*`` reconfiguration events;
+        ``tracer`` (an :class:`repro.obs.tracing.Tracer`) receives per-shard
+        child timers keyed by each query's breakdown object, so the hub can
+        nest shard scan spans under the query's server span.  Emission is
+        fault-isolated and thread-safe on the hooks' side; with both left
+        ``None`` the scan path is exactly the uninstrumented one.
+        """
+        self.events = events
+        self.tracer = tracer
 
     # -- live reconfiguration (the control plane's swap points) ----------------------
 
@@ -499,6 +542,13 @@ class ShardedBackend(PIRBackend):
         # snapshot or the new one, never a child paired with a stale lane
         # count or a stale plan.
         self._topology = _Topology(plan, tuple(replaced))
+        if self.events is not None:
+            self.events.emit(
+                "topology.swap_child",
+                shard=shard_index,
+                child=child.capabilities().name,
+                transfer_seconds=report.total if report is not None else 0.0,
+            )
         return report
 
     def stage_topology(
@@ -586,6 +636,15 @@ class ShardedBackend(PIRBackend):
         # A later full re-prepare must rebuild the topology in effect, not
         # resurrect the pre-reshape plan.
         self._requested_plan = staged.topology.plan
+        if self.events is not None:
+            self.events.emit(
+                "topology.applied",
+                version=staged.topology.plan.version,
+                shards=staged.topology.plan.num_shards,
+                transfer_seconds=(
+                    staged.report.total if staged.report is not None else 0.0
+                ),
+            )
         return staged.report
 
     def apply_topology(

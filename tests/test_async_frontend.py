@@ -407,3 +407,129 @@ class TestClose:
 
         frontend = asyncio.run(run())
         assert frontend.metrics.batches_dispatched == 0
+
+
+class _RaisingBatchObserver:
+    """An ``observe_batch`` observer that always raises."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def observe_batch(self, indices, now):
+        self.calls += 1
+        raise RuntimeError("observer boom")
+
+
+class _RaisingFlushObserver:
+    """An ``observe_flush`` observer that always raises."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def observe_flush(self, observation):
+        self.calls += 1
+        raise RuntimeError("flush observer boom")
+
+
+class _FlakyHandle:
+    """A file-like handle that raises on every second write."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.writes = 0
+
+    def write(self, line):
+        self.writes += 1
+        if self.writes % 2 == 0:
+            raise OSError("disk full")
+        return self._inner.write(line)
+
+
+class TestObserverFaultIsolation:
+    """Telemetry faults must never fail the retrieval they observe."""
+
+    def test_raising_observer_routes_to_the_loop_exception_handler(self, database):
+        observer = _RaisingBatchObserver()
+        captured = []
+
+        async def run():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: captured.append(context)
+            )
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2),
+                observers=[observer],
+            )
+            return await frontend.retrieve_batch([3, 9])
+
+        records = asyncio.run(run())
+        # The retrieval succeeded despite the observer raising on its batch.
+        assert records == [database.record(3), database.record(9)]
+        assert observer.calls == 1
+        assert len(captured) == 1
+        assert isinstance(captured[0]["exception"], RuntimeError)
+
+    def test_raising_observe_flush_routes_to_the_loop_exception_handler(
+        self, database
+    ):
+        observer = _RaisingFlushObserver()
+        captured = []
+
+        async def run():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: captured.append(context)
+            )
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2),
+                observers=[observer],
+            )
+            return await frontend.retrieve_batch([5, 11])
+
+        records = asyncio.run(run())
+        assert records == [database.record(5), database.record(11)]
+        assert observer.calls == 1
+        assert len(captured) == 1
+        assert isinstance(captured[0]["exception"], RuntimeError)
+
+    def test_raising_jsonl_sink_never_corrupts_a_flush(self, database, tmp_path):
+        import json
+
+        from repro.obs import ObservabilityHub
+
+        path = tmp_path / "events.jsonl"
+        handle = open(path, "w", encoding="utf-8")
+        flaky = _FlakyHandle(handle)
+        hub = ObservabilityHub(jsonl_path=flaky)
+
+        async def run():
+            frontend = AsyncPIRFrontend(
+                make_client(database),
+                reference_replicas(database),
+                policy=BatchingPolicy(max_batch_size=2),
+            )
+            hub.attach(frontend)
+            records = await frontend.retrieve_batch([1, 2, 3, 4])
+            return frontend, records
+
+        frontend, records = asyncio.run(run())
+        handle.close()
+        # Every retrieval succeeded even though half the exports raised.
+        assert records == [database.record(i) for i in (1, 2, 3, 4)]
+        assert frontend.metrics.flush_reasons == {FLUSH_ON_SIZE: 2}
+        # The sink chain swallowed the faults (counted, remembered)...
+        assert hub.events.dropped > 0
+        assert isinstance(hub.events.last_error, OSError)
+        # ...and the file holds only complete JSON lines: the whole line is
+        # serialised before the single write, so a raising handle can fail
+        # only between records, never inside one.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert "name" in record and "seq" in record and "now" in record
+        # The healthy sinks kept receiving every event the flaky one dropped.
+        assert len(hub.ring.events()) > len(lines)

@@ -101,6 +101,35 @@ class TestMain:
         assert main(["smoke", "--batched", "--async"]) == 2
         assert "one of" in capsys.readouterr().err
 
+    def test_traced_smoke(self, capsys):
+        assert main(["smoke", "--traced"]) == 0
+        out = capsys.readouterr().out
+        assert "Traced smoke" in out
+        assert "bit-identical" in out
+        assert "float-exact" in out
+        assert "rebalance passes observed" in out
+
+    def test_traced_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--traced"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_traced_and_batched_are_exclusive(self, capsys):
+        assert main(["smoke", "--traced", "--batched"]) == 2
+        assert "one of" in capsys.readouterr().err
+
+    def test_report_target(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Observability report" in out
+        assert "== events ==" in out
+        assert "== metrics ==" in out
+        assert "repro_flushes_total" in out
+        assert "slowest traces" in out
+
+    def test_report_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "report" in capsys.readouterr().out
+
     def test_bench_quick(self, capsys):
         assert main(["bench", "--quick"]) == 0
         out = capsys.readouterr().out

@@ -21,6 +21,7 @@ EXAMPLES = [
     "async_frontend",
     "control_plane",
     "topology_reshape",
+    "observability",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",

@@ -1,13 +1,14 @@
-"""The PR 6 perf tooling: bench harness, JSON diff tool, vectorised-scan lint."""
+"""The PR 6/7 perf tooling: bench harness, history archive, diff tool, lints."""
 
 import importlib.util
 import json
+import os
 import sys
 from pathlib import Path
 
 import pytest
 
-from repro.bench.perf import render_bench, run_bench
+from repro.bench.perf import archive_metrics, bench_tag, render_bench, run_bench
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -49,6 +50,93 @@ class TestRunBench:
         first = run_bench(quick=True, output_path=None)["simulated_impir"]
         second = run_bench(quick=True, output_path=None)["simulated_impir"]
         assert first == second
+
+
+class TestBenchArchive:
+    def test_bench_tag_is_a_short_nonempty_token(self):
+        tag = bench_tag()
+        assert tag and " " not in tag
+
+    def test_archive_metrics_writes_a_tagged_artifact(self, tmp_path):
+        history = tmp_path / "history"
+        path = archive_metrics({"a": 1}, str(history), tag="abc123")
+        assert path == str(history / "BENCH_abc123.json")
+        written = json.loads(Path(path).read_text())
+        assert written == {"a": 1, "tag": "abc123"}
+
+    def test_run_bench_archives_into_history_dir(self, tmp_path):
+        history = tmp_path / "history"
+        metrics = run_bench(
+            quick=True, output_path=None, history_dir=str(history), tag="t1"
+        )
+        archived = Path(metrics["archived_to"])
+        assert archived == history / "BENCH_t1.json"
+        payload = json.loads(archived.read_text())
+        assert payload["tag"] == "t1"
+        # The archived payload is the pre-archive snapshot: no self-reference.
+        assert "archived_to" not in payload
+        assert payload["wall_clock"] == metrics["wall_clock"]
+
+
+def _write_history(tmp_path, runs):
+    """Write tagged quick-shaped artifacts with strictly increasing mtimes."""
+    history = tmp_path / "history"
+    history.mkdir()
+    for order, (tag, qps) in enumerate(runs):
+        payload = {
+            "tag": tag,
+            "wall_clock": {
+                "batched_qps": qps,
+                "batched_vs_sequential_speedup": 2.0,
+                "records_per_second": qps * 100,
+            },
+            "simulated_impir": {
+                "p50_latency_seconds": 1e-4,
+                "p99_latency_seconds": 2e-4,
+            },
+        }
+        path = history / f"BENCH_{tag}.json"
+        path.write_text(json.dumps(payload))
+        stamp = 1_000_000_000 + order
+        os.utime(path, (stamp, stamp))
+    return history
+
+
+class TestBenchTrajectory:
+    def test_load_history_orders_by_mtime_and_labels_by_tag(self, tmp_path):
+        compare = _load_tool("bench_compare")
+        history = _write_history(tmp_path, [("new", 900.0), ("old", 400.0)])
+        # "old" was written second, so it is the newest run despite its name.
+        loaded = compare.load_history(str(history))
+        assert [label for label, _ in loaded] == ["new", "old"]
+        assert loaded[0][1]["wall_clock.batched_qps"] == 900.0
+
+    def test_render_trajectory_one_row_per_run(self, tmp_path):
+        compare = _load_tool("bench_compare")
+        history = _write_history(tmp_path, [("aaa", 400.0), ("bbb", 900.0)])
+        text = compare.render_trajectory(compare.load_history(str(history)))
+        lines = text.splitlines()
+        assert "batched q/s" in lines[0] and "p99 us" in lines[0]
+        assert lines[1].startswith("aaa") and lines[2].startswith("bbb")
+        assert "900.00" in lines[2]
+
+    def test_main_directory_mode_prints_trajectory_and_full_diff(
+        self, tmp_path, capsys
+    ):
+        compare = _load_tool("bench_compare")
+        history = _write_history(tmp_path, [("first", 400.0), ("last", 900.0)])
+        assert compare.main([str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "first" in out and "last" in out
+        assert "full diff, first -> last:" in out
+        assert "+125.0%" in out  # 400 -> 900 qps
+
+    def test_main_empty_directory_is_an_error(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert compare.main([str(empty)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
 
 
 class TestBenchCompare:
@@ -140,3 +228,45 @@ class TestVectorizedScanLint:
         for path in lint.iter_python_files([str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]):
             total.extend(lint.check_file(path))
         assert total == []
+
+
+class TestPrintLint:
+    def _check(self, tmp_path, relative, source):
+        lint = _load_tool("lint")
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return lint.check_file(path)
+
+    def test_print_flagged_in_library_code(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/obs/report.py",
+            "def report(value):\n    print(value)\n",
+        )
+        assert any("bare print()" in message for _, message in findings)
+
+    @pytest.mark.parametrize("basename", ["cli.py", "__main__.py"])
+    def test_cli_entry_points_exempt(self, tmp_path, basename):
+        findings = self._check(
+            tmp_path,
+            f"src/repro/bench/{basename}",
+            "def main():\n    print('ok')\n",
+        )
+        assert not findings
+
+    def test_non_repro_packages_unaffected(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/other/mod.py",
+            "def show(value):\n    print(value)\n",
+        )
+        assert not findings
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/obs/report.py",
+            "def report(value):\n    print(value)  # noqa\n",
+        )
+        assert not findings

@@ -22,7 +22,11 @@ AST pass instead.  It flags:
 * per-record Python loops (single-argument ``for ... in range(num_records)``)
   under ``src/repro/pir/`` and ``src/repro/core/`` — data-plane scans must go
   through the vectorised kernels; chunked ``range(start, stop, step)`` walks
-  remain legal.
+  remain legal;
+* bare ``print(`` anywhere under ``src/repro/`` — library code reports
+  through the structured event log (:mod:`repro.obs.events`) or returns
+  strings for the CLI layer to print; only the CLI entry points
+  (``cli.py``, ``__main__.py``) are user-facing by design and exempt.
 
 Usage::
 
@@ -117,6 +121,19 @@ def _is_vectorized_scan_only(path: Path) -> bool:
     )
 
 
+#: CLI entry-point modules: printing is their job, everywhere else in the
+#: library it bypasses the structured event log and pollutes stdout.
+PRINT_EXEMPT_BASENAMES = {"cli.py", "__main__.py"}
+
+
+def _is_print_banned(path: Path) -> bool:
+    if path.name in PRINT_EXEMPT_BASENAMES:
+        return False
+    # The ``repro`` path part marks library code (src/repro/...); tools/ and
+    # tests/ never contain it, so they stay free to print.
+    return "repro" in path.parts
+
+
 def _is_per_record_loop(node: ast.AST) -> bool:
     """True for ``for ... in range(num_records)`` (single-argument form only).
 
@@ -149,6 +166,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     noqa = _noqa_lines(source)
     simulated_clock_only = _is_simulated_clock_only(path)
     vectorized_scan_only = _is_vectorized_scan_only(path)
+    print_banned = _is_print_banned(path)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
     wildcards: List[Tuple[int, str]] = []
@@ -189,6 +207,20 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                             "from the caller",
                         )
                     )
+        if (
+            print_banned
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            deprecated.append(
+                (
+                    node.lineno,
+                    "bare print() in library code (src/repro/) — emit through "
+                    "repro.obs.events.EventLog or return strings for the CLI "
+                    "layer to print",
+                )
+            )
         if vectorized_scan_only and _is_per_record_loop(node):
             deprecated.append(
                 (
