@@ -23,8 +23,10 @@ lint:
 ## across every topology version, records identical to a static fleet),
 ## then re-drives it with the observability hub attached (asserts records
 ## bit-identical to the uninstrumented run, span totals float-equal to the
-## engine's PhaseTimer totals, >= 1 rebalance event, nonzero cache hits);
-## exits non-zero on any drift.
+## engine's PhaseTimer totals, >= 1 rebalance event, nonzero cache hits),
+## then drives a surging workload through the closed-loop autoscaler
+## (asserts >= 1 scale-up, >= 1 scale-down, >= 1 damped reshape, records
+## bit-identical to a static fleet); exits non-zero on any drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
 	$(PYTHON) -m repro.bench.cli smoke --async
@@ -32,6 +34,7 @@ smoke:
 	$(PYTHON) -m repro.bench.cli smoke --resplit
 	$(PYTHON) -m repro.bench.cli smoke --batched
 	$(PYTHON) -m repro.bench.cli smoke --traced
+	$(PYTHON) -m repro.bench.cli smoke --autoscale
 
 ## Wall-clock benchmark of the batched one-pass scan path against the
 ## sequential per-query path on the reference backend; writes BENCH_PR6.json

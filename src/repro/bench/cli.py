@@ -32,6 +32,7 @@ from repro.bench.perf import (
 )
 from repro.bench.smoke import (
     async_backend_smoke,
+    autoscale_smoke,
     backend_smoke,
     batched_smoke,
     observability_report,
@@ -118,6 +119,14 @@ def main(argv=None) -> int:
         "topology, heat remap) and cross-check records against a static fleet",
     )
     parser.add_argument(
+        "--autoscale",
+        dest="use_autoscale",
+        action="store_true",
+        help="with the smoke target: drive a surging Zipf workload through "
+        "the closed-loop autoscaler (replica elasticity, cost-damped "
+        "reshapes) and cross-check records against a static fleet",
+    )
+    parser.add_argument(
         "--batched",
         dest="use_batched",
         action="store_true",
@@ -147,6 +156,7 @@ def main(argv=None) -> int:
         "--async": args.use_async,
         "--rebalance": args.use_rebalance,
         "--resplit": args.use_resplit,
+        "--autoscale": args.use_autoscale,
         "--batched": args.use_batched,
         "--traced": args.use_traced,
     }
@@ -157,8 +167,8 @@ def main(argv=None) -> int:
             return 2
         if len(selected) > 1:
             print(
-                "pick one of --async / --rebalance / --resplit / --batched / "
-                "--traced per run",
+                "pick one of --async / --rebalance / --resplit / --autoscale / "
+                "--batched / --traced per run",
                 file=sys.stderr,
             )
             return 2
@@ -168,6 +178,8 @@ def main(argv=None) -> int:
             print(rebalance_smoke())
         elif args.use_resplit:
             print(resplit_smoke())
+        elif args.use_autoscale:
+            print(autoscale_smoke())
         elif args.use_traced:
             print(traced_smoke())
         else:

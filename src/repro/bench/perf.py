@@ -19,6 +19,17 @@ Wall-clock numbers come from a best-of-``repeats`` loop (the minimum is the
 least noisy estimator on a shared machine); the p50/p99 latencies are
 *simulated* ones taken from the IM-PIR cluster schedule, so they are exactly
 reproducible run to run.
+
+Beyond the batched-vs-sequential headline, the artifact carries two more
+sections:
+
+* ``backend_survey`` — wall-clock records/sec (and records/sec per engaged
+  host core) of the batched path on the reference, sharded and streamed
+  backends, each correctness-gated against the reference payloads first;
+* ``dpu_pipeline`` — the *simulated* DPU pipeline cost model per PIM backend
+  kind, built from :class:`~repro.pim.timing.PIMTimingModel`: broadcast +
+  launch + dpXOR kernel + gather + host fold per query, reported as
+  records/sec and records/sec per DPU (deterministic, clock-free).
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.engine import create_server
 from repro.dpf.prf import make_prg
+from repro.pim.config import scaled_down_config
+from repro.pim.timing import PIMTimingModel
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
 
@@ -48,6 +61,25 @@ FULL_SHAPE = {"num_records": 4096, "record_size": 32, "batch_size": 32, "repeats
 
 #: The quick-mode shape: small enough for ``make check``.
 QUICK_SHAPE = {"num_records": 1024, "record_size": 32, "batch_size": 16, "repeats": 3}
+
+#: The wall-clock backend survey: every entry names a registered backend
+#: kind, the kwargs to build it with, and the number of host cores its
+#: batched path engages (the denominator of records/sec/core — the sharded
+#: backend fans its children out on a thread pool, the others are
+#: single-core by construction).
+SURVEY_BACKENDS = (
+    {"kind": "reference", "kwargs": {}, "cores": 1},
+    {
+        "kind": "sharded",
+        "kwargs": {"num_shards": 2, "executor": "threads"},
+        "cores": 2,
+    },
+    {"kind": "im-pir-streamed", "kwargs": {}, "cores": 1},
+)
+
+#: The simulated DPU pipeline survey: PIM backend kinds and the DPU counts
+#: their default registry configurations use (``scaled_down_config``).
+DPU_PIPELINE_KINDS = ({"kind": "im-pir", "num_dpus": 8}, {"kind": "im-pir-streamed", "num_dpus": 4})
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -102,6 +134,80 @@ def archive_metrics(
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def backend_survey(
+    database: Database,
+    queries: Sequence[object],
+    reference_payloads: Sequence[bytes],
+    repeats: int,
+) -> List[Dict[str, object]]:
+    """Wall-clock records/sec (and per engaged core) of each surveyed backend.
+
+    Every backend is correctness-gated first: its batched payloads must be
+    bit-identical to the reference backend's before its clock numbers count.
+    """
+    rows: List[Dict[str, object]] = []
+    for entry in SURVEY_BACKENDS:
+        kind = str(entry["kind"])
+        engine = create_server(kind, database, server_id=0, **entry["kwargs"]).engine
+        payloads = [
+            result.answer.payload for result in engine.answer_many(queries).results
+        ]
+        if list(payloads) != list(reference_payloads):
+            raise AssertionError(
+                f"backend {kind!r} payloads drifted from the reference backend"
+            )
+        batched_seconds = _best_of(lambda: engine.answer_many(queries), repeats)
+        cores = min(int(entry["cores"]), os.cpu_count() or 1)
+        records_scanned = len(queries) * database.num_records
+        records_per_second = records_scanned / batched_seconds
+        rows.append(
+            {
+                "backend": kind,
+                "cores": cores,
+                "batched_seconds": batched_seconds,
+                "records_per_second": records_per_second,
+                "records_per_second_per_core": records_per_second / cores,
+            }
+        )
+    return rows
+
+
+def dpu_pipeline_model(num_records: int, record_size: int) -> List[Dict[str, object]]:
+    """Simulated per-query DPU pipeline cost per PIM backend kind.
+
+    Deterministic (cost model only, no clock): one query's pipeline is
+    selector broadcast to the DPU set, kernel launch, the dpXOR scan over
+    each DPU's chunk, the per-DPU partial gather, and the host XOR fold.
+    """
+    selector_bytes = max(1, num_records // 8)
+    rows: List[Dict[str, object]] = []
+    for entry in DPU_PIPELINE_KINDS:
+        num_dpus = int(entry["num_dpus"])
+        model = PIMTimingModel(scaled_down_config(num_dpus=num_dpus, tasklets=4))
+        chunk_bytes = -(-num_records * record_size // num_dpus)
+        kernel = model.dpu_dpxor_cost(chunk_bytes, record_size)
+        stages = {
+            "broadcast_seconds": model.host_broadcast_seconds(selector_bytes),
+            "launch_seconds": model.launch_seconds(num_dpus),
+            "kernel_seconds": kernel.total_seconds,
+            "gather_seconds": model.dpu_to_host_seconds(num_dpus * record_size),
+            "fold_seconds": model.host_aggregate_xor_seconds(num_dpus, record_size),
+        }
+        per_query_seconds = sum(stages.values())
+        records_per_second = num_records / per_query_seconds
+        rows.append(
+            {
+                "backend": str(entry["kind"]),
+                "num_dpus": num_dpus,
+                "per_query_seconds": per_query_seconds,
+                "records_per_second": records_per_second,
+                "records_per_second_per_dpu": records_per_second / num_dpus,
+                "stages": stages,
+            }
+        )
+    return rows
 
 
 def run_bench(
@@ -177,6 +283,10 @@ def run_bench(
             "p99_latency_seconds": _percentile(latencies, 0.99),
             "batch_makespan_seconds": schedule.makespan,
         },
+        "backend_survey": backend_survey(
+            database, queries, sequential_payloads, repeats
+        ),
+        "dpu_pipeline": dpu_pipeline_model(num_records, record_size),
     }
 
     if quick and speedup < 1.0:
@@ -218,5 +328,26 @@ def render_bench(metrics: Dict[str, object]) -> str:
         f"p50 {simulated['p50_latency_seconds'] * 1e6:8.2f} us   "
         f"p99 {simulated['p99_latency_seconds'] * 1e6:8.2f} us   "
         f"batch makespan {simulated['batch_makespan_seconds'] * 1e6:8.2f} us",
+        "",
+        "backend survey (wall clock, batched path, payloads gated on reference):",
+        f"{'backend':>16} {'cores':>5} {'records/s':>14} {'records/s/core':>15}",
     ]
+    for row in metrics["backend_survey"]:
+        lines.append(
+            f"{row['backend']:>16} {row['cores']:>5} "
+            f"{row['records_per_second']:>14,.0f} "
+            f"{row['records_per_second_per_core']:>15,.0f}"
+        )
+    lines += [
+        "",
+        "DPU pipeline cost model (simulated, deterministic):",
+        f"{'backend':>16} {'DPUs':>5} {'us/query':>9} {'records/s':>14} {'records/s/DPU':>14}",
+    ]
+    for row in metrics["dpu_pipeline"]:
+        lines.append(
+            f"{row['backend']:>16} {row['num_dpus']:>5} "
+            f"{row['per_query_seconds'] * 1e6:>9.2f} "
+            f"{row['records_per_second']:>14,.0f} "
+            f"{row['records_per_second_per_dpu']:>14,.0f}"
+        )
     return "\n".join(lines)

@@ -18,6 +18,7 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.units import format_seconds
+from repro.control.autoscaler import AutoscalePolicy, DampingPolicy
 from repro.control.plane import controlled_fleet
 from repro.core.engine import available_backends, create_server
 from repro.dpf.prf import make_prg
@@ -350,6 +351,134 @@ def resplit_smoke(
         f"across {rebalancer.total_splits} split(s), {rebalancer.total_merges} "
         f"merge(s) and {rebalancer.total_migrations} kind migration(s); heat "
         f"remapped (never reset) across every plan version"
+    )
+    return "\n".join(lines)
+
+
+def autoscale_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    seed: int = 10,
+) -> str:
+    """The ``--autoscale`` smoke: the closed loop under a surging workload.
+
+    Drives a calm → surge → cool-down Zipf stream through a controlled
+    fleet with the full PR-8 loop on — replica elasticity from sustained
+    utilization plus cost-aware damping on every reshape — and asserts the
+    acceptance properties: at least one scale-up and one scale-down
+    happened, at least one borderline reshape was suppressed by damping,
+    and every retrieved record is bit-identical to a static single-replica
+    fleet that never scales or reshapes.
+    """
+    database = Database.random(num_records, record_size, seed=seed)
+    plan = ShardPlan.uniform(num_records, 4, block_records=8)
+
+    # Three traffic phases on the simulated clock: a calm trickle (the
+    # utilization dead zone), a 10x surge (sustained over the scale-up
+    # band), and a cool-down (heat decays under the scale-down band).
+    calm = zipf_trace(num_records, 64, exponent=1.2, seed=seed + 3)
+    surge = zipf_trace(num_records, 160, exponent=1.4, seed=seed + 4)
+    cool = zipf_trace(num_records, 64, exponent=1.2, seed=seed + 5)
+    stream = list(calm) + list(surge) + list(cool)
+    arrivals: List[float] = []
+    now = 0.0
+    for gap, phase in ((0.05, calm), (0.005, surge), (0.05, cool)):
+        for _ in phase:
+            arrivals.append(now)
+            now += gap
+    seed_heats = heats_from_trace(
+        plan,
+        list(calm),
+        arrival_seconds=arrivals[: len(calm)],
+        window_seconds=0.2,
+        decay=0.5,
+    )
+
+    def make_client(extra: int) -> PIRClient:
+        return PIRClient(
+            num_records, record_size, seed=seed + extra, prg=make_prg("numpy")
+        )
+
+    policy = BatchingPolicy(max_batch_size=8, max_wait_seconds=10.0)
+    static = FleetRouter(make_client(6), database, plan, seed_heats, policy=policy)
+    static_records = static.retrieve_batch(stream)
+
+    autoscale = AutoscalePolicy(
+        target_heat_per_replica=10.0,
+        scale_up_utilization=0.8,
+        scale_down_utilization=0.3,
+        min_replicas=1,
+        max_replicas=2,
+        sustain_passes=2,
+        evaluation_interval_seconds=0.2,
+    )
+    # A generous merge floor keeps proposing merges of shards that still
+    # carry a little heat; their projected saving is negative (the merged
+    # shard scans both ranges on every query), so damping vetoes them —
+    # the observable "refused to flap" half of the loop.
+    damping = DampingPolicy(amortize_windows=4.0, cooldown_seconds=0.4)
+    router, plane = controlled_fleet(
+        make_client(6),
+        database,
+        plan,
+        seed_heats,
+        window_seconds=0.2,
+        decay=0.5,
+        rebalance_interval_seconds=0.4,
+        split_heat_share=0.5,
+        merge_heat_floor=5.0,
+        min_shards=2,
+        max_shards=8,
+        damping=damping,
+        autoscale=autoscale,
+        dedup=True,
+        policy=policy,
+    )
+
+    request_ids = []
+    for index, arrival in zip(stream, arrivals):
+        request_ids.append(router.submit(index, arrival_seconds=arrival))
+    router.close()
+    live_records = [router.take_record(request_id) for request_id in request_ids]
+
+    if live_records != static_records:
+        raise AssertionError(
+            "autoscaled fleet drifted from the static fleet's records"
+        )
+    autoscaler = plane.autoscaler
+    ups = [a for a in autoscaler.actions if a.direction == "up"]
+    downs = [a for a in autoscaler.actions if a.direction == "down"]
+    if not ups or not downs:
+        raise AssertionError(
+            f"expected at least one scale-up and one scale-down, got "
+            f"{len(ups)} up / {len(downs)} down"
+        )
+    suppressed = plane.rebalancer.total_suppressed
+    if suppressed < 1:
+        raise AssertionError("damping never suppressed a borderline reshape")
+    if router.replica_count != 1:
+        raise AssertionError(
+            f"fleet did not return to one replica per trust domain "
+            f"(ended at {router.replica_count})"
+        )
+
+    lines = [
+        "Autoscale smoke: closed-loop elasticity under a surging Zipf workload",
+        f"database: {num_records} records x {record_size} B, "
+        f"{len(stream)} queries (calm {len(calm)} / surge {len(surge)} / "
+        f"cool {len(cool)})",
+        "",
+    ]
+    lines.extend(plane.describe())
+    for action in autoscaler.actions:
+        lines.append("  " + action.describe())
+    lines.append("")
+    lines.extend(render_placements(router.placements))
+    lines.append(
+        f"{len(stream)} records verified bit-identical to the static fleet "
+        f"across {len(ups)} scale-up(s), {len(downs)} scale-down(s) and "
+        f"{suppressed} damped reshape(s); "
+        f"{router.metrics.reconfigurations} gated reconfiguration(s)"
     )
     return "\n".join(lines)
 

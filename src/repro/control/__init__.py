@@ -19,12 +19,27 @@ separate from application logic):
 * :class:`HotRecordCache` — an opt-in LRU tier with heat-informed
   admission in front of a fleet (requires ``dedup=True``; invalidated by
   ``apply_updates`` dirty indices);
+* :class:`ReplicaAutoscaler` / :class:`DampingPolicy` /
+  :class:`AsyncControlDriver` — the closed loop: replica-count elasticity
+  from sustained utilization, cost-aware damping of every reshape and kind
+  migration, and the managed asyncio task that drives periodic control
+  passes through the async frontend's quiesce gate;
 * :class:`ControlPlane` / :func:`controlled_fleet` — the wiring.
 
 Everything here runs on the simulated clock — ``now`` always comes from
-the caller, and ``tools/lint.py`` rejects wall-clock reads in this package.
+the caller, and ``tools/lint.py`` rejects wall-clock reads (including
+event-loop ``.time()``) in this package.
 """
 
+from repro.control.autoscaler import (
+    AsyncControlDriver,
+    AutoscaleAction,
+    AutoscalePolicy,
+    DampingPolicy,
+    DampingVerdict,
+    ReplicaAutoscaler,
+    ReshapeDamper,
+)
 from repro.control.cache import CacheStats, HotRecordCache
 from repro.control.plane import ControlPlane, controlled_fleet
 from repro.control.rebalancer import (
@@ -37,12 +52,19 @@ from repro.control.rebalancer import (
 from repro.control.telemetry import HeatTracker
 
 __all__ = [
+    "AsyncControlDriver",
+    "AutoscaleAction",
+    "AutoscalePolicy",
     "CacheStats",
+    "DampingPolicy",
+    "DampingVerdict",
     "HotRecordCache",
     "ControlPlane",
     "controlled_fleet",
     "RebalanceReport",
     "Rebalancer",
+    "ReplicaAutoscaler",
+    "ReshapeDamper",
     "ShardMerge",
     "ShardMigration",
     "ShardSplit",

@@ -1,0 +1,583 @@
+"""The closed control loop: async driver, cost-damped reshapes, elastic replicas.
+
+PRs 4–5 made the fleet *able* to rebalance, re-shape and cache on live heat,
+but every decision was still caller-driven and the replica set was fixed at
+construction.  This module closes the loop with three pieces:
+
+* :class:`AsyncControlDriver` — a managed asyncio task (owned by
+  :class:`~repro.control.plane.ControlPlane`) that periodically runs a
+  control pass against live traffic **through the frontend's
+  writer-preferring quiesce gate**
+  (:meth:`repro.pir.async_frontend.AsyncPIRFrontend.reconfigure`).  The
+  expensive part of a scale-up — preparing the fresh replica members — is
+  staged *outside* the gate from a database snapshot while traffic keeps
+  flowing; only the commit (dirty-update replay + member install + the
+  rebalance pass itself) holds the writer slot.  The driver is wall-clock
+  free: the clock is injected by the caller (the event loop's ``loop.time``
+  in production, a simulated clock in tests) — ``tools/lint.py`` bans both
+  ``time.*`` and ``asyncio.get_running_loop().time()`` in this package.
+
+* :class:`DampingPolicy` / :class:`ReshapeDamper` — cost-aware hysteresis
+  for split, merge and migration decisions.  Every proposed reshape is
+  charged its transfer cost (the changed placements' preload terms, from the
+  same :class:`~repro.pim.timing.PIMTimingModel` formulas the placement
+  uses) against its projected per-window saving, and is allowed only when
+  the saving amortizes the transfer within ``amortize_windows``; a
+  per-record-range cooldown additionally suppresses actions that touch a
+  recently reshaped range.  Borderline heat therefore never flaps the
+  topology — the suppressed actions surface as :class:`DampingVerdict`
+  entries on the :class:`~repro.control.rebalancer.RebalanceReport`.
+
+* :class:`AutoscalePolicy` / :class:`ReplicaAutoscaler` — replica-count
+  elasticity from sustained utilization.  Total tracked heat over the
+  per-replica capacity target gives a utilization; crossing the scale-up /
+  scale-down bands for ``sustain_passes`` consecutive evaluations (plus an
+  action cooldown) adds or drains one whole replica per trust domain via
+  :meth:`~repro.shard.fleet.FleetRouter.add_replica` /
+  :meth:`~repro.shard.fleet.FleetRouter.drain_replica`.  Replicas within a
+  trust domain hold identical bytes, so retrievals stay bit-identical to a
+  static fleet through every scale action.
+
+Simulated clock only (lint-enforced for this package): ``now`` comes from
+the frontend observe hook, the injected driver clock, or the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.shard.fleet import CandidateKind, FleetRouter, StagedReplicas
+
+
+# -- cost-aware damping --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DampingPolicy:
+    """When is a reshape worth its transfer cost?
+
+    ``amortize_windows`` is the horizon (in heat-tracker operating windows)
+    the projected per-window saving must repay the transfer within: a split
+    whose halves save 1 ms per window and cost 10 ms to stand up is allowed
+    at a horizon of 10+ windows and suppressed below.  ``cooldown_seconds``
+    suppresses any action overlapping a record range that was reshaped or
+    migrated less than that long ago, whatever its economics — the second
+    line of flap defence.  ``shard_overhead_seconds`` prices the standing
+    per-window cost of *having* a shard (launch/bookkeeping overhead the
+    per-query formulas do not see): a merge saves one, a split spends one.
+    With the default 0 a merge of two shards carrying any heat projects a
+    strictly negative saving (the merged shard scans both ranges for every
+    query) and is suppressed — raise the overhead to make consolidation of
+    near-cold shards economical again.
+    """
+
+    amortize_windows: float = 4.0
+    cooldown_seconds: float = 0.0
+    shard_overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amortize_windows <= 0:
+            raise ConfigurationError("amortize_windows must be positive")
+        if self.cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be non-negative")
+        if self.shard_overhead_seconds < 0:
+            raise ConfigurationError("shard_overhead_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class DampingVerdict:
+    """One reshape the damper suppressed (observable on the pass report)."""
+
+    #: ``"split"``, ``"merge"`` or ``"migrate"``.
+    action: str
+    #: The record range the suppressed action would have touched.
+    start: int
+    stop: int
+    #: Why it was suppressed: ``"unamortized"`` (the projected saving does
+    #: not repay the transfer within the horizon) or ``"cooldown"``.
+    reason: str
+    #: Projected per-window saving of the action (may be negative).
+    saving_seconds: float
+    #: One-time transfer cost the action would have charged.
+    transfer_seconds: float
+    now: float
+
+    def describe(self) -> str:
+        return (
+            f"damped {self.action} [{self.start},{self.stop}) ({self.reason}: "
+            f"saves {self.saving_seconds * 1e3:.3f}ms/window, costs "
+            f"{self.transfer_seconds * 1e3:.3f}ms)"
+        )
+
+
+def best_option(
+    candidates: Sequence[CandidateKind],
+    num_records: int,
+    record_size: int,
+    heat: float,
+) -> Tuple[float, float]:
+    """``(window_cost, preload)`` of the cheapest candidate for a hypothetical
+    shard — the same ``preload + heat * per_query`` comparison
+    :func:`~repro.shard.fleet.plan_placements` runs, without needing a
+    :class:`~repro.shard.plan.ShardSpec` to exist yet (the damper prices
+    shards a split *would* create)."""
+    if not candidates:
+        raise ConfigurationError("damping needs at least one candidate kind")
+    best: Optional[Tuple[float, float]] = None
+    for candidate in candidates:
+        preload = candidate.preload_seconds(num_records, record_size)
+        cost = preload + heat * candidate.per_query_seconds(num_records, record_size)
+        if best is None or cost < best[0]:
+            best = (cost, preload)
+    return best
+
+
+def kind_window_cost(
+    candidates: Sequence[CandidateKind],
+    kind: str,
+    num_records: int,
+    record_size: int,
+    heat: float,
+) -> float:
+    """The per-window cost of keeping a shard on one *specific* kind."""
+    for candidate in candidates:
+        if candidate.kind == kind:
+            return candidate.preload_seconds(
+                num_records, record_size
+            ) + heat * candidate.per_query_seconds(num_records, record_size)
+    raise ConfigurationError(
+        f"kind {kind!r} is not among the placement candidates"
+    )
+
+
+class ReshapeDamper:
+    """Stateful judge for reshape proposals: amortization + range cooldown.
+
+    Owned by the :class:`~repro.control.rebalancer.Rebalancer` when a
+    :class:`DampingPolicy` is configured.  ``judge`` returns ``None`` for an
+    allowed action or the :class:`DampingVerdict` that suppresses it;
+    ``note_action`` records an executed action's record range so the
+    cooldown can veto follow-ups that touch it.  Ranges (not shard indices)
+    key the cooldown because reshapes renumber shards — the record space is
+    the only stable coordinate system across plan versions.
+    """
+
+    def __init__(self, policy: DampingPolicy) -> None:
+        self.policy = policy
+        self._recent: List[Tuple[float, int, int]] = []
+
+    def note_action(self, now: float, start: int, stop: int) -> None:
+        """Record an executed reshape/migration over ``[start, stop)``."""
+        if self.policy.cooldown_seconds <= 0:
+            return
+        horizon = now - self.policy.cooldown_seconds
+        self._recent = [
+            entry for entry in self._recent if entry[0] >= horizon
+        ]
+        self._recent.append((now, start, stop))
+
+    def in_cooldown(self, now: float, start: int, stop: int) -> bool:
+        """Does ``[start, stop)`` overlap a range acted on within cooldown?"""
+        if self.policy.cooldown_seconds <= 0:
+            return False
+        return any(
+            now - acted_at < self.policy.cooldown_seconds
+            and start < acted_stop
+            and stop > acted_start
+            for acted_at, acted_start, acted_stop in self._recent
+        )
+
+    def judge(
+        self,
+        action: str,
+        start: int,
+        stop: int,
+        saving_seconds: float,
+        transfer_seconds: float,
+        now: float,
+    ) -> Optional[DampingVerdict]:
+        """``None`` when the action may proceed, else the suppressing verdict.
+
+        Allowed iff the range is out of cooldown, the projected saving is
+        non-negative, and ``saving * amortize_windows >= transfer`` — so a
+        zero-saving action is still allowed when it costs nothing (a merge
+        of truly cold shards onto a streamed kind transfers no bytes).
+        """
+
+        def verdict(reason: str) -> DampingVerdict:
+            return DampingVerdict(
+                action=action,
+                start=start,
+                stop=stop,
+                reason=reason,
+                saving_seconds=saving_seconds,
+                transfer_seconds=transfer_seconds,
+                now=now,
+            )
+
+        if self.in_cooldown(now, start, stop):
+            return verdict("cooldown")
+        if saving_seconds < 0:
+            return verdict("unamortized")
+        if saving_seconds * self.policy.amortize_windows < transfer_seconds:
+            return verdict("unamortized")
+        return None
+
+
+# -- replica autoscaling --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Replica-count targets from sustained utilization, with hysteresis.
+
+    ``target_heat_per_replica`` is the per-window query heat one replica
+    (per trust domain) is sized to carry at comfortable utilization;
+    ``utilization = total heat / (target * replicas)``.  Utilization at or
+    above ``scale_up_utilization`` for ``sustain_passes`` consecutive
+    evaluations adds a replica; at or below ``scale_down_utilization`` for
+    as long drains one.  The gap between the bands is the hysteresis dead
+    zone — keep ``scale_down < scale_up * (count-1)/count`` or a scale-up
+    could immediately qualify for a scale-down.  Evaluations are spaced
+    ``evaluation_interval_seconds`` apart on the simulated clock (the first
+    call only anchors the interval, like the rebalancer's);
+    ``cooldown_seconds`` is the minimum quiet time after any action.
+    """
+
+    target_heat_per_replica: float
+    scale_up_utilization: float = 0.8
+    scale_down_utilization: float = 0.3
+    min_replicas: int = 1
+    max_replicas: int = 4
+    sustain_passes: int = 2
+    evaluation_interval_seconds: float = 1.0
+    cooldown_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.target_heat_per_replica <= 0:
+            raise ConfigurationError("target_heat_per_replica must be positive")
+        if not 0 < self.scale_down_utilization < self.scale_up_utilization:
+            raise ConfigurationError(
+                "need 0 < scale_down_utilization < scale_up_utilization"
+            )
+        if self.min_replicas < 1:
+            raise ConfigurationError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ConfigurationError("max_replicas must be at least min_replicas")
+        if self.sustain_passes < 1:
+            raise ConfigurationError("sustain_passes must be at least 1")
+        if self.evaluation_interval_seconds <= 0:
+            raise ConfigurationError("evaluation_interval_seconds must be positive")
+        if self.cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class AutoscaleAction:
+    """One executed replica-count change."""
+
+    now: float
+    #: ``"up"`` or ``"down"``.
+    direction: str
+    replicas_before: int
+    replicas_after: int
+    #: The utilization estimate that triggered the action.
+    utilization: float
+    #: Simulated preload cost of the new members (0 for a drain) — members
+    #: of the two trust domains come up in parallel, so the max is charged.
+    transfer_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"scale-{self.direction} @ {self.now:.3f}s: "
+            f"{self.replicas_before} -> {self.replicas_after} replica(s) "
+            f"(utilization {self.utilization:.2f}, "
+            f"{self.transfer_seconds * 1e3:.3f}ms transfer)"
+        )
+
+
+class ReplicaAutoscaler:
+    """Targets a replica count per trust domain from sustained utilization.
+
+    Drive it from the frontend observe hook (via
+    :class:`~repro.control.plane.ControlPlane` with ``observer_driven=True``)
+    or from the :class:`AsyncControlDriver`; either way :meth:`decide`
+    evaluates the bands at most once per
+    ``evaluation_interval_seconds``, and :meth:`apply` /
+    :meth:`commit_add` execute the change through the router's
+    stage/commit discipline.  Exactly one driver must own the evaluation
+    cadence — feeding the same autoscaler from both the observer hook and a
+    driver would double-count sustain passes.
+    """
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        tracker,
+        policy: AutoscalePolicy,
+    ) -> None:
+        if router.replica_count < policy.min_replicas:
+            raise ConfigurationError(
+                f"router starts with {router.replica_count} replica(s), "
+                f"below min_replicas={policy.min_replicas}"
+            )
+        if router.replica_count > policy.max_replicas:
+            raise ConfigurationError(
+                f"router starts with {router.replica_count} replica(s), "
+                f"above max_replicas={policy.max_replicas}"
+            )
+        self.router = router
+        self.tracker = tracker
+        self.policy = policy
+        #: Every executed action, in time order.
+        self.actions: List[AutoscaleAction] = []
+        #: Optional :class:`~repro.obs.events.EventLog` (hub-wired); every
+        #: action emits an ``autoscale.action`` event when set.
+        self.events = None
+        self._last_eval: Optional[float] = None
+        self._last_action_at: Optional[float] = None
+        self._above = 0
+        self._below = 0
+        self._last_utilization = 0.0
+
+    @property
+    def last_action(self) -> Optional[AutoscaleAction]:
+        return self.actions[-1] if self.actions else None
+
+    def utilization(self) -> float:
+        """Total tracked heat over the fleet's current capacity target."""
+        capacity = self.policy.target_heat_per_replica * self.router.replica_count
+        return sum(self.tracker.heats()) / capacity if capacity > 0 else 0.0
+
+    # -- the policy ------------------------------------------------------------------
+
+    def decide(self, now: float) -> Optional[str]:
+        """``"up"``, ``"down"`` or ``None`` — and advance the hysteresis state.
+
+        Mutates the sustain streaks, so call it exactly once per evaluation
+        point (the interval gate makes extra calls within one interval
+        harmless).  The first call anchors the evaluation clock.
+        """
+        if self._last_eval is None:
+            self._last_eval = now
+            return None
+        if now - self._last_eval < self.policy.evaluation_interval_seconds:
+            return None
+        self._last_eval = now
+        utilization = self.utilization()
+        self._last_utilization = utilization
+        if utilization >= self.policy.scale_up_utilization:
+            self._above += 1
+            self._below = 0
+        elif utilization <= self.policy.scale_down_utilization:
+            self._below += 1
+            self._above = 0
+        else:
+            self._above = 0
+            self._below = 0
+        if (
+            self._last_action_at is not None
+            and now - self._last_action_at < self.policy.cooldown_seconds
+        ):
+            return None
+        count = self.router.replica_count
+        if self._above >= self.policy.sustain_passes and count < self.policy.max_replicas:
+            return "up"
+        if self._below >= self.policy.sustain_passes and count > self.policy.min_replicas:
+            return "down"
+        return None
+
+    def maybe_scale(self, now: float) -> Optional[AutoscaleAction]:
+        """The observer-hook entry point: decide, then apply in one step."""
+        decision = self.decide(now)
+        if decision is None:
+            return None
+        return self.apply(decision, now)
+
+    # -- execution -------------------------------------------------------------------
+
+    def apply(self, decision: str, now: float) -> AutoscaleAction:
+        """Execute a :meth:`decide` outcome (stage + commit inline)."""
+        if decision == "up":
+            return self.commit_add(self.router.stage_replicas(), now)
+        if decision != "down":
+            raise ConfigurationError(f"unknown autoscale decision {decision!r}")
+        before = self.router.replica_count
+        self.router.drain_replica()
+        return self._record("down", before, transfer_seconds=0.0, now=now)
+
+    def commit_add(self, staged: StagedReplicas, now: float) -> AutoscaleAction:
+        """Commit an already-staged scale-up (the driver stages off-gate)."""
+        before = self.router.replica_count
+        members = self.router.commit_replicas(staged)
+        transfer = max(
+            (
+                member.preload_report.total
+                for member in members
+                if member.preload_report is not None
+            ),
+            default=0.0,
+        )
+        return self._record("up", before, transfer_seconds=transfer, now=now)
+
+    def _record(
+        self, direction: str, before: int, transfer_seconds: float, now: float
+    ) -> AutoscaleAction:
+        action = AutoscaleAction(
+            now=now,
+            direction=direction,
+            replicas_before=before,
+            replicas_after=self.router.replica_count,
+            utilization=self._last_utilization,
+            transfer_seconds=transfer_seconds,
+        )
+        self.actions.append(action)
+        self._last_action_at = now
+        self._above = 0
+        self._below = 0
+        if self.events is not None:
+            self.events.emit(
+                "autoscale.action",
+                now=now,
+                direction=direction,
+                replicas=action.replicas_after,
+                utilization=action.utilization,
+                transfer_seconds=transfer_seconds,
+            )
+        return action
+
+
+# -- the async control driver ----------------------------------------------------------
+
+
+class AsyncControlDriver:
+    """A managed asyncio task running periodic control passes under the gate.
+
+    Owns the loop the observer hook cannot: frontend observers run while
+    holding a *reader* slot, so a reconfiguration there would deadlock
+    against the flush that invoked it
+    (:meth:`~repro.pir.async_frontend.AsyncPIRFrontend.reconfigure`
+    documents this).  The driver instead sleeps ``interval_seconds``
+    between passes and runs each pass through the frontend's
+    writer-preferring quiesce, so live flushes drain first and none spans
+    the change.
+
+    ``clock`` is injected — a zero-argument callable returning seconds.
+    Production callers pass the event loop's ``loop.time`` (from *outside*
+    this package); tests pass a simulated clock and a cooperative ``sleep``
+    so passes fire deterministically.  ``tools/lint.py`` rejects both
+    ``time.*`` and event-loop ``.time()`` reads under ``src/repro/control/``,
+    which is what keeps this driver (and everything it calls) wall-clock
+    free and unit-testable.
+    """
+
+    def __init__(
+        self,
+        plane,
+        frontend,
+        interval_seconds: float,
+        clock: Callable[[], float],
+        sleep: Optional[Callable[[float], "asyncio.Future"]] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval_seconds must be positive")
+        if clock is None:
+            raise ConfigurationError(
+                "inject a clock (the event loop's loop.time, or a simulated "
+                "clock in tests) — the control package never reads wall time"
+            )
+        self.plane = plane
+        self.frontend = frontend
+        self.interval_seconds = interval_seconds
+        self._clock = clock
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._task: Optional["asyncio.Task"] = None
+        self._stopping = False
+        #: Completed control passes.
+        self.passes = 0
+        #: Errors survived by the loop (a failed pass never kills the driver).
+        self.errors: List[BaseException] = []
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> "asyncio.Task":
+        """Spawn the driver task on the running loop (idempotence is an error:
+        two drivers would race their passes through the same gate)."""
+        if self.running:
+            raise ConfigurationError("control driver already running")
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(self._run())
+        return self._task
+
+    async def stop(self) -> None:
+        """Cancel the driver task and wait for it to unwind."""
+        self._stopping = True
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while not self._stopping:
+            await self._sleep(self.interval_seconds)
+            if self._stopping:
+                break
+            try:
+                await self.run_once(float(self._clock()))
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A pass that fails (a child refusing its slice, a stale
+                # staging) must not kill the management loop: the data plane
+                # is untouched (stage-before-commit), so the next pass
+                # genuinely retries.  Kept for inspection, like the async
+                # frontend routes observer faults to the loop handler.
+                self.errors.append(error)
+
+    async def run_once(self, now: float):
+        """One control pass: stage off-gate, commit + rebalance under it.
+
+        Returns ``(rebalance_report, autoscale_action)`` (either may be
+        ``None``).  A scale-up's replica members are prepared in a worker
+        thread *before* the writer gate is taken — live flushes keep
+        flowing through the snapshot-consistent journal — and only the
+        dirty-update replay + install commits under the gate, followed by
+        the rebalance pass so new members ride any reshape like everyone
+        else.
+        """
+        plane = self.plane
+        autoscaler = getattr(plane, "autoscaler", None)
+        decision = autoscaler.decide(now) if autoscaler is not None else None
+        staged: Optional[StagedReplicas] = None
+        if decision == "up":
+            staged = await asyncio.to_thread(autoscaler.router.stage_replicas)
+
+        def commit():
+            action = None
+            if decision == "up":
+                action = autoscaler.commit_add(staged, now)
+            elif decision == "down":
+                action = autoscaler.apply("down", now)
+            report = (
+                plane.rebalancer.maybe_rebalance(now)
+                if plane.rebalancer is not None
+                else None
+            )
+            return report, action
+
+        try:
+            report, action = await self.frontend.reconfigure(commit)
+        except Exception:
+            if staged is not None:
+                autoscaler.router.abandon_replicas(staged)
+            raise
+        self.passes += 1
+        return report, action

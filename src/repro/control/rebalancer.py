@@ -36,6 +36,18 @@ replica fleet through :meth:`~repro.shard.fleet.FleetRouter.apply_topology`
 versions).  The reshape's cost is the placements' transfer terms for the
 changed ranges, exactly as migrations are charged.
 
+**Cost-aware damping** (PR 8): with a
+:class:`~repro.control.autoscaler.DampingPolicy` configured, every split,
+merge and kind migration is first priced — its projected per-window saving
+(the same ``preload + heat × per-query`` formulas placement uses, evaluated
+on the shards the action would create) against the one-time transfer cost
+of standing up the fresh children — and executed only when the saving
+amortizes the transfer within the policy's horizon and the touched record
+range is out of cooldown.  Suppressed actions are not lost: they land on
+the pass report as :class:`~repro.control.autoscaler.DampingVerdict`
+entries, so a fleet that *refuses* to flap is as observable as one that
+reshapes.
+
 Simulated clock only (lint-enforced for this package): ``now`` comes from
 the frontend observe hook or the caller, never from ``time.time()``.
 """
@@ -43,12 +55,24 @@ the frontend observe hook or the caller, never from ``time.time()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.control.autoscaler import (
+    DampingPolicy,
+    DampingVerdict,
+    ReshapeDamper,
+    best_option,
+    kind_window_cost,
+)
 from repro.control.telemetry import HeatTracker
 from repro.shard.backend import bare_backend_factory, default_child_config
-from repro.shard.fleet import FleetRouter, ShardPlacement, plan_placements
+from repro.shard.fleet import (
+    FleetRouter,
+    ShardPlacement,
+    placement_for_kind,
+    plan_placements,
+)
 from repro.shard.plan import ShardSpec, TopologyChange
 
 
@@ -111,6 +135,9 @@ class RebalanceReport:
     #: Transfer cost of standing up the reshape's fresh children, per
     #: replica (the changed placements' preload terms; replicas in parallel).
     reshape_seconds: float = 0.0
+    #: Reshapes/migrations the damper vetoed this pass, with their economics
+    #: — the observability of *not* acting.
+    suppressed: List[DampingVerdict] = field(default_factory=list)
 
     @property
     def migration_seconds(self) -> float:
@@ -151,6 +178,10 @@ class RebalanceReport:
                     for m in self.migrations
                 )
             )
+        if self.suppressed:
+            actions.append(
+                ", ".join(verdict.describe() for verdict in self.suppressed)
+            )
         if not actions:
             return f"rebalance @ {self.now:.3f}s: placements unchanged"
         return (
@@ -181,6 +212,11 @@ class Rebalancer:
       pair qualifies or ``min_shards`` is reached.  Keep the floor well
       under ``split_heat_share`` of the typical total, or a pass could
       undo its own splits.
+    * ``damping`` — a :class:`~repro.control.autoscaler.DampingPolicy`
+      gating every shape change *and* kind migration on its economics
+      (amortized saving vs. transfer cost, plus a record-range cooldown).
+      Off by default: an undamped rebalancer acts on thresholds alone,
+      exactly as before.
     """
 
     def __init__(
@@ -192,6 +228,7 @@ class Rebalancer:
         merge_heat_floor: Optional[float] = None,
         min_shards: int = 1,
         max_shards: Optional[int] = None,
+        damping: Optional[DampingPolicy] = None,
     ) -> None:
         if interval_seconds <= 0:
             raise ConfigurationError("interval_seconds must be positive")
@@ -215,6 +252,10 @@ class Rebalancer:
         self.merge_heat_floor = merge_heat_floor
         self.min_shards = min_shards
         self.max_shards = max_shards
+        self.damping = damping
+        #: The stateful judge (``None`` when damping is off): carries the
+        #: record-range cooldown ledger across passes.
+        self.damper = ReshapeDamper(damping) if damping is not None else None
         #: One report per completed pass, in time order.
         self.reports: List[RebalanceReport] = []
         self._last_pass: Optional[float] = None
@@ -276,7 +317,7 @@ class Rebalancer:
         # failed migration permanently (and, under the async frontend's
         # observer fault routing, silently) wedging the control plane.
         shape_state = self.tracker.shape_state()
-        change, splits, merges = self._reshape()
+        change, splits, merges, suppressed = self._reshape(now, record_size)
         heats = self.tracker.heats()
         plan = self.tracker.plan
         if len(heats) != plan.num_shards:
@@ -296,6 +337,7 @@ class Rebalancer:
             merges=merges,
             topology=change,
             plan_version=plan.version,
+            suppressed=suppressed,
         )
 
         changed: frozenset = frozenset()
@@ -322,7 +364,7 @@ class Rebalancer:
         else:
             old_kind_by_new = old_kind_by_old
 
-        for placement in new_placements:
+        for position, placement in enumerate(new_placements):
             shard_index = placement.shard.index
             if shard_index in changed:
                 report.reshape_seconds += placement.preload_seconds
@@ -330,6 +372,40 @@ class Rebalancer:
             old_kind = old_kind_by_new.get(shard_index)
             if old_kind == placement.kind:
                 continue
+            if self.damper is not None and old_kind is not None:
+                shard = placement.shard
+                saving = (
+                    kind_window_cost(
+                        router.candidates,
+                        old_kind,
+                        shard.num_records,
+                        record_size,
+                        placement.heat,
+                    )
+                    - placement.window_cost_seconds
+                )
+                verdict = self.damper.judge(
+                    "migrate",
+                    shard.start,
+                    shard.stop,
+                    saving,
+                    placement.preload_seconds,
+                    now,
+                )
+                if verdict is not None:
+                    # The shard stays where it is — pin the *installed*
+                    # placement back to the old kind so the router's kind
+                    # map keeps matching the children actually running.
+                    report.suppressed.append(verdict)
+                    new_placements[position] = placement_for_kind(
+                        shard,
+                        old_kind,
+                        record_size,
+                        placement.heat,
+                        router.candidates,
+                    )
+                    continue
+                self.damper.note_action(now, shard.start, shard.stop)
             factory = bare_backend_factory(
                 placement.kind,
                 config=(
@@ -365,6 +441,7 @@ class Rebalancer:
                 plan_version=report.plan_version,
                 reshape_seconds=report.reshape_seconds,
                 migration_seconds=report.migration_seconds,
+                suppressed=len(report.suppressed),
             )
         self.reports.append(report)
         return report
@@ -372,19 +449,31 @@ class Rebalancer:
     # -- the plan-shape policy ------------------------------------------------------
 
     def _reshape(
-        self,
-    ) -> Tuple[Optional[TopologyChange], List[ShardSplit], List[ShardMerge]]:
+        self, now: float, record_size: int
+    ) -> Tuple[
+        Optional[TopologyChange],
+        List[ShardSplit],
+        List[ShardMerge],
+        List[DampingVerdict],
+    ]:
         """Apply the split/merge policy to the tracker's plan (pure transforms).
 
         Mutates only the tracker (remapping its windows through each step);
         the composed change is applied to the data plane by the caller.
         Splits run before merges, each loop re-reading the freshly remapped
         heats, so decisions always see the topology they are about to
-        change.
+        change.  With damping, a vetoed action's record range is excluded
+        for the rest of the pass (the threshold would keep re-proposing the
+        identical cut), and an *executed* action enters the damper's
+        cooldown ledger — so the merge loop cannot immediately undo a
+        fresh split, in this pass or the next.
         """
         tracker = self.tracker
+        candidates = self.router.candidates
         splits: List[ShardSplit] = []
         merges: List[ShardMerge] = []
+        suppressed: List[DampingVerdict] = []
+        vetoed: Set[Tuple[int, int]] = set()
         overall: Optional[TopologyChange] = None
 
         def apply(change: TopologyChange) -> None:
@@ -407,6 +496,8 @@ class Rebalancer:
                         continue
                     if heats[shard.index] / total <= self.split_heat_share:
                         continue
+                    if (shard.start, shard.stop) in vetoed:
+                        continue
                     if hottest is None or heats[shard.index] > heats[hottest.index]:
                         hottest = shard
                 if hottest is None:
@@ -415,6 +506,38 @@ class Rebalancer:
                 if at is None:
                     break
                 heat = heats[hottest.index]
+                if self.damper is not None:
+                    left_heat = tracker.range_heat(
+                        hottest.index, hottest.start, at
+                    )
+                    right_heat = max(heat - left_heat, 0.0)
+                    parent_cost, _ = best_option(
+                        candidates, hottest.num_records, record_size, heat
+                    )
+                    left_cost, left_preload = best_option(
+                        candidates, at - hottest.start, record_size, left_heat
+                    )
+                    right_cost, right_preload = best_option(
+                        candidates, hottest.stop - at, record_size, right_heat
+                    )
+                    saving = (
+                        parent_cost
+                        - (left_cost + right_cost)
+                        - self.damping.shard_overhead_seconds
+                    )
+                    verdict = self.damper.judge(
+                        "split",
+                        hottest.start,
+                        hottest.stop,
+                        saving,
+                        left_preload + right_preload,
+                        now,
+                    )
+                    if verdict is not None:
+                        suppressed.append(verdict)
+                        vetoed.add((hottest.start, hottest.stop))
+                        continue
+                    self.damper.note_action(now, hottest.start, hottest.stop)
                 apply(plan.split_shard(hottest.index, at))
                 splits.append(
                     ShardSplit(
@@ -431,6 +554,8 @@ class Rebalancer:
                         heats[i] <= self.merge_heat_floor
                         and heats[i + 1] <= self.merge_heat_floor
                     ):
+                        if (plan.shards[i].start, plan.shards[i + 1].stop) in vetoed:
+                            continue
                         combined = heats[i] + heats[i + 1]
                         if coldest is None or combined < coldest[1]:
                             coldest = (i, combined)
@@ -438,9 +563,36 @@ class Rebalancer:
                     break
                 i, combined = coldest
                 left, right = plan.shards[i], plan.shards[i + 1]
+                if self.damper is not None:
+                    left_cost, _ = best_option(
+                        candidates, left.num_records, record_size, heats[i]
+                    )
+                    right_cost, _ = best_option(
+                        candidates, right.num_records, record_size, heats[i + 1]
+                    )
+                    merged_cost, merged_preload = best_option(
+                        candidates,
+                        left.num_records + right.num_records,
+                        record_size,
+                        combined,
+                    )
+                    saving = (
+                        left_cost
+                        + right_cost
+                        - merged_cost
+                        + self.damping.shard_overhead_seconds
+                    )
+                    verdict = self.damper.judge(
+                        "merge", left.start, right.stop, saving, merged_preload, now
+                    )
+                    if verdict is not None:
+                        suppressed.append(verdict)
+                        vetoed.add((left.start, right.stop))
+                        continue
+                    self.damper.note_action(now, left.start, right.stop)
                 apply(plan.merge_shards(i, i + 1))
                 merges.append(ShardMerge(left=left, right=right, heat=combined))
-        return overall, splits, merges
+        return overall, splits, merges, suppressed
 
     # -- rollups ------------------------------------------------------------------
 
@@ -463,3 +615,8 @@ class Rebalancer:
     def total_migration_seconds(self) -> float:
         """Simulated transfer cost (reshapes + migrations) across every pass."""
         return sum(report.total_seconds for report in self.reports)
+
+    @property
+    def total_suppressed(self) -> int:
+        """Reshapes/migrations the damper vetoed across every pass so far."""
+        return sum(len(report.suppressed) for report in self.reports)

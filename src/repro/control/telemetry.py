@@ -227,6 +227,27 @@ class HeatTracker:
         """The heat of the shard owning ``record_index``."""
         return self.heats()[self.plan.shard_for_record(record_index).index]
 
+    def range_heat(self, shard_index: int, start: int, stop: int) -> float:
+        """The heat of ``[start, stop)`` within one shard, on the
+        :meth:`heats` basis.
+
+        What a cost-aware reshape policy prices a *hypothetical* split half
+        with before any plan exists for it: the shard's heat apportioned by
+        the live per-record estimate over the range (count-proportional when
+        the shard has no recorded heat — same convention as remapping).
+        """
+        if not 0 <= shard_index < self.plan.num_shards:
+            raise ConfigurationError(
+                f"shard index {shard_index} out of range [0, {self.plan.num_shards})"
+            )
+        shard = self.plan.shards[shard_index]
+        start = max(start, shard.start)
+        stop = min(stop, shard.stop)
+        if stop <= start:
+            return 0.0
+        weight = self._overlap_weight(shard, start, stop, self._index_estimate())
+        return self.heats()[shard_index] * weight
+
     # -- the topology lifecycle ---------------------------------------------------
 
     def _index_estimate(self) -> Dict[int, float]:

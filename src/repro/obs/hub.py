@@ -137,6 +137,24 @@ class ObservabilityHub:
         self._cache_rejected = metric.counter(
             "repro_cache_rejected_cold_total", "Cache admissions refused (cold shard)"
         )
+        self._replicas = metric.gauge(
+            "repro_replicas", "Live replica members per trust domain"
+        )
+        self._autoscale_actions = metric.counter(
+            "repro_autoscale_actions_total",
+            "Autoscaler replica-count changes",
+            ("direction",),
+        )
+        self._replica_adds = metric.counter(
+            "repro_replica_adds_total", "Replica members added per trust domain"
+        )
+        self._replica_drains = metric.counter(
+            "repro_replica_drains_total", "Replica members drained per trust domain"
+        )
+        self._rebalance_suppressed = metric.counter(
+            "repro_rebalance_suppressed_total",
+            "Reshapes/migrations vetoed by cost-aware damping",
+        )
 
     # -- the frontend observer protocol -------------------------------------------
 
@@ -171,18 +189,28 @@ class ObservabilityHub:
         if self not in frontend.observers:
             frontend.observers.append(self)
         for replica in getattr(frontend, "replicas", ()):
-            engine = getattr(replica, "engine", None)
-            if engine is not None and hasattr(engine, "events"):
-                engine.events = self.events
-            instrument = getattr(getattr(replica, "backend", None), "instrument", None)
-            if instrument is not None:
-                instrument(events=self.events, tracer=self.tracer)
+            # A replica slot may be a single server or a ReplicaGroup of
+            # identical members (elastic fleets) — instrument every member.
+            for member in getattr(replica, "members", None) or (replica,):
+                engine = getattr(member, "engine", None)
+                if engine is not None and hasattr(engine, "events"):
+                    engine.events = self.events
+                instrument = getattr(
+                    getattr(member, "backend", None), "instrument", None
+                )
+                if instrument is not None:
+                    instrument(events=self.events, tracer=self.tracer)
+        if hasattr(frontend, "events"):
+            # FleetRouter's replica.added / replica.drained emissions.
+            frontend.events = self.events
         if plane is not None:
             plane.tracker.events = self.events
             if plane.rebalancer is not None:
                 plane.rebalancer.events = self.events
             if plane.cache is not None:
                 plane.cache.events = self.events
+            if getattr(plane, "autoscaler", None) is not None:
+                plane.autoscaler.events = self.events
         return frontend
 
     def close(self) -> None:
@@ -216,7 +244,17 @@ class ObservabilityHub:
             self._rebalance_splits.inc(fields.get("splits", 0))
             self._rebalance_merges.inc(fields.get("merges", 0))
             self._rebalance_migrations.inc(fields.get("migrations", 0))
+            self._rebalance_suppressed.inc(fields.get("suppressed", 0))
             self._topology_version.set(fields.get("plan_version", 0))
+        elif name == "autoscale.action":
+            self._autoscale_actions.inc(direction=fields.get("direction", "?"))
+            self._replicas.set(fields.get("replicas", 0))
+        elif name == "replica.added":
+            self._replica_adds.inc()
+            self._replicas.set(fields.get("replicas", 0))
+        elif name == "replica.drained":
+            self._replica_drains.inc()
+            self._replicas.set(fields.get("replicas", 0))
         elif name == "topology.applied":
             self._topology_version.set(fields.get("version", 0))
         elif name == "cache.admit":

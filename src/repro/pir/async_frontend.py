@@ -159,7 +159,14 @@ class AsyncPIRFrontend:
         them.
         """
         async with self._quiesced():
-            return await asyncio.to_thread(mutator)
+            result = await asyncio.to_thread(mutator)
+            self.metrics.reconfigurations += 1
+            return result
+
+    @property
+    def inflight_flushes(self) -> int:
+        """Flushes currently holding reader slots (0 inside any writer)."""
+        return self._inflight_flushes
 
     def attach_cache(self, cache) -> None:
         """Enable the hot-record cache tier (requires ``dedup=True``) —

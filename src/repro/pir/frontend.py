@@ -189,6 +189,9 @@ class FrontendMetrics:
     flush_reasons: Dict[str, int] = field(default_factory=dict)
     last_schedule: Optional[BatchSchedule] = None
     last_cluster_utilization: float = 0.0
+    #: Completed reconfigurations (topology applies, replica adds/drains,
+    #: control passes) that ran through the frontend's gate.
+    reconfigurations: int = 0
 
     @property
     def throughput_qps(self) -> float:
@@ -287,7 +290,9 @@ class PIRFrontend:
         enforces the same guarantee with its writer-preferring quiesce.
         Returns ``mutator()``'s result.
         """
-        return mutator()
+        result = mutator()
+        self.metrics.reconfigurations += 1
+        return result
 
     def apply_updates(self, updates) -> None:
         """Apply ``(index, record_bytes)`` updates to every replica.

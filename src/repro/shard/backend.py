@@ -263,6 +263,19 @@ class ShardedBackend(PIRBackend):
             )
         return timer if timer.durations else None
 
+    def close(self) -> None:
+        """Release the scan pool of a backend that will never serve again.
+
+        The drain path for elastic replicas: a drained member is detached
+        under the reconfigure gate, so no scan is in flight and the pool's
+        idle threads can be dropped without waiting.  The backend stays
+        structurally intact (children, topology) — only future ``execute``
+        calls fall back to sequential scans if it is ever revived.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
     def apply_updates(self, database: Database, dirty_indices: Sequence[int]) -> PhaseTimer:
         """Swap in an updated database, touching only the owning shards.
 

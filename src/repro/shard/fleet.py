@@ -14,16 +14,27 @@ kind over an operating window —
   per window — the transfer amortisation break-even).
 
 A :class:`FleetRouter` applies the placement: each of the two privacy
-replicas becomes a *fleet* — a :class:`~repro.shard.backend.ShardedServer`
-whose per-shard children follow the chosen kinds — behind the ordinary
-batching :class:`~repro.pir.frontend.PIRFrontend` surface, with the
-per-shard cost estimates kept on ``placements`` for bench reporting.
+replicas becomes a *fleet* — a :class:`ReplicaGroup` of one or more
+identical :class:`~repro.shard.backend.ShardedServer` members whose
+per-shard children follow the chosen kinds — behind the ordinary batching
+:class:`~repro.pir.frontend.PIRFrontend` surface, with the per-shard cost
+estimates kept on ``placements`` for bench reporting.
+
+The group layer is what makes the fleet **replica-elastic** without
+touching the privacy protocol: the two-server XOR scheme pins the number
+of *trust domains* (``check_replicas`` insists on exactly
+``client.num_servers`` replica slots with positional server ids), so
+capacity scaling happens *within* each domain.  Every member of a group
+holds the same bytes and answers any query identically, which is why
+round-robin dispatch, :meth:`FleetRouter.add_replica` and
+:meth:`FleetRouter.drain_replica` are all invisible in the retrieved
+records — elasticity changes who does the work, never the answer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import IMPIRConfig
@@ -206,6 +217,36 @@ def plan_placements(
     return placements
 
 
+def placement_for_kind(
+    shard: ShardSpec,
+    kind: str,
+    record_size: int,
+    heat: float,
+    candidates: Sequence[CandidateKind],
+) -> ShardPlacement:
+    """A :class:`ShardPlacement` pinned to one *specific* kind.
+
+    What a damped kind migration installs: the cheapest-kind choice was
+    vetoed, so the reporting surface must keep pricing the shard at the
+    kind it actually still runs.
+    """
+    for candidate in candidates:
+        if candidate.kind == kind:
+            return ShardPlacement(
+                shard=shard,
+                kind=kind,
+                preloaded=candidate.preloaded,
+                heat=heat,
+                per_query_seconds=candidate.per_query_seconds(
+                    shard.num_records, record_size
+                ),
+                preload_seconds=candidate.preload_seconds(
+                    shard.num_records, record_size
+                ),
+            )
+    raise ConfigurationError(f"kind {kind!r} is not among the placement candidates")
+
+
 def render_placements(placements: Sequence[ShardPlacement]) -> List[str]:
     """Plain-text placement table (one line per shard) for bench reporting."""
     lines = [
@@ -221,6 +262,157 @@ def render_placements(placements: Sequence[ShardPlacement]) -> List[str]:
             f"{placement.window_cost_seconds * 1e3:>10.3f}ms"
         )
     return lines
+
+
+class ReplicaGroup:
+    """The live members of one trust domain, behind a single replica slot.
+
+    The frontend sees exactly one "replica" per privacy server (the pairing
+    invariant keys answers by ``server_id``); the group fans that slot out
+    over ``members`` — identical :class:`~repro.shard.backend.ShardedServer`
+    instances holding the same bytes on the same plan.  Queries round-robin
+    across members (any member returns the identical answer, so dispatch
+    order can never show up in a retrieved record); updates land on *every*
+    member, keeping them interchangeable.
+
+    The group also owns the **staging journal** that makes online replica
+    adds safe against concurrent writes: while any stage is open
+    (:meth:`open_stage`), every update batch is journaled with a sequence
+    number *before* it is applied to the members, so a new member built
+    from a database snapshot can replay exactly the batches it missed
+    (:meth:`updates_since`).  Replaying a batch the snapshot already
+    contains is harmless — updates are idempotent per ``(index, bytes)`` —
+    which is what lets the journal bracket the snapshot instead of having
+    to coordinate with it.
+    """
+
+    def __init__(self, server_id: int, members: Sequence[ShardedServer]) -> None:
+        members = list(members)
+        if not members:
+            raise ConfigurationError(
+                f"replica group {server_id} needs at least one member"
+            )
+        for member in members:
+            if member.server_id != server_id:
+                raise ConfigurationError(
+                    f"group member carries server_id {member.server_id}, "
+                    f"expected {server_id} (members must stay inside one "
+                    "trust domain)"
+                )
+        self.server_id = server_id
+        self._members = members
+        self._next = 0
+        self._journal: List[Tuple[int, List]] = []
+        self._seq = 0
+        self._open_stages = 0
+
+    @property
+    def members(self) -> Tuple[ShardedServer, ...]:
+        return tuple(self._members)
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def database(self) -> Database:
+        """The bytes every member currently serves (members are identical)."""
+        return self._members[0].database
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._members[0].plan
+
+    def answer_batch(self, queries):
+        """Dispatch one batch to the next member, round-robin.
+
+        A racing increment under concurrent flushes at worst repeats a
+        member — still bit-identical, only the load spread is affected.
+        """
+        member = self._members[self._next % len(self._members)]
+        self._next += 1
+        return member.answer_batch(queries)
+
+    def apply_updates(self, updates) -> None:
+        """Land updates on every member (journal first while staging)."""
+        updates = list(updates)
+        if self._open_stages:
+            self._seq += 1
+            self._journal.append((self._seq, updates))
+        for member in self._members:
+            member.apply_updates(updates)
+
+    # -- membership ------------------------------------------------------------------
+
+    def add_member(self, member: ShardedServer) -> None:
+        """Append a caught-up member (the commit point of a replica add).
+
+        The new member inherits the group's instrumentation: whatever event
+        log / tracer the hub wired onto member 0 at attach time follows
+        membership, so elastically added servers are as observable as
+        construction-time ones.
+        """
+        if member.server_id != self.server_id:
+            raise ConfigurationError(
+                f"member carries server_id {member.server_id}, "
+                f"expected {self.server_id}"
+            )
+        reference = self._members[0]
+        member.engine.events = reference.engine.events
+        member.backend.instrument(
+            events=reference.backend.events, tracer=reference.backend.tracer
+        )
+        self._members.append(member)
+
+    def remove_member(self) -> ShardedServer:
+        """Detach the most recently added member (LIFO keeps member 0, the
+        construction-time server other components may hold references to)."""
+        if len(self._members) <= 1:
+            raise ConfigurationError(
+                f"replica group {self.server_id} cannot drop its last member"
+            )
+        return self._members.pop()
+
+    # -- the staging journal ---------------------------------------------------------
+
+    def open_stage(self) -> int:
+        """Start journaling updates; returns the sequence watermark to replay
+        from at commit.  Stages nest (concurrent adds each close their own)."""
+        self._open_stages += 1
+        return self._seq
+
+    def close_stage(self) -> None:
+        """End one stage; the journal empties when the last stage closes."""
+        if self._open_stages <= 0:
+            raise ConfigurationError(
+                f"replica group {self.server_id} has no open stage"
+            )
+        self._open_stages -= 1
+        if self._open_stages == 0:
+            self._journal.clear()
+
+    def updates_since(self, seq: int) -> List[List]:
+        """Every journaled update batch after the ``seq`` watermark, in order."""
+        return [updates for entry_seq, updates in self._journal if entry_seq > seq]
+
+
+@dataclass
+class StagedReplicas:
+    """One prepared-but-not-installed member per trust domain.
+
+    Produced by :meth:`FleetRouter.stage_replicas` (expensive, runs outside
+    any quiesce gate) and consumed by :meth:`FleetRouter.commit_replicas`
+    (cheap, runs inside it) or :meth:`FleetRouter.abandon_replicas`.
+    ``plan`` pins the topology the members were built against; ``seqs``
+    are the per-group journal watermarks to replay from.
+    """
+
+    router: "FleetRouter"
+    plan: ShardPlan
+    members: List[ShardedServer]
+    seqs: List[int]
+    committed: bool = False
+    closed: bool = field(default=False, repr=False)
 
 
 class FleetRouter(PIRFrontend):
@@ -246,9 +438,15 @@ class FleetRouter(PIRFrontend):
         executor: str = "serial",
         observers: Sequence = (),
         cache=None,
+        initial_replicas: int = 1,
     ) -> None:
         plan.check_shape(database.num_records)
+        if initial_replicas < 1:
+            raise ConfigurationError("initial_replicas must be at least 1")
         self.plan = plan
+        #: Optional :class:`~repro.obs.events.EventLog` (hub-wired);
+        #: ``replica.added`` / ``replica.drained`` events emit through it.
+        self.events = None
         #: Remembered for the control plane: an online rebalancer must build
         #: migrated children on the same machine model the fleet started
         #: with, and cost candidates against it.
@@ -274,13 +472,24 @@ class FleetRouter(PIRFrontend):
                 self._kind_by_shard[shard.index], config=child_config
             )(shard)
 
+        # Remembered for elasticity: a staged replica member must be built
+        # exactly like the construction-time ones (same live kind map, same
+        # executor), or the group's members would stop being interchangeable.
+        self._child_factory = child_factory
+        self._executor = executor
         replicas = [
-            ShardedServer(
-                database,
-                server_id=server_id,
-                plan=plan,
-                child_factory=child_factory,
-                executor=executor,
+            ReplicaGroup(
+                server_id,
+                [
+                    ShardedServer(
+                        database,
+                        server_id=server_id,
+                        plan=plan,
+                        child_factory=child_factory,
+                        executor=executor,
+                    )
+                    for _ in range(initial_replicas)
+                ],
             )
             for server_id in range(client.num_servers)
         ]
@@ -290,8 +499,150 @@ class FleetRouter(PIRFrontend):
 
     @property
     def fleets(self) -> List[ShardedServer]:
-        """The replica fleets (one sharded server per trust domain)."""
-        return self.replicas
+        """Every live sharded server, across all trust domains and members.
+
+        The reshape/migration surface: ``apply_topology`` stages and commits
+        over this list and the rebalancer's kind migrations swap children on
+        it, so elastic members automatically ride every topology change the
+        moment they are installed.
+        """
+        return [member for group in self.replicas for member in group.members]
+
+    @property
+    def replica_count(self) -> int:
+        """Members per trust domain (groups scale in lockstep)."""
+        return self.replicas[0].size
+
+    # -- replica elasticity ----------------------------------------------------------
+
+    def stage_replicas(self) -> StagedReplicas:
+        """Prepare one fresh member per trust domain, off to the side.
+
+        The expensive half of a replica add — per-shard children built and
+        preloaded from the group's current database snapshot — runs with
+        **no** quiesce held: the groups journal any update batches that land
+        meanwhile (from :meth:`ReplicaGroup.open_stage` on), and
+        :meth:`commit_replicas` replays exactly those.  Nothing observable
+        changes until the commit; :meth:`abandon_replicas` discards cleanly.
+        """
+        plan = self.plan
+        members: List[ShardedServer] = []
+        seqs: List[int] = []
+        opened: List[ReplicaGroup] = []
+        try:
+            for group in self.replicas:
+                # Open the journal *before* reading the snapshot: an update
+                # racing in between lands in both, and replay is idempotent.
+                seqs.append(group.open_stage())
+                opened.append(group)
+                members.append(
+                    ShardedServer(
+                        group.database,
+                        server_id=group.server_id,
+                        plan=plan,
+                        child_factory=self._child_factory,
+                        executor=self._executor,
+                    )
+                )
+        except Exception:
+            for group in opened:
+                group.close_stage()
+            raise
+        return StagedReplicas(router=self, plan=plan, members=members, seqs=seqs)
+
+    def commit_replicas(self, staged: StagedReplicas) -> List[ShardedServer]:
+        """Install staged members into their groups (call under the gate).
+
+        Replays each group's journaled updates onto its new member first
+        (the only fallible part — the data plane is untouched if it dies),
+        then appends every member and closes the stages: pure list appends
+        that cannot fail halfway, so the groups always scale in lockstep.
+        A topology change between stage and commit invalidates the staging
+        (the members hold the old plan) — it is abandoned and the caller
+        must re-stage.  Kind *migrations* (which keep the plan) are
+        tolerated: a member on a stale kind serves identical bytes, only
+        its cost bookkeeping lags until the next migration pass.
+        """
+        if staged.router is not self:
+            raise ConfigurationError("staged replicas belong to another router")
+        if staged.committed or staged.closed:
+            raise ConfigurationError("staged replicas already committed or abandoned")
+        if staged.plan is not self.plan:
+            self.abandon_replicas(staged)
+            raise ConfigurationError(
+                "topology moved between stage and commit; re-stage the replicas"
+            )
+        for group, member, seq in zip(self.replicas, staged.members, staged.seqs):
+            for updates in group.updates_since(seq):
+                member.apply_updates(updates)
+        for group, member in zip(self.replicas, staged.members):
+            group.add_member(member)
+            group.close_stage()
+        staged.committed = True
+        staged.closed = True
+        if self.events is not None:
+            self.events.emit(
+                "replica.added",
+                replicas=self.replica_count,
+                plan_version=self.plan.version,
+            )
+        return staged.members
+
+    def abandon_replicas(self, staged: StagedReplicas) -> None:
+        """Discard a staging without installing it (idempotent)."""
+        if staged.closed:
+            return
+        staged.closed = True
+        for group in self.replicas:
+            group.close_stage()
+        for member in staged.members:
+            close = getattr(member.backend, "close", None)
+            if close is not None:
+                close()
+
+    def add_replica(self) -> List[ShardedServer]:
+        """Stage and commit one new member per trust domain, inline.
+
+        The synchronous convenience path (the async control driver stages
+        outside the gate itself and only commits under it).  Returns the
+        installed members.
+        """
+        staged = self.stage_replicas()
+        try:
+            return self.reconfigure(lambda: self.commit_replicas(staged))
+        except Exception:
+            self.abandon_replicas(staged)
+            raise
+
+    def drain_replica(self) -> List[ShardedServer]:
+        """Retire the most recent member of every group, under the gate.
+
+        The reconfigure gate is what "waits out in-flight flushes": by the
+        time the mutator runs no flush is in flight (structurally on the
+        sync frontend, via the writer-preferring quiesce on the async one),
+        so the drained members are idle and their scan pools can be shut
+        down immediately.  Returns the drained members.
+        """
+        if self.replica_count <= 1:
+            raise ConfigurationError(
+                "cannot drain the last replica of each trust domain"
+            )
+
+        def mutate() -> List[ShardedServer]:
+            drained = [group.remove_member() for group in self.replicas]
+            for member in drained:
+                close = getattr(member.backend, "close", None)
+                if close is not None:
+                    close()
+            if self.events is not None:
+                self.events.emit(
+                    "replica.drained",
+                    replicas=self.replica_count,
+                    plan_version=self.plan.version,
+                )
+            return drained
+
+        return self.reconfigure(mutate)
 
     # Bulk updates ride the inherited PIRFrontend.apply_updates: each fleet
     # routes dirty records to their owning shards only, and an attached

@@ -533,3 +533,116 @@ class TestObserverFaultIsolation:
             assert "name" in record and "seq" in record and "now" in record
         # The healthy sinks kept receiving every event the flaky one dropped.
         assert len(hub.ring.events()) > len(lines)
+
+
+class TestReplicaElasticityMidFlush:
+    """Replica adds and drains racing live flushes stay invisible in records.
+
+    The fleet's :class:`ReplicaGroup` slots plug straight into the async
+    frontend (they expose ``server_id``/``answer_batch``), so the
+    writer-preferring quiesce is what orders a scale action against
+    in-flight flushes: stage runs off-gate in a worker thread while
+    submits keep flowing, and only the commit (or the drain) holds the
+    writer slot.
+    """
+
+    def make_fleet(self, database, initial_replicas=1):
+        from repro.shard.fleet import CandidateKind, FleetRouter
+        from repro.shard.plan import ShardPlan
+
+        client = make_client(database)
+        # Reference-kind children: the stateless numpy scan is safe under
+        # genuinely overlapping flushes (the simulated PIM children are
+        # not, and this suite deliberately overlaps flushes with scaling).
+        reference = CandidateKind(
+            kind="reference",
+            preloaded=True,
+            per_query_seconds=lambda n, r: 0.0,
+            preload_seconds=lambda n, r: 0.0,
+        )
+        router = FleetRouter(
+            client,
+            database,
+            ShardPlan.uniform(database.num_records, 2),
+            [0.0, 0.0],
+            candidates=[reference],
+            policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=100.0),
+            initial_replicas=initial_replicas,
+        )
+        frontend = AsyncPIRFrontend(
+            client,
+            router.replicas,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_seconds=0.01),
+        )
+        return router, frontend
+
+    def test_replica_add_mid_flush_is_bit_identical(self, database):
+        async def run():
+            router, frontend = self.make_fleet(database)
+            indices = list(range(0, 48))
+
+            async def submit_all():
+                return await asyncio.gather(
+                    *(frontend.submit(i) for i in indices)
+                )
+
+            submits = asyncio.ensure_future(submit_all())
+            await asyncio.sleep(0.005)  # let flushes get in flight
+            # Stage off-gate (worker thread), commit under the quiesce.
+            staged = await asyncio.to_thread(router.stage_replicas)
+            await frontend.reconfigure(lambda: router.commit_replicas(staged))
+            records = await submits
+            await frontend.close()
+            return router, frontend, records
+
+        router, frontend, records = asyncio.run(run())
+        assert records == [database.record(i) for i in range(0, 48)]
+        assert router.replica_count == 2
+        assert frontend.metrics.reconfigurations == 1
+        assert frontend.inflight_flushes == 0
+        # The second member genuinely serves traffic afterwards.
+        for group in router.replicas:
+            assert group.size == 2
+
+    def test_drain_mid_flush_is_bit_identical(self, database):
+        async def run():
+            router, frontend = self.make_fleet(database, initial_replicas=2)
+            indices = list(range(64, 112))
+
+            async def submit_all():
+                return await asyncio.gather(
+                    *(frontend.submit(i) for i in indices)
+                )
+
+            submits = asyncio.ensure_future(submit_all())
+            await asyncio.sleep(0.005)
+            # drain_replica's own (structural) gate nests harmlessly inside
+            # the async writer gate; the quiesce has already drained every
+            # in-flight flush by the time the members are popped.
+            await frontend.reconfigure(router.drain_replica)
+            records = await submits
+            await frontend.close()
+            return router, frontend, records
+
+        router, frontend, records = asyncio.run(run())
+        assert records == [database.record(i) for i in range(64, 112)]
+        assert router.replica_count == 1
+        assert frontend.metrics.reconfigurations == 1
+
+    def test_updates_between_stage_and_commit_reach_the_new_member(self, database):
+        async def run():
+            router, frontend = self.make_fleet(database)
+            staged = await asyncio.to_thread(router.stage_replicas)
+            # A write lands while the staging is out: journaled and replayed.
+            new_bytes = bytes(database.record_size)
+            router.apply_updates([(9, new_bytes)])
+            await frontend.reconfigure(lambda: router.commit_replicas(staged))
+            # Round-robin: consecutive lone submits hit both members.
+            first = await frontend.submit(9)
+            second = await frontend.submit(9)
+            await frontend.close()
+            return router, new_bytes, first, second
+
+        router, new_bytes, first, second = asyncio.run(run())
+        assert first == second == new_bytes
+        assert router.replica_count == 2

@@ -117,6 +117,22 @@ class TestMain:
         assert main(["smoke", "--traced", "--batched"]) == 2
         assert "one of" in capsys.readouterr().err
 
+    def test_autoscale_smoke(self, capsys):
+        assert main(["smoke", "--autoscale"]) == 0
+        out = capsys.readouterr().out
+        assert "Autoscale smoke" in out
+        assert "bit-identical" in out
+        assert "scale-up" in out and "scale-down" in out
+        assert "damped reshape" in out
+
+    def test_autoscale_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--autoscale"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_autoscale_and_resplit_are_exclusive(self, capsys):
+        assert main(["smoke", "--autoscale", "--resplit"]) == 2
+        assert "one of" in capsys.readouterr().err
+
     def test_report_target(self, capsys):
         assert main(["report"]) == 0
         out = capsys.readouterr().out

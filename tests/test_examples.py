@@ -22,6 +22,7 @@ EXAMPLES = [
     "control_plane",
     "topology_reshape",
     "observability",
+    "autoscaler",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",
@@ -68,6 +69,14 @@ class TestExamplesRun:
         assert "max-wait timer" in out
         assert "overlapped" in out
         assert "bit-identical" in out
+
+    def test_autoscaler_example_shows_the_closed_loop(self, capsys):
+        _load_example("autoscaler").main()
+        out = capsys.readouterr().out
+        assert "suppressed (cooldown)" in out
+        assert "replica add" in out and "replica drain" in out
+        assert "scale-up" in out and "scale-down" in out
+        assert "bit-identical to the static fleet" in out
 
     def test_figures_example_prints_every_figure(self, capsys):
         _load_example("reproduce_paper_figures").main()

@@ -8,7 +8,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.perf import archive_metrics, bench_tag, render_bench, run_bench
+from repro.bench.perf import (
+    archive_metrics,
+    bench_tag,
+    dpu_pipeline_model,
+    render_bench,
+    run_bench,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -270,3 +276,111 @@ class TestPrintLint:
             "def report(value):\n    print(value)  # noqa\n",
         )
         assert not findings
+
+
+class TestEventLoopClockLint:
+    """``loop.time()`` is a wall clock in disguise; banned where clocks are injected."""
+
+    def _check(self, tmp_path, relative, source):
+        lint = _load_tool("lint")
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return lint.check_file(path)
+
+    @pytest.mark.parametrize("package", ["control", "shard"])
+    def test_direct_loop_time_flagged(self, tmp_path, package):
+        findings = self._check(
+            tmp_path,
+            f"src/repro/{package}/driver.py",
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            "    return asyncio.get_running_loop().time()\n",
+        )
+        assert any("event-loop clock" in message for _, message in findings)
+
+    @pytest.mark.parametrize("getter", ["get_running_loop", "get_event_loop"])
+    def test_aliased_loop_time_flagged(self, tmp_path, getter):
+        findings = self._check(
+            tmp_path,
+            "src/repro/control/driver.py",
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            f"    loop = asyncio.{getter}()\n"
+            "    return loop.time()\n",
+        )
+        assert any("event-loop clock" in message for _, message in findings)
+
+    def test_other_packages_may_read_the_loop_clock(self, tmp_path):
+        # The asyncio frontend legitimately schedules flush deadlines off the
+        # loop clock; only the simulated-clock packages are restricted.
+        findings = self._check(
+            tmp_path,
+            "src/repro/pir/async_frontend.py",
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "def deadline(wait):\n"
+            "    return asyncio.get_running_loop().time() + wait\n",
+        )
+        assert not findings
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/control/driver.py",
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            "    return asyncio.get_running_loop().time()  # noqa\n",
+        )
+        assert not findings
+
+
+class TestBackendSurveyAndDpuModel:
+    def test_quick_metrics_include_survey_and_pipeline_rows(self):
+        metrics = run_bench(quick=True, output_path=None)
+
+        survey = metrics["backend_survey"]
+        assert [row["backend"] for row in survey] == [
+            "reference",
+            "sharded",
+            "im-pir-streamed",
+        ]
+        assert survey[0]["cores"] == 1
+        for row in survey:
+            assert row["records_per_second"] > 0
+            assert row["records_per_second_per_core"] == pytest.approx(
+                row["records_per_second"] / row["cores"]
+            )
+
+        pipeline = metrics["dpu_pipeline"]
+        assert [(row["backend"], row["num_dpus"]) for row in pipeline] == [
+            ("im-pir", 8),
+            ("im-pir-streamed", 4),
+        ]
+        stage_keys = {
+            "broadcast_seconds",
+            "launch_seconds",
+            "kernel_seconds",
+            "gather_seconds",
+            "fold_seconds",
+        }
+        for row in pipeline:
+            assert row["records_per_second_per_dpu"] > 0
+            assert set(row["stages"]) == stage_keys
+            assert row["per_query_seconds"] == pytest.approx(
+                sum(row["stages"].values())
+            )
+
+        text = render_bench(metrics)
+        assert "backend survey" in text
+        assert "DPU pipeline cost model" in text
+
+    def test_dpu_pipeline_model_is_deterministic(self):
+        assert dpu_pipeline_model(2048, 64) == dpu_pipeline_model(2048, 64)

@@ -19,6 +19,13 @@ AST pass instead.  It flags:
   shard layer it mutates (topology swaps, live migrations) run on the
   simulated clock only (``now`` comes from the caller), which is what keeps
   rebalancing and reshape decisions deterministic and unit-testable;
+* event-loop clock reads under the same two packages —
+  ``asyncio.get_running_loop().time()`` / ``get_event_loop().time()``,
+  directly or through a name assigned from either getter — ``loop.time``
+  is the asyncio spelling of ``time.monotonic()``, and the autoscaler's
+  control driver must have its clock *injected* by the caller instead
+  (production passes the loop's ``time`` from outside the package, tests
+  pass a simulated clock);
 * per-record Python loops (single-argument ``for ... in range(num_records)``)
   under ``src/repro/pir/`` and ``src/repro/core/`` — data-plane scans must go
   through the vectorised kernels; chunked ``range(start, stop, step)`` walks
@@ -94,6 +101,22 @@ WALL_CLOCK_ATTRS = {"time", "monotonic", "perf_counter", "sleep"}
 #: (rebalancing decisions) and the shard layer it mutates (topology swaps,
 #: live migrations) both run on the simulated clock only.
 SIMULATED_CLOCK_PACKAGES = ("control", "shard")
+
+
+#: asyncio accessors returning an event loop whose ``.time()`` is the
+#: wall clock in disguise (``loop.time()`` == ``time.monotonic()``).
+LOOP_GETTERS = {"get_running_loop", "get_event_loop"}
+
+
+def _is_loop_getter_call(node: ast.AST) -> bool:
+    """True for ``asyncio.get_running_loop()`` / ``asyncio.get_event_loop()``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in LOOP_GETTERS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "asyncio"
+    )
 
 
 def _is_simulated_clock_only(path: Path) -> bool:
@@ -174,12 +197,27 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     # Every name the ``time`` module is bound to (``import time``,
     # ``import time as t``) — an alias must not dodge the wall-clock check.
     time_aliases = {"time"}
+    # Every name bound to an asyncio event loop (``loop = asyncio.get_
+    # running_loop()``) — ``loop.time()`` is the wall clock in disguise,
+    # and binding the loop first must not dodge the check below.
+    loop_aliases = set()
     if simulated_clock_only:
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "time":
                         time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.Assign) and _is_loop_getter_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        loop_aliases.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and _is_loop_getter_call(node.value)
+                and isinstance(node.target, ast.Name)
+            ):
+                loop_aliases.add(node.target.id)
     for node in ast.walk(tree):
         if (
             simulated_clock_only
@@ -194,6 +232,26 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                     f"wall-clock time.{node.attr}() under a simulated-clock "
                     "package (src/repro/{control,shard}/) — take `now` "
                     "from the caller",
+                )
+            )
+        if (
+            simulated_clock_only
+            and isinstance(node, ast.Attribute)
+            and node.attr == "time"
+            and (
+                _is_loop_getter_call(node.value)
+                or (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in loop_aliases
+                )
+            )
+        ):
+            deprecated.append(
+                (
+                    node.lineno,
+                    "event-loop clock (asyncio loop .time()) under a "
+                    "simulated-clock package (src/repro/{control,shard}/) — "
+                    "inject the clock from the caller",
                 )
             )
         if simulated_clock_only and isinstance(node, ast.Import):
