@@ -26,7 +26,12 @@ lint:
 ## engine's PhaseTimer totals, >= 1 rebalance event, nonzero cache hits),
 ## then drives a surging workload through the closed-loop autoscaler
 ## (asserts >= 1 scale-up, >= 1 scale-down, >= 1 damped reshape, records
-## bit-identical to a static fleet); exits non-zero on any drift.
+## bit-identical to a static fleet), then drives calm -> injected latency
+## fault -> recovery through the SLO engine (asserts the fast-burn alert
+## fires and resolves, the alert-escalated scale-up lands on the pass
+## report, incident bundles are schema-valid and deterministic across two
+## runs, records bit-identical to a static fleet); exits non-zero on any
+## drift.
 smoke:
 	$(PYTHON) -m repro.bench.cli smoke
 	$(PYTHON) -m repro.bench.cli smoke --async
@@ -35,6 +40,7 @@ smoke:
 	$(PYTHON) -m repro.bench.cli smoke --batched
 	$(PYTHON) -m repro.bench.cli smoke --traced
 	$(PYTHON) -m repro.bench.cli smoke --autoscale
+	$(PYTHON) -m repro.bench.cli smoke --slo
 
 ## Wall-clock benchmark of the batched one-pass scan path against the
 ## sequential per-query path on the reference backend; writes BENCH_PR6.json

@@ -35,6 +35,7 @@ from repro.bench.smoke import (
     autoscale_smoke,
     backend_smoke,
     batched_smoke,
+    slo_smoke,
     observability_report,
     rebalance_smoke,
     resplit_smoke,
@@ -127,6 +128,15 @@ def main(argv=None) -> int:
         "reshapes) and cross-check records against a static fleet",
     )
     parser.add_argument(
+        "--slo",
+        dest="use_slo",
+        action="store_true",
+        help="with the smoke target: drive calm -> injected latency fault -> "
+        "recovery through the SLO engine, asserting the fast-burn alert "
+        "fires and resolves, the alert-escalated scale-up lands, incident "
+        "bundles are deterministic, and records match a static fleet",
+    )
+    parser.add_argument(
         "--batched",
         dest="use_batched",
         action="store_true",
@@ -157,6 +167,7 @@ def main(argv=None) -> int:
         "--rebalance": args.use_rebalance,
         "--resplit": args.use_resplit,
         "--autoscale": args.use_autoscale,
+        "--slo": args.use_slo,
         "--batched": args.use_batched,
         "--traced": args.use_traced,
     }
@@ -168,7 +179,7 @@ def main(argv=None) -> int:
         if len(selected) > 1:
             print(
                 "pick one of --async / --rebalance / --resplit / --autoscale / "
-                "--batched / --traced per run",
+                "--slo / --batched / --traced per run",
                 file=sys.stderr,
             )
             return 2
@@ -180,6 +191,8 @@ def main(argv=None) -> int:
             print(resplit_smoke())
         elif args.use_autoscale:
             print(autoscale_smoke())
+        elif args.use_slo:
+            print(slo_smoke())
         elif args.use_traced:
             print(traced_smoke())
         else:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.units import format_seconds
@@ -22,7 +23,14 @@ from repro.control.autoscaler import AutoscalePolicy, DampingPolicy
 from repro.control.plane import controlled_fleet
 from repro.core.engine import available_backends, create_server
 from repro.dpf.prf import make_prg
-from repro.obs import ObservabilityHub
+from repro.obs import (
+    BurnRateRule,
+    FlightRecorder,
+    ObservabilityHub,
+    SloObjective,
+    SloPolicy,
+    validate_bundle,
+)
 from repro.obs.tracing import KIND_PHASE, KIND_SERVER, KIND_SHARD
 from repro.pir.async_frontend import AsyncPIRFrontend
 from repro.pir.client import PIRClient
@@ -479,6 +487,234 @@ def autoscale_smoke(
         f"across {len(ups)} scale-up(s), {len(downs)} scale-down(s) and "
         f"{suppressed} damped reshape(s); "
         f"{router.metrics.reconfigurations} gated reconfiguration(s)"
+    )
+    return "\n".join(lines)
+
+
+class _LatencyFault:
+    """Wraps a replica group; inflates *reported* latency while active.
+
+    The injected degradation the SLO smoke and example drive: with
+    ``penalty_seconds`` set, every answer's simulated seconds (and its
+    PhaseTimer, as an ``induced_stall`` phase) are stretched by the penalty
+    — exactly what a straggling replica looks like to the telemetry —
+    while payload bytes are never touched, so retrieved records stay
+    bit-identical to an unfaulted run.  Everything else forwards to the
+    wrapped group, so elastic scale-ups ride through the wrapper.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.penalty_seconds = 0.0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def answer_batch(self, queries):
+        result = self._inner.answer_batch(queries)
+        penalty = self.penalty_seconds
+        if penalty > 0.0:
+            for item in result.results:
+                answer = item.answer
+                base = answer.simulated_seconds
+                if base is None and item.breakdown is not None:
+                    base = item.breakdown.total
+                item.answer = replace(
+                    answer, simulated_seconds=(base or 0.0) + penalty
+                )
+                if item.breakdown is not None:
+                    item.breakdown.record("induced_stall", penalty)
+        return result
+
+
+def _slo_policy() -> SloPolicy:
+    """The smoke/example SLO: a latency objective with a fast/slow pair.
+
+    Scaled to the smoke's simulated traffic (requests 20 ms apart, flushes
+    every 160 ms, normal latency well under 1 ms): the paging rule needs a
+    sustained 8x burn over 0.8 s, still visible within a 0.2 s short
+    window; the slow rule catches simmering 2x leaks over 3.2 s.
+    """
+    return SloPolicy(
+        objectives=(
+            SloObjective(
+                "latency-p95", target=0.95, latency_threshold_seconds=0.005
+            ),
+            SloObjective("availability", target=0.999),
+        ),
+        rules=(
+            BurnRateRule(
+                severity="fast",
+                long_window_seconds=0.8,
+                short_window_seconds=0.2,
+                burn_threshold=8.0,
+                escalate=True,
+            ),
+            BurnRateRule(
+                severity="slow",
+                long_window_seconds=3.2,
+                short_window_seconds=0.8,
+                burn_threshold=2.0,
+            ),
+        ),
+        bucket_seconds=0.05,
+        digest_window_seconds=2.0,
+    )
+
+
+def slo_smoke(
+    num_records: int = 512,
+    record_size: int = 32,
+    seed: int = 11,
+) -> str:
+    """The ``--slo`` smoke: burn-rate alerting closing the control loop.
+
+    Drives calm → injected latency fault → recovery through a controlled
+    fleet with the SLO engine wired, twice, and asserts the acceptance
+    properties end to end: the fast-burn alert fires under the fault and
+    resolves after recovery, the autoscaler's alert-escalated scale-up
+    appears on the pass report, the dumped incident bundles are schema-valid
+    and bit-identical across the two runs, and retrieved records match an
+    uninstrumented static fleet exactly.
+    """
+    database = Database.random(num_records, record_size, seed=seed)
+    plan = ShardPlan.uniform(num_records, 4, block_records=8)
+
+    # Three traffic phases, arrivals 20 ms apart (flushes of 8 every
+    # 160 ms): calm, the same load with a straggling fleet (+50 ms on every
+    # answer — pure telemetry, zero payload effect), then recovery long
+    # enough for every alert window to drain.
+    calm = list(zipf_trace(num_records, 96, exponent=1.2, seed=seed + 1))
+    fault = list(zipf_trace(num_records, 96, exponent=1.2, seed=seed + 2))
+    recovery = list(zipf_trace(num_records, 128, exponent=1.2, seed=seed + 3))
+    stream = calm + fault + recovery
+    gap = 0.02
+    penalty = 0.05
+    seed_heats = heats_from_trace(
+        plan,
+        calm,
+        arrival_seconds=[gap * i for i in range(len(calm))],
+        window_seconds=0.2,
+        decay=0.5,
+    )
+    policy = BatchingPolicy(max_batch_size=8, max_wait_seconds=10.0)
+
+    static = FleetRouter(
+        PIRClient(num_records, record_size, seed=seed + 6, prg=make_prg("numpy")),
+        database,
+        plan,
+        seed_heats,
+        policy=policy,
+    )
+    static_records = static.retrieve_batch(stream)
+
+    def run_once():
+        hub = ObservabilityHub(slo=_slo_policy())
+        autoscale = AutoscalePolicy(
+            # Deliberately oversized capacity target: utilization never
+            # nears the bands, so any scale-up can only be the alert path.
+            target_heat_per_replica=1000.0,
+            min_replicas=1,
+            max_replicas=2,
+            sustain_passes=2,
+            evaluation_interval_seconds=0.2,
+            cooldown_seconds=1.0,
+        )
+        router, plane = controlled_fleet(
+            PIRClient(
+                num_records, record_size, seed=seed + 6, prg=make_prg("numpy")
+            ),
+            database,
+            plan,
+            seed_heats,
+            window_seconds=0.2,
+            decay=0.5,
+            rebalance_interval_seconds=0.4,
+            split_heat_share=0.5,
+            merge_heat_floor=1.0,
+            min_shards=2,
+            max_shards=8,
+            autoscale=autoscale,
+            policy=policy,
+            hub=hub,
+        )
+        faults = [_LatencyFault(group) for group in router.replicas]
+        router.replicas[:] = faults
+
+        request_ids = []
+        now = 0.0
+        phases = (
+            (calm, 0.0),
+            (fault, penalty),
+            (recovery, 0.0),
+        )
+        for indices, stall in phases:
+            for wrapper in faults:
+                wrapper.penalty_seconds = stall
+            for index in indices:
+                request_ids.append(router.submit(index, arrival_seconds=now))
+                now += gap
+        router.close()
+        records = [router.take_record(request_id) for request_id in request_ids]
+        return hub, router, plane, records
+
+    hub, router, plane, records = run_once()
+    hub_b, _router_b, _plane_b, records_b = run_once()
+
+    if records != static_records:
+        raise AssertionError("instrumented run drifted from the static fleet")
+    if records_b != records:
+        raise AssertionError("the two instrumented runs disagree on records")
+
+    engine = hub.slo
+    fired = [a for a in engine.history if a.severity == "fast"]
+    if not fired:
+        raise AssertionError("the injected fault never fired a fast-burn alert")
+    if any(alert.active for alert in engine.history):
+        raise AssertionError("an alert stayed active through the recovery phase")
+    escalated = [
+        action
+        for action in plane.autoscaler.actions
+        if action.reason == "slo-escalated"
+    ]
+    if not escalated:
+        raise AssertionError("the fast-burn alert never escalated a scale-up")
+    report_text = "\n".join(plane.describe())
+    if "slo-escalated" not in report_text:
+        raise AssertionError("escalated scale-up missing from the pass report")
+
+    bundles = hub.recorder.incidents
+    if not bundles:
+        raise AssertionError("no incident bundle was recorded at alert-fire")
+    for bundle in bundles:
+        validate_bundle(bundle)
+    dumps_a = [FlightRecorder.dump(bundle) for bundle in bundles]
+    dumps_b = [FlightRecorder.dump(bundle) for bundle in hub_b.recorder.incidents]
+    if dumps_a != dumps_b:
+        raise AssertionError("incident bundles differ across identical runs")
+    if hub.events.dropped:
+        raise AssertionError(f"event log dropped {hub.events.dropped} event(s)")
+
+    resolved_fast = next(a for a in fired if a.resolved_at is not None)
+    lines = [
+        "SLO smoke: burn-rate alerting over an injected latency fault",
+        f"database: {num_records} records x {record_size} B, "
+        f"{len(stream)} queries (calm {len(calm)} / fault {len(fault)} / "
+        f"recovery {len(recovery)}), +{penalty * 1e3:.0f}ms stall during the fault",
+        "",
+    ]
+    lines.extend(plane.describe())
+    lines.append("")
+    lines.extend(engine.describe())
+    lines.append("")
+    lines.extend(hub.recorder.describe())
+    lines.append("")
+    lines.append(
+        f"{len(stream)} records verified bit-identical to the static fleet; "
+        f"fast-burn alert fired @ {resolved_fast.fired_at:.3f}s, resolved @ "
+        f"{resolved_fast.resolved_at:.3f}s; {len(escalated)} escalated "
+        f"scale-up(s); {len(bundles)} incident bundle(s), deterministic "
+        f"across two runs"
     )
     return "\n".join(lines)
 

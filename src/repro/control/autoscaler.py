@@ -97,7 +97,9 @@ class DampingVerdict:
     start: int
     stop: int
     #: Why it was suppressed: ``"unamortized"`` (the projected saving does
-    #: not repay the transfer within the horizon) or ``"cooldown"``.
+    #: not repay the transfer within the horizon), ``"cooldown"``, or
+    #: ``"slo-burn"`` (the rebalancer holds cosmetic reshapes while an SLO
+    #: alert is burning — economics fields are 0, the veto is health-driven).
     reason: str
     #: Projected per-window saving of the action (may be negative).
     saving_seconds: float
@@ -289,13 +291,17 @@ class AutoscaleAction:
     #: Simulated preload cost of the new members (0 for a drain) — members
     #: of the two trust domains come up in parallel, so the max is charged.
     transfer_seconds: float
+    #: What drove the action: ``"utilization"`` (the sustained-band policy)
+    #: or ``"slo-escalated"`` (a fast-burn alert bypassed the sustain
+    #: streak — see :meth:`ReplicaAutoscaler.decide`).
+    reason: str = "utilization"
 
     def describe(self) -> str:
         return (
             f"scale-{self.direction} @ {self.now:.3f}s: "
             f"{self.replicas_before} -> {self.replicas_after} replica(s) "
             f"(utilization {self.utilization:.2f}, "
-            f"{self.transfer_seconds * 1e3:.3f}ms transfer)"
+            f"{self.transfer_seconds * 1e3:.3f}ms transfer, {self.reason})"
         )
 
 
@@ -342,6 +348,7 @@ class ReplicaAutoscaler:
         self._above = 0
         self._below = 0
         self._last_utilization = 0.0
+        self._reason = "utilization"
 
     @property
     def last_action(self) -> Optional[AutoscaleAction]:
@@ -354,13 +361,38 @@ class ReplicaAutoscaler:
 
     # -- the policy ------------------------------------------------------------------
 
-    def decide(self, now: float) -> Optional[str]:
+    def decide(self, now: float, health=None) -> Optional[str]:
         """``"up"``, ``"down"`` or ``None`` — and advance the hysteresis state.
 
         Mutates the sustain streaks, so call it exactly once per evaluation
         point (the interval gate makes extra calls within one interval
         harmless).  The first call anchors the evaluation clock.
+
+        ``health`` (a :class:`~repro.obs.slo.HealthSignal`, when the plane
+        has an SLO engine wired) is the escalation path: a **fast-burn**
+        alert returns ``"up"`` immediately — no evaluation interval, no
+        sustain streak — because a paging-severity latency burn means the
+        fleet is underwater *now* and the cheapest mitigation we control is
+        more replicas.  Only the action cooldown and ``max_replicas`` still
+        gate it (with ``cooldown_seconds=0`` an unresolved burn adds one
+        replica per pass until the ceiling).  Any active burn (fast or
+        slow) also vetoes scale-*down*: capacity is never shed while the
+        budget burns, however idle utilization claims the fleet is.  The
+        executed action carries ``reason="slo-escalated"`` so pass reports
+        distinguish it from band-driven scaling.
         """
+        if (
+            health is not None
+            and getattr(health, "fast_burn", False)
+            and self.router.replica_count < self.policy.max_replicas
+            and (
+                self._last_action_at is None
+                or now - self._last_action_at >= self.policy.cooldown_seconds
+            )
+        ):
+            self._last_utilization = self.utilization()
+            self._reason = "slo-escalated"
+            return "up"
         if self._last_eval is None:
             self._last_eval = now
             return None
@@ -385,14 +417,22 @@ class ReplicaAutoscaler:
             return None
         count = self.router.replica_count
         if self._above >= self.policy.sustain_passes and count < self.policy.max_replicas:
+            self._reason = "utilization"
             return "up"
         if self._below >= self.policy.sustain_passes and count > self.policy.min_replicas:
+            if health is not None and getattr(health, "burning", False):
+                # Utilization says shed a replica, the SLO says requests
+                # are already missing their target: never give up capacity
+                # while the budget burns (the streak survives, so the drain
+                # happens promptly once the alerts resolve).
+                return None
+            self._reason = "utilization"
             return "down"
         return None
 
-    def maybe_scale(self, now: float) -> Optional[AutoscaleAction]:
+    def maybe_scale(self, now: float, health=None) -> Optional[AutoscaleAction]:
         """The observer-hook entry point: decide, then apply in one step."""
-        decision = self.decide(now)
+        decision = self.decide(now, health=health)
         if decision is None:
             return None
         return self.apply(decision, now)
@@ -433,7 +473,9 @@ class ReplicaAutoscaler:
             replicas_after=self.router.replica_count,
             utilization=self._last_utilization,
             transfer_seconds=transfer_seconds,
+            reason=self._reason,
         )
+        self._reason = "utilization"
         self.actions.append(action)
         self._last_action_at = now
         self._above = 0
@@ -446,6 +488,7 @@ class ReplicaAutoscaler:
                 replicas=action.replicas_after,
                 utilization=action.utilization,
                 transfer_seconds=transfer_seconds,
+                reason=action.reason,
             )
         return action
 
@@ -555,7 +598,10 @@ class AsyncControlDriver:
         """
         plane = self.plane
         autoscaler = getattr(plane, "autoscaler", None)
-        decision = autoscaler.decide(now) if autoscaler is not None else None
+        health = plane.current_health(now) if hasattr(plane, "current_health") else None
+        decision = (
+            autoscaler.decide(now, health=health) if autoscaler is not None else None
+        )
         staged: Optional[StagedReplicas] = None
         if decision == "up":
             staged = await asyncio.to_thread(autoscaler.router.stage_replicas)
@@ -567,7 +613,7 @@ class AsyncControlDriver:
             elif decision == "down":
                 action = autoscaler.apply("down", now)
             report = (
-                plane.rebalancer.maybe_rebalance(now)
+                plane.rebalancer.maybe_rebalance(now, health=health)
                 if plane.rebalancer is not None
                 else None
             )

@@ -78,6 +78,12 @@ class ControlPlane:
         self.observer_driven = observer_driven
         #: The managed async driver, once :meth:`start_driver` ran.
         self.driver: Optional[AsyncControlDriver] = None
+        #: Optional health provider (an object with ``health(now)`` —
+        #: normally the hub's :class:`~repro.obs.slo.SloEngine`, wired by
+        #: :meth:`~repro.obs.hub.ObservabilityHub.attach`).  Every control
+        #: pass consults it: a fast-burn alert escalates scale-up and holds
+        #: cosmetic reshapes while the budget is burning.
+        self.health_source = None
 
     def observe_batch(self, indices: Sequence[int], now: float) -> None:
         """Fold one flushed batch into the heat window, then maybe act.
@@ -93,18 +99,33 @@ class ControlPlane:
         if self.observer_driven:
             self.control_pass(now)
 
+    def current_health(self, now: float):
+        """The SLO verdict for this pass, or ``None`` without a source.
+
+        Note the one-flush lag on the observer-driven path: flush observers
+        run in list order with the plane *before* the hub, so a pass sees
+        the SLO state as of the previous flush — deliberate (the plane never
+        waits on judgement), and one flush is the tightest cadence any
+        signal could change at anyway.
+        """
+        if self.health_source is None:
+            return None
+        return self.health_source.health(now)
+
     def control_pass(self, now: float) -> None:
         """One decision round: autoscale first, then maybe rebalance.
 
         Scale-before-reshape keeps the pass coherent: a replica installed
         at ``now`` rides the same pass's reshape via ``router.fleets``
         instead of being built against a plan the reshape immediately
-        retires.
+        retires.  Both halves see the same health verdict, so an escalated
+        scale-up and the reshape hold-down always agree about the burn.
         """
+        health = self.current_health(now)
         if self.autoscaler is not None:
-            self.autoscaler.maybe_scale(now)
+            self.autoscaler.maybe_scale(now, health=health)
         if self.rebalancer is not None:
-            self.rebalancer.maybe_rebalance(now)
+            self.rebalancer.maybe_rebalance(now, health=health)
 
     # -- the managed async driver ---------------------------------------------------
 
@@ -178,8 +199,19 @@ class ControlPlane:
                 f"per trust domain, {len(autoscaler.actions)} action(s), "
                 f"utilization {autoscaler.utilization():.2f}"
             )
+            for action in autoscaler.actions[:-1]:
+                lines.append("  " + action.describe())
             if last is not None:
                 lines.append("  last action: " + last.describe())
+        if self.health_source is not None:
+            health = self.health_source.health()
+            state = "burning" if health.burning else "healthy"
+            if health.fast_burn:
+                state = "fast-burn"
+            lines.append(
+                f"slo health: {state}"
+                + (f" ({', '.join(health.active)})" if health.active else "")
+            )
         if self.cache is not None:
             stats = self.cache.stats
             lines.append(

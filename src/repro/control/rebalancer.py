@@ -265,11 +265,13 @@ class Rebalancer:
 
     # -- observe hook (period check) ---------------------------------------------
 
-    def maybe_rebalance(self, now: float) -> Optional[RebalanceReport]:
+    def maybe_rebalance(self, now: float, health=None) -> Optional[RebalanceReport]:
         """Run a pass iff ``interval_seconds`` elapsed since the last one.
 
         The first call only anchors the interval clock (a rebalance before
         any full observation window would act on a half-empty estimate).
+        ``health`` (a :class:`~repro.obs.slo.HealthSignal`, plane-supplied)
+        is forwarded to :meth:`rebalance`.
         """
         if self._last_pass is None:
             self._last_pass = now
@@ -277,11 +279,11 @@ class Rebalancer:
         if now - self._last_pass < self.interval_seconds:
             return None
         self._last_pass = now
-        return self.rebalance(now)
+        return self.rebalance(now, health=health)
 
     # -- one pass -----------------------------------------------------------------
 
-    def rebalance(self, now: float = 0.0) -> RebalanceReport:
+    def rebalance(self, now: float = 0.0, health=None) -> RebalanceReport:
         """Re-shape and re-place the fleet against the live heat window.
 
         Order of one pass: (1) shape — apply the split/merge policy as pure
@@ -295,7 +297,16 @@ class Rebalancer:
         then live-migrate any surviving shard whose chosen kind changed;
         (4) install the new placements on the router so its reporting
         surface (``describe_placements`` etc.) reflects the live fleet.
+
+        While ``health`` reports an active SLO burn, every split, merge and
+        kind migration is held — each surfaces as a ``"slo-burn"``
+        :class:`DampingVerdict` on the report — because a reshape's
+        transfer cost lands on a fleet already missing its latency target;
+        the autoscaler's escalated scale-up is the mitigation that runs
+        during a burn, and the held reshapes re-propose themselves once the
+        alerts resolve.
         """
+        burning = health is not None and getattr(health, "burning", False)
         router = self.router
         if self.tracker.plan is not router.plan:
             raise ConfigurationError(
@@ -317,7 +328,9 @@ class Rebalancer:
         # failed migration permanently (and, under the async frontend's
         # observer fault routing, silently) wedging the control plane.
         shape_state = self.tracker.shape_state()
-        change, splits, merges, suppressed = self._reshape(now, record_size)
+        change, splits, merges, suppressed = self._reshape(
+            now, record_size, burning=burning
+        )
         heats = self.tracker.heats()
         plan = self.tracker.plan
         if len(heats) != plan.num_shards:
@@ -371,6 +384,30 @@ class Rebalancer:
                 continue
             old_kind = old_kind_by_new.get(shard_index)
             if old_kind == placement.kind:
+                continue
+            if burning and old_kind is not None:
+                # Hold the migration while the budget burns; pin the
+                # installed placement back to the running kind so the
+                # router's kind map keeps matching the live children.
+                shard = placement.shard
+                report.suppressed.append(
+                    DampingVerdict(
+                        action="migrate",
+                        start=shard.start,
+                        stop=shard.stop,
+                        reason="slo-burn",
+                        saving_seconds=0.0,
+                        transfer_seconds=0.0,
+                        now=now,
+                    )
+                )
+                new_placements[position] = placement_for_kind(
+                    shard,
+                    old_kind,
+                    record_size,
+                    placement.heat,
+                    router.candidates,
+                )
                 continue
             if self.damper is not None and old_kind is not None:
                 shard = placement.shard
@@ -449,7 +486,7 @@ class Rebalancer:
     # -- the plan-shape policy ------------------------------------------------------
 
     def _reshape(
-        self, now: float, record_size: int
+        self, now: float, record_size: int, burning: bool = False
     ) -> Tuple[
         Optional[TopologyChange],
         List[ShardSplit],
@@ -506,6 +543,20 @@ class Rebalancer:
                 if at is None:
                     break
                 heat = heats[hottest.index]
+                if burning:
+                    suppressed.append(
+                        DampingVerdict(
+                            action="split",
+                            start=hottest.start,
+                            stop=hottest.stop,
+                            reason="slo-burn",
+                            saving_seconds=0.0,
+                            transfer_seconds=0.0,
+                            now=now,
+                        )
+                    )
+                    vetoed.add((hottest.start, hottest.stop))
+                    continue
                 if self.damper is not None:
                     left_heat = tracker.range_heat(
                         hottest.index, hottest.start, at
@@ -563,6 +614,20 @@ class Rebalancer:
                     break
                 i, combined = coldest
                 left, right = plan.shards[i], plan.shards[i + 1]
+                if burning:
+                    suppressed.append(
+                        DampingVerdict(
+                            action="merge",
+                            start=left.start,
+                            stop=right.stop,
+                            reason="slo-burn",
+                            saving_seconds=0.0,
+                            transfer_seconds=0.0,
+                            now=now,
+                        )
+                    )
+                    vetoed.add((left.start, right.stop))
+                    continue
                 if self.damper is not None:
                     left_cost, _ = best_option(
                         candidates, left.num_records, record_size, heats[i]

@@ -4,9 +4,12 @@ The layers compose bottom-up — :mod:`~repro.obs.events` (what happened) →
 :mod:`~repro.obs.metrics` (how often / how long) → :mod:`~repro.obs.tracing`
 (where each request's simulated time went) — and
 :class:`~repro.obs.hub.ObservabilityHub` wires all three into a running
-fleet in one call.  Everything is simulated-clock only and strictly
-read-only over the data plane: an instrumented run returns bit-identical
-records to an uninstrumented one.
+fleet in one call.  On top sits the judgement layer: :mod:`~repro.obs.slo`
+(streaming latency digests, declarative objectives, multi-window burn-rate
+alerts) and :mod:`~repro.obs.recorder` (the always-on flight recorder that
+freezes deterministic incident bundles when an alert fires).  Everything is
+simulated-clock only and strictly read-only over the data plane: an
+instrumented run returns bit-identical records to an uninstrumented one.
 """
 
 from repro.obs.events import Event, EventLog, JsonlSink, RingBufferSink
@@ -17,6 +20,18 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.recorder import INCIDENT_SCHEMA, FlightRecorder, validate_bundle
+from repro.obs.slo import (
+    BurnRateRule,
+    HealthSignal,
+    LatencyDigest,
+    SloAlert,
+    SloEngine,
+    SloObjective,
+    SloPolicy,
+    WindowedDigest,
+    default_rules,
 )
 from repro.obs.tracing import (
     KIND_CACHE,
@@ -40,6 +55,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "INCIDENT_SCHEMA",
+    "FlightRecorder",
+    "validate_bundle",
+    "BurnRateRule",
+    "HealthSignal",
+    "LatencyDigest",
+    "SloAlert",
+    "SloEngine",
+    "SloObjective",
+    "SloPolicy",
+    "WindowedDigest",
+    "default_rules",
     "KIND_CACHE",
     "KIND_PHASE",
     "KIND_REQUEST",

@@ -37,6 +37,7 @@ Three properties are load-bearing:
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -128,23 +129,58 @@ class JsonlSink:
     the single ``write`` call, so a handle that raises mid-export can fail
     only between complete lines, never inside one: re-reading the file
     always yields valid JSON records.
+
+    ``max_bytes`` (path-backed sinks only) bounds the file with rotate-once
+    semantics: a line that would push the current file past the bound first
+    rotates it to ``<path>.1`` — overwriting any previous rotation — and
+    starts fresh, so an arbitrarily long chaos run holds at most
+    ``2 * max_bytes`` of export on disk.  Rotation happens only between
+    complete lines; a single line larger than the bound is still written
+    whole (the valid-JSON invariant wins over the byte bound).
     """
 
-    def __init__(self, path_or_handle) -> None:
+    def __init__(self, path_or_handle, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive")
         if hasattr(path_or_handle, "write"):
+            if max_bytes is not None:
+                raise ConfigurationError(
+                    "max_bytes requires a path-backed sink (cannot rotate a handle)"
+                )
             self._handle = path_or_handle
             self._owns_handle = False
             self.path = getattr(path_or_handle, "name", None)
+            self.bytes_written = 0
         else:
             self.path = str(path_or_handle)
             self._handle = open(self.path, "a", encoding="utf-8")
             self._owns_handle = True
+            # Appending to an existing file: the bound covers what is
+            # already there, not just this process's lines.
+            self.bytes_written = self._handle.tell()
+        self.max_bytes = max_bytes
         self.lines_written = 0
+        self.rotations = 0
 
     def emit(self, event: Event) -> None:
         line = json.dumps(event.as_dict(), sort_keys=True) + "\n"
+        size = len(line.encode("utf-8"))
+        if (
+            self.max_bytes is not None
+            and self.bytes_written > 0
+            and self.bytes_written + size > self.max_bytes
+        ):
+            self._rotate()
         self._handle.write(line)
+        self.bytes_written += size
         self.lines_written += 1
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.bytes_written = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._owns_handle:

@@ -32,6 +32,8 @@ from typing import List, Optional
 
 from repro.obs.events import Event, EventLog, JsonlSink, RingBufferSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloEngine, SloPolicy
 from repro.obs.tracing import KIND_CACHE, KIND_SERVER, KIND_SHARD, Tracer
 
 #: Buckets for flush batch sizes (requests per flush, not seconds).
@@ -52,6 +54,38 @@ class _MetricsBridge:
         self._hub._fold_event(event)
 
 
+def _request_latencies(observation) -> List[float]:
+    """Simulated end-to-end seconds for every request retired by a flush.
+
+    Scanned requests: the slowest expected replica answer, preferring the
+    engine's ``simulated_seconds`` and falling back to the PhaseTimer total,
+    then to the flush makespan when a backend reports neither.  Cache hits
+    and dedup followers: 0.0 — they spent no simulated pipeline time.
+    """
+    fallback = max(observation.makespans, default=0.0)
+    latencies: List[float] = []
+    scanned_ids = set()
+    for request_id, _index, expected in observation.scanned:
+        scanned_ids.add(request_id)
+        worst = 0.0
+        missing = True
+        for query_id, server_id in expected:
+            detail = observation.details.get((query_id, server_id))
+            if detail is None:
+                continue
+            seconds = detail.simulated_seconds
+            if seconds is None and detail.breakdown is not None:
+                seconds = detail.breakdown.total
+            if seconds is not None:
+                worst = max(worst, float(seconds))
+                missing = False
+        latencies.append(fallback if missing else worst)
+    for request_id, _index in observation.batch:
+        if request_id not in scanned_ids:
+            latencies.append(0.0)
+    return latencies
+
+
 class ObservabilityHub:
     """Sinks + registry + tracer behind one frontend-observer facade."""
 
@@ -62,15 +96,25 @@ class ObservabilityHub:
         max_traces: int = 512,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        slo: Optional[SloPolicy] = None,
+        recorder_capacity: int = 256,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(max_traces=max_traces)
         self.ring = RingBufferSink(capacity=ring_capacity)
         self.jsonl = JsonlSink(jsonl_path) if jsonl_path is not None else None
-        sinks = [self.ring, _MetricsBridge(self)]
+        # The flight recorder is always on: bounded, cheap, and the thing
+        # incident bundles are cut from after the fact.
+        self.recorder = FlightRecorder(capacity=recorder_capacity)
+        sinks = [self.ring, _MetricsBridge(self), self.recorder]
         if self.jsonl is not None:
             sinks.append(self.jsonl)
         self.events = EventLog(sinks)
+        #: The judgement layer; ``None`` keeps the hub purely descriptive.
+        self.slo = SloEngine(slo, events=self.events) if slo is not None else None
+        self.recorder.bind(registry=self.registry, slo=self.slo)
+        if self.slo is not None:
+            self.slo.recorder = self.recorder
 
         # Pre-registered families: a snapshot taken before any traffic
         # already shows the full schema (unlabeled counters render 0).
@@ -155,6 +199,18 @@ class ObservabilityHub:
             "repro_rebalance_suppressed_total",
             "Reshapes/migrations vetoed by cost-aware damping",
         )
+        self._request_latency = metric.histogram(
+            "repro_request_latency_seconds",
+            "Simulated end-to-end latency per retired request",
+        )
+        self._slo_alerts = metric.counter(
+            "repro_slo_alerts_total",
+            "SLO burn-rate alert transitions",
+            ("objective", "severity", "state"),
+        )
+        self._slo_burning = metric.gauge(
+            "repro_slo_burning", "Currently active SLO alerts"
+        )
 
     # -- the frontend observer protocol -------------------------------------------
 
@@ -163,7 +219,7 @@ class ObservabilityHub:
         self.events.advance(now)
 
     def observe_flush(self, observation) -> None:
-        """Fold one settled flush into events, metrics and traces."""
+        """Fold one settled flush into events, metrics, traces and SLOs."""
         self.events.emit(
             "frontend.flush",
             now=observation.now,
@@ -175,6 +231,23 @@ class ObservabilityHub:
             makespan=max(observation.makespans, default=0.0),
         )
         self._record_traces(observation)
+        self._record_slo(observation)
+
+    def _record_slo(self, observation) -> None:
+        """Per-request latencies into the digest windows + alert lifecycle.
+
+        A scanned request costs its slowest replica answer (replicas run in
+        parallel), read from the same per-detail seconds the traces use;
+        cache hits and dedup followers spent zero simulated pipeline time.
+        """
+        latencies = _request_latencies(observation)
+        for seconds in latencies:
+            self._request_latency.observe(seconds)
+        if self.slo is None:
+            return
+        for seconds in latencies:
+            self.slo.record_request(seconds, observation.now)
+        self.slo.evaluate(observation.now)
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -211,6 +284,9 @@ class ObservabilityHub:
                 plane.cache.events = self.events
             if getattr(plane, "autoscaler", None) is not None:
                 plane.autoscaler.events = self.events
+            if self.slo is not None and hasattr(plane, "health_source"):
+                # Close the loop: control passes consult the SLO verdict.
+                plane.health_source = self.slo
         return frontend
 
     def close(self) -> None:
@@ -265,6 +341,13 @@ class ObservabilityHub:
             self._cache_invalidations.inc(fields.get("dropped", 1))
         elif name == "cache.reject_cold":
             self._cache_rejected.inc()
+        elif name == "slo.alert":
+            self._slo_alerts.inc(
+                objective=fields.get("objective", "?"),
+                severity=fields.get("severity", "?"),
+                state=fields.get("state", "?"),
+            )
+            self._slo_burning.set(fields.get("active", 0))
 
     # -- flush → traces -------------------------------------------------------------
 
@@ -351,6 +434,30 @@ class ObservabilityHub:
         lines.append("")
         lines.append("== metrics ==")
         lines.append(self.registry.render())
+        lines.append("")
+        lines.append("== latency quantiles (bucket estimates) ==")
+        quantile_rows = 0
+        for name in (
+            "repro_request_latency_seconds",
+            "repro_flush_makespan_seconds",
+            "repro_engine_answer_seconds",
+        ):
+            histogram = self.registry.get(name)
+            if histogram is None or histogram.count() == 0:
+                continue
+            p50 = histogram.quantile(0.50)
+            p99 = histogram.quantile(0.99)
+            lines.append(f"{name:34s} p50={p50:.6f}s p99={p99:.6f}s")
+            quantile_rows += 1
+        if not quantile_rows:
+            lines.append("(none)")
+        if self.slo is not None:
+            lines.append("")
+            lines.append("== slo ==")
+            lines.extend(self.slo.describe())
+        lines.append("")
+        lines.append("== flight recorder ==")
+        lines.extend(self.recorder.describe())
         lines.append("")
         lines.append(f"== slowest traces (top {top_n}) ==")
         slowest = self.tracer.slowest(top_n)

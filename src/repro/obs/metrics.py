@@ -181,6 +181,42 @@ class Histogram:
     def count(self, **labels) -> int:
         return int(self.snapshot(**labels)["count"])
 
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket where
+        the target rank ``q * count`` lands and interpolate linearly within
+        its bounds (the first bucket's lower bound is 0).  Ranks falling in
+        the implicit ``+Inf`` bucket return the highest finite bound — the
+        estimate cannot exceed what the buckets resolve.  For true rolling
+        quantiles use the SLO engine's streaming digest; this is the cheap
+        whole-run estimate rendered in the CLI ``report``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile q must be within [0, 1]")
+        key = _label_key(self.label_names, labels, self.name)
+        counts, _total, count = self._series.get(
+            key, ([0] * len(self.buckets), 0.0, 0)
+        )
+        if count == 0:
+            raise ConfigurationError(
+                f"histogram {self.name!r} has no observations for these labels"
+            )
+        target = q * count
+        lower = 0.0
+        previous = 0
+        for position, bound in enumerate(self.buckets):
+            cumulative = counts[position]
+            if cumulative >= target:
+                in_bucket = cumulative - previous
+                if in_bucket == 0:
+                    return lower
+                fraction = (target - previous) / in_bucket
+                return lower + (bound - lower) * fraction
+            lower = bound
+            previous = cumulative
+        return self.buckets[-1]
+
     def samples(self) -> List[Tuple[Dict[str, str], Dict[str, object]]]:
         return [
             (

@@ -1,0 +1,173 @@
+"""Always-on fleet flight recorder and deterministic incident bundles.
+
+An aircraft flight recorder is cheap, bounded, and always running — you
+only open it after something went wrong.  :class:`FlightRecorder` is the
+fleet's version: an :class:`~repro.obs.events.EventLog` sink that keeps the
+last N events plus pointers to the live metric registry and SLO engine.
+When an alert fires (or an operator asks), :meth:`record_incident` freezes
+everything into a JSON-safe **incident bundle**: recent events, the metric
+snapshot, the topology version, active alerts, and the SLO accounting at
+that instant.  Bundles are deterministic — same simulated run, same bytes —
+which is what lets the chaos harness assert "the control plane degraded
+gracefully" on the artifact instead of on log grep.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Current bundle schema tag; bump on breaking layout changes.
+INCIDENT_SCHEMA = "repro.incident/1"
+
+#: Required bundle keys and the types :func:`validate_bundle` enforces.
+_BUNDLE_FIELDS = {
+    "schema": str,
+    "trigger": str,
+    "now": (int, float),
+    "topology_version": int,
+    "active_alerts": list,
+    "events": list,
+}
+
+
+class FlightRecorder:
+    """Bounded black box: last N events + live state providers.
+
+    Plug it into an event log's sink chain (it implements ``emit``); bind
+    the registry and SLO engine with :meth:`bind` when they exist.  The
+    recorder never raises from the hot path and holds only bounded state:
+    ``capacity`` event dicts and at most ``max_incidents`` bundles.
+    """
+
+    def __init__(self, capacity: int = 256, max_incidents: int = 8) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("recorder capacity must be positive")
+        if max_incidents <= 0:
+            raise ConfigurationError("max_incidents must be positive")
+        self.capacity = int(capacity)
+        self.max_incidents = int(max_incidents)
+        self._events: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        #: Last topology version seen on the event stream (0 = construction).
+        self.topology_version = 0
+        self.registry = None
+        self.slo = None
+        self.incidents: List[Dict[str, object]] = []
+        self.events_seen = 0
+
+    def bind(self, registry=None, slo=None) -> None:
+        """Attach the live state providers snapshotted into bundles."""
+        if registry is not None:
+            self.registry = registry
+        if slo is not None:
+            self.slo = slo
+
+    # -- event-sink protocol --------------------------------------------------------
+
+    def emit(self, event) -> None:
+        self.events_seen += 1
+        payload = event.as_dict()
+        self._events.append(payload)
+        if event.name in ("topology.applied", "rebalance.pass"):
+            version = payload.get("version", payload.get("plan_version"))
+            if isinstance(version, int):
+                self.topology_version = version
+
+    # -- bundles --------------------------------------------------------------------
+
+    def recent_events(self) -> List[Dict[str, object]]:
+        """The retained tail of the event stream, oldest first."""
+        return list(self._events)
+
+    def snapshot(self, trigger: str, now: float) -> Dict[str, object]:
+        """Freeze the current state into a schema-tagged incident bundle."""
+        active: List[Dict[str, object]] = []
+        slo_state: Optional[Dict[str, object]] = None
+        if self.slo is not None:
+            slo_state = self.slo.as_dict(now)
+            active = list(slo_state.get("active_alerts", []))
+        metrics = self.registry.as_dict() if self.registry is not None else None
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "trigger": str(trigger),
+            "now": float(now),
+            "topology_version": self.topology_version,
+            "active_alerts": active,
+            "slo": slo_state,
+            "metrics": metrics,
+            "events": self.recent_events(),
+        }
+
+    def record_incident(self, trigger: str, now: float) -> Dict[str, object]:
+        """Capture a bundle and keep it (bounded to ``max_incidents``)."""
+        bundle = self.snapshot(trigger, now)
+        self.incidents.append(bundle)
+        if len(self.incidents) > self.max_incidents:
+            del self.incidents[0]
+        return bundle
+
+    @staticmethod
+    def dump(bundle: Dict[str, object]) -> str:
+        """Canonical JSON rendering: sorted keys, no whitespace drift."""
+        return json.dumps(bundle, sort_keys=True, separators=(",", ":"))
+
+    def dump_to(self, path: str, bundle: Optional[Dict[str, object]] = None) -> str:
+        """Write a bundle (default: the latest incident) to ``path``."""
+        if bundle is None:
+            if not self.incidents:
+                raise ConfigurationError("no incidents recorded yet")
+            bundle = self.incidents[-1]
+        text = self.dump(bundle)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return text
+
+    def describe(self) -> List[str]:
+        lines = [
+            f"events retained {len(self._events)}/{self.capacity}"
+            f" (seen {self.events_seen})",
+            f"topology version {self.topology_version}",
+            f"incidents recorded {len(self.incidents)}",
+        ]
+        for bundle in self.incidents:
+            lines.append(
+                f"incident trigger={bundle['trigger']} now={bundle['now']:.3f}"
+                f" alerts={len(bundle['active_alerts'])}"
+            )
+        return lines
+
+
+def validate_bundle(bundle: Dict[str, object]) -> None:
+    """Raise :class:`ConfigurationError` unless ``bundle`` matches the schema.
+
+    The chaos harness's assertion surface: required keys present with the
+    right types, the schema tag current, every event row carrying
+    ``name``/``seq``/``now``, and every active alert naming its objective
+    and severity.  The whole bundle must round-trip through JSON.
+    """
+    if not isinstance(bundle, dict):
+        raise ConfigurationError("incident bundle must be a dict")
+    for key, kinds in _BUNDLE_FIELDS.items():
+        if key not in bundle:
+            raise ConfigurationError(f"incident bundle missing key: {key!r}")
+        if not isinstance(bundle[key], kinds):
+            raise ConfigurationError(f"incident bundle key {key!r} has wrong type")
+    if bundle["schema"] != INCIDENT_SCHEMA:
+        raise ConfigurationError(
+            f"unknown incident schema: {bundle['schema']!r} (want {INCIDENT_SCHEMA!r})"
+        )
+    for row in bundle["events"]:
+        if not isinstance(row, dict) or not {"name", "seq", "now"} <= set(row):
+            raise ConfigurationError("incident bundle event rows need name/seq/now")
+    for alert in bundle["active_alerts"]:
+        if not isinstance(alert, dict) or not {"objective", "severity"} <= set(alert):
+            raise ConfigurationError(
+                "incident bundle alerts need objective/severity"
+            )
+    try:
+        json.dumps(bundle, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"incident bundle is not JSON-safe: {exc}") from exc

@@ -32,6 +32,7 @@ from repro.control.plane import controlled_fleet
 from repro.control.rebalancer import Rebalancer
 from repro.control.telemetry import HeatTracker
 from repro.dpf.prf import make_prg
+from repro.obs import HealthSignal
 from repro.pir.async_frontend import AsyncPIRFrontend
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
@@ -270,6 +271,75 @@ class TestReplicaAutoscaler:
         autoscaler, _ = make_autoscaler(router)
         with pytest.raises(ConfigurationError):
             autoscaler.apply("sideways", now=0.0)
+
+
+def burning(now=0.0, fast=False):
+    return HealthSignal(
+        now=now, burning=True, fast_burn=fast,
+        active=("lat/fast",) if fast else ("lat/slow",),
+    )
+
+
+class TestSloEscalation:
+    def test_fast_burn_scales_up_without_interval_or_streak(self, database):
+        router = make_router(database)
+        autoscaler, _ = make_autoscaler(router)  # zero heat: bands never fire
+        action = autoscaler.maybe_scale(0.0, health=burning(fast=True))
+        assert action is not None and action.direction == "up"
+        assert action.reason == "slo-escalated"
+        assert "slo-escalated" in action.describe()
+        assert router.replica_count == 2
+
+    def test_slow_burn_alone_does_not_escalate(self, database):
+        router = make_router(database)
+        autoscaler, _ = make_autoscaler(router)
+        assert autoscaler.maybe_scale(0.0, health=burning(fast=False)) is None
+        assert router.replica_count == 1
+
+    def test_escalation_respects_max_replicas(self, database):
+        router = make_router(database)
+        policy = AutoscalePolicy(target_heat_per_replica=10.0, max_replicas=1)
+        autoscaler, _ = make_autoscaler(router, policy=policy)
+        assert autoscaler.maybe_scale(0.0, health=burning(fast=True)) is None
+        assert router.replica_count == 1
+
+    def test_escalation_respects_the_action_cooldown(self, database):
+        router = make_router(database)
+        policy = AutoscalePolicy(target_heat_per_replica=10.0, max_replicas=4,
+                                 cooldown_seconds=5.0)
+        autoscaler, _ = make_autoscaler(router, policy=policy)
+        assert autoscaler.maybe_scale(0.0, health=burning(fast=True)).reason == (
+            "slo-escalated"
+        )
+        # An unresolved burn retries every pass but waits out the cooldown.
+        assert autoscaler.maybe_scale(1.0, health=burning(fast=True)) is None
+        assert autoscaler.maybe_scale(5.0, health=burning(fast=True)) is not None
+        assert router.replica_count == 3
+
+    def test_band_scaling_after_escalation_keeps_utilization_reason(self, database):
+        router = make_router(database)
+        policy = AutoscalePolicy(target_heat_per_replica=1.0, sustain_passes=1,
+                                 max_replicas=4)
+        autoscaler, tracker = make_autoscaler(router, policy=policy,
+                                              heat_indices=[0] * 50)
+        autoscaler.maybe_scale(0.0, health=burning(fast=True))
+        autoscaler.decide(1.0)  # anchor the evaluation interval
+        tracker.observe_batch([0] * 50, now=2.0)
+        action = autoscaler.maybe_scale(2.0)
+        assert action is not None and action.reason == "utilization"
+
+    def test_any_burn_vetoes_scale_down_but_keeps_the_streak(self, database):
+        router = make_router(database, initial_replicas=2)
+        autoscaler, _ = make_autoscaler(router)  # zero heat: below the band
+        autoscaler.decide(0.0)  # anchors the interval
+        assert autoscaler.decide(1.0) is None  # streak 1 of 2
+        # Streak 2 of 2, but the budget is burning: capacity is held.
+        assert autoscaler.decide(2.0, health=burning(fast=False)) is None
+        assert router.replica_count == 2
+        # The alert resolves; the preserved streak drains promptly.
+        healthy = HealthSignal.healthy(3.0)
+        assert autoscaler.maybe_scale(3.0, health=healthy).direction == "down"
+        assert router.replica_count == 1
 
 
 class TestReplicaGroupJournal:

@@ -133,6 +133,29 @@ class TestMain:
         assert main(["smoke", "--autoscale", "--resplit"]) == 2
         assert "one of" in capsys.readouterr().err
 
+    def test_slo_smoke(self, capsys):
+        assert main(["smoke", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO smoke" in out
+        assert "bit-identical" in out
+        assert "fast-burn alert fired" in out and "resolved" in out
+        assert "escalated scale-up" in out
+        assert "incident bundle" in out and "deterministic" in out
+
+    def test_slo_flag_rejected_for_other_targets(self, capsys):
+        assert main(["fig9", "--slo"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_slo_and_autoscale_are_exclusive(self, capsys):
+        assert main(["smoke", "--slo", "--autoscale"]) == 2
+        assert "one of" in capsys.readouterr().err
+
+    def test_report_mentions_latency_quantiles(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "latency quantiles" in out
+        assert "p50" in out and "p99" in out
+
     def test_report_target(self, capsys):
         assert main(["report"]) == 0
         out = capsys.readouterr().out

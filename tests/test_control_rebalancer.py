@@ -7,6 +7,7 @@ from repro.control.plane import ControlPlane, controlled_fleet
 from repro.control.rebalancer import Rebalancer
 from repro.control.telemetry import HeatTracker
 from repro.dpf.prf import make_prg
+from repro.obs import HealthSignal
 from repro.pir.client import PIRClient
 from repro.pir.database import Database
 from repro.pir.frontend import BatchingPolicy
@@ -268,3 +269,85 @@ class TestControlPlaneWiring:
         assert plane.reports == []
         assert router.retrieve_batch([3]) == [database.record(3)]
         assert plane.tracker.observed_indices == 1
+
+
+class TestSloBurnHold:
+    """An active SLO burn holds every reshape as a ``slo-burn`` verdict."""
+
+    @pytest.fixture(scope="class")
+    def database(self):
+        return Database.random(128, 16, seed=83)
+
+    def burning(self, now=0.0):
+        return HealthSignal(now=now, burning=True, fast_burn=False,
+                            active=("lat/slow",))
+
+    def test_migrations_are_pinned_while_burning(self, database):
+        plan = ShardPlan.uniform(database.num_records, 4)
+        router = make_router(database, plan, heats=[50.0, 0.0, 0.0, 0.0])
+        kinds_before = router.placement_kinds()
+        tracker = HeatTracker(plan, window_seconds=1.0, decay=0.5)
+        rebalancer = Rebalancer(router, tracker)
+        tracker.observe_batch([120] * 20, now=0.0)
+
+        report = rebalancer.rebalance(now=0.0, health=self.burning())
+        assert report.migrations == []
+        held = [v for v in report.suppressed if v.reason == "slo-burn"]
+        assert held and all(v.action == "migrate" for v in held)
+        assert all(v.saving_seconds == 0.0 and v.transfer_seconds == 0.0
+                   for v in held)
+        assert router.placement_kinds() == kinds_before
+        assert "slo-burn" in report.describe()
+        # Traffic is still served exactly through the pinned placements.
+        assert router.retrieve_batch([0, 120]) == [
+            database.record(0), database.record(120)
+        ]
+
+        # The alerts resolve: the held migrations re-propose themselves.
+        recovered = rebalancer.rebalance(now=1.0, health=HealthSignal.healthy(1.0))
+        assert recovered.migrations
+        assert router.placement_kinds() != kinds_before
+
+    def test_splits_are_held_while_burning(self, database):
+        plan = ShardPlan.uniform(database.num_records, 2, block_records=8)
+        router = make_router(database, plan, heats=[1.0, 1.0])
+        tracker = HeatTracker(plan, window_seconds=1.0, decay=0.5)
+        rebalancer = Rebalancer(router, tracker, split_heat_share=0.5,
+                                max_shards=4)
+        tracker.observe_batch([0] * 20 + [56] * 20, now=0.0)
+
+        report = rebalancer.rebalance(now=0.0, health=self.burning())
+        assert report.splits == [] and router.plan.version == 0
+        held = [v for v in report.suppressed if v.reason == "slo-burn"]
+        assert held and held[0].action == "split"
+        assert (held[0].start, held[0].stop) == (0, 64)  # the hot shard's range
+
+        recovered = rebalancer.rebalance(now=1.0)  # no health: no hold
+        assert recovered.splits and router.plan.version > 0
+
+    def test_merges_are_held_while_burning(self, database):
+        plan = ShardPlan.uniform(database.num_records, 4, block_records=8)
+        router = make_router(database, plan, heats=[5.0, 0.0, 0.0, 0.0])
+        tracker = HeatTracker(plan, window_seconds=1.0, decay=0.5)
+        rebalancer = Rebalancer(router, tracker, merge_heat_floor=0.5,
+                                min_shards=2)
+        tracker.observe_batch([0] * 10, now=0.0)
+
+        report = rebalancer.rebalance(now=0.0, health=self.burning())
+        assert report.merges == [] and router.plan.num_shards == 4
+        held = [v for v in report.suppressed if v.reason == "slo-burn"]
+        assert held and all(v.action == "merge" for v in held)
+
+        recovered = rebalancer.rebalance(now=1.0)
+        assert recovered.merges and router.plan.num_shards == 2
+
+    def test_maybe_rebalance_forwards_health(self, database):
+        plan = ShardPlan.uniform(database.num_records, 4)
+        router = make_router(database, plan, heats=[50.0, 0.0, 0.0, 0.0])
+        tracker = HeatTracker(plan, window_seconds=1.0, decay=0.5)
+        rebalancer = Rebalancer(router, tracker, interval_seconds=1.0)
+        tracker.observe_batch([120] * 20, now=0.0)
+        assert rebalancer.maybe_rebalance(0.0, health=self.burning()) is None
+        report = rebalancer.maybe_rebalance(1.0, health=self.burning(1.0))
+        assert report is not None and report.migrations == []
+        assert any(v.reason == "slo-burn" for v in report.suppressed)

@@ -23,6 +23,7 @@ EXAMPLES = [
     "topology_reshape",
     "observability",
     "autoscaler",
+    "slo_alerting",
     "certificate_transparency_audit",
     "credential_checking",
     "oversized_database_and_updates",
@@ -77,6 +78,14 @@ class TestExamplesRun:
         assert "replica add" in out and "replica drain" in out
         assert "scale-up" in out and "scale-down" in out
         assert "bit-identical to the static fleet" in out
+
+    def test_slo_example_shows_the_alert_lifecycle(self, capsys):
+        _load_example("slo_alerting").main()
+        out = capsys.readouterr().out
+        assert "[fast]" in out and "resolved@" in out
+        assert "slo-escalated" in out
+        assert "incident bundle" in out
+        assert "bit-identical to an uninstrumented static fleet" in out
 
     def test_figures_example_prints_every_figure(self, capsys):
         _load_example("reproduce_paper_figures").main()

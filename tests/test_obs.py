@@ -115,6 +115,52 @@ class TestJsonlSink:
         lines = path.read_text().splitlines()
         assert len(lines) == 1 and json.loads(lines[0])["name"] == "only"
 
+    def test_max_bytes_rotates_once_and_bounds_the_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), max_bytes=200)
+        log = EventLog([sink])
+        for i in range(50):
+            log.emit("tick", now=float(i), i=i)
+        sink.close()
+        assert sink.rotations >= 2  # re-rotations overwrite the same .1 file
+        rotated = tmp_path / "events.jsonl.1"
+        assert rotated.exists()
+        for file in (path, rotated):
+            content = file.read_text()
+            assert len(content.encode()) <= 200
+            for line in content.splitlines():
+                json.loads(line)  # every line survives rotation complete
+        # Nothing beyond the live file and the single rotation target.
+        assert sorted(f.name for f in tmp_path.iterdir()) == [
+            "events.jsonl", "events.jsonl.1",
+        ]
+
+    def test_oversize_single_line_is_still_written_whole(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), max_bytes=10)
+        log = EventLog([sink])
+        log.emit("first", now=0.0, payload="x" * 100)
+        assert sink.rotations == 0  # an empty file never rotates
+        log.emit("second", now=1.0)
+        sink.close()
+        assert sink.rotations == 1
+        assert json.loads((tmp_path / "events.jsonl.1").read_text())["payload"]
+
+    def test_append_mode_counts_preexisting_bytes_against_the_bound(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"name": "old"}\n')
+        sink = JsonlSink(str(path), max_bytes=20)
+        assert sink.bytes_written == len('{"name": "old"}\n')
+        EventLog([sink]).emit("fresh", now=0.0)
+        sink.close()
+        assert sink.rotations == 1  # the old content already spent the budget
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JsonlSink(str(tmp_path / "e.jsonl"), max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            JsonlSink(io.StringIO(), max_bytes=100)  # handles cannot rotate
+
 
 class TestMetrics:
     def test_counter_semantics(self):
@@ -145,6 +191,32 @@ class TestMetrics:
         assert snap["count"] == 4
         assert snap["sum"] == pytest.approx(6.05)
         assert snap["buckets"] == {0.1: 1, 1.0: 3, 10.0: 4}
+
+    def test_histogram_quantile_interpolates_within_buckets(self):
+        hist = MetricsRegistry().histogram("repro_q", buckets=(1.0, 2.0, 4.0))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        # target 0.5*2 = 1: the whole first bucket -> 0 + (1-0)*1/1.
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        # target 1.98 lands in (2, 4]: 2 + 2 * (1.98-1)/1.
+        assert hist.quantile(0.99) == pytest.approx(3.96)
+
+    def test_histogram_quantile_edge_ranks(self):
+        hist = MetricsRegistry().histogram("repro_q2", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        # Rank 0 in a leading empty bucket resolves to its lower bound.
+        assert hist.quantile(0.0) == 0.0
+        # Observations above every bound live in +Inf: the estimate clamps
+        # to the highest finite bound.
+        hist.observe(50.0)
+        assert hist.quantile(1.0) == 2.0
+
+    def test_histogram_quantile_validation(self):
+        hist = MetricsRegistry().histogram("repro_q3", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(0.5)  # no observations yet
 
     def test_bad_buckets_and_names_rejected(self):
         registry = MetricsRegistry()

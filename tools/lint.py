@@ -12,14 +12,17 @@ AST pass instead.  It flags:
 * ``asyncio.get_event_loop()`` — deprecated outside a running loop; library
   code must use ``asyncio.get_running_loop()`` (or ``asyncio.run`` at the
   top level) so it never implicitly creates a loop;
-* wall-clock reads under ``src/repro/control/`` and ``src/repro/shard/`` —
+* wall-clock reads under ``src/repro/control/``, ``src/repro/shard/`` and
+  ``src/repro/obs/`` —
   ``time.time()``, ``time.monotonic()``, ``time.perf_counter()``,
   ``time.sleep()`` (through any ``import time as ...`` alias), ``from time
-  import ...`` and the ``datetime`` module — the control plane *and* the
-  shard layer it mutates (topology swaps, live migrations) run on the
-  simulated clock only (``now`` comes from the caller), which is what keeps
-  rebalancing and reshape decisions deterministic and unit-testable;
-* event-loop clock reads under the same two packages —
+  import ...`` and the ``datetime`` module — the control plane, the
+  shard layer it mutates (topology swaps, live migrations) and the
+  observability layer judging them (SLO windows, burn-rate alerts, incident
+  bundles) run on the simulated clock only (``now`` comes from the caller),
+  which is what keeps rebalancing, reshape and alerting decisions
+  deterministic and unit-testable;
+* event-loop clock reads under the same packages —
   ``asyncio.get_running_loop().time()`` / ``get_event_loop().time()``,
   directly or through a name assigned from either getter — ``loop.time``
   is the asyncio spelling of ``time.monotonic()``, and the autoscaler's
@@ -98,9 +101,11 @@ WALL_CLOCK_ATTRS = {"time", "monotonic", "perf_counter", "sleep"}
 
 
 #: Packages whose code must never read the host clock: the control plane
-#: (rebalancing decisions) and the shard layer it mutates (topology swaps,
-#: live migrations) both run on the simulated clock only.
-SIMULATED_CLOCK_PACKAGES = ("control", "shard")
+#: (rebalancing decisions), the shard layer it mutates (topology swaps,
+#: live migrations) and the observability layer judging both (SLO windows,
+#: burn-rate alerts, flight-recorder bundles) all run on the simulated
+#: clock only.
+SIMULATED_CLOCK_PACKAGES = ("control", "shard", "obs")
 
 
 #: asyncio accessors returning an event loop whose ``.time()`` is the
@@ -230,7 +235,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                 (
                     node.lineno,
                     f"wall-clock time.{node.attr}() under a simulated-clock "
-                    "package (src/repro/{control,shard}/) — take `now` "
+                    "package (src/repro/{control,shard,obs}/) — take `now` "
                     "from the caller",
                 )
             )
@@ -250,7 +255,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                 (
                     node.lineno,
                     "event-loop clock (asyncio loop .time()) under a "
-                    "simulated-clock package (src/repro/{control,shard}/) — "
+                    "simulated-clock package (src/repro/{control,shard,obs}/) — "
                     "inject the clock from the caller",
                 )
             )
@@ -261,7 +266,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                         (
                             node.lineno,
                             "import datetime under a simulated-clock package "
-                            "(src/repro/{control,shard}/) — take `now` "
+                            "(src/repro/{control,shard,obs}/) — take `now` "
                             "from the caller",
                         )
                     )
@@ -316,7 +321,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                     (
                         node.lineno,
                         f"from {node.module} import ... under a simulated-clock "
-                        "package (src/repro/{control,shard}/) — take "
+                        "package (src/repro/{control,shard,obs}/) — take "
                         "`now` from the caller",
                     )
                 )
