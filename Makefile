@@ -43,11 +43,13 @@ smoke:
 	$(PYTHON) -m repro.bench.cli smoke --slo
 
 ## Wall-clock benchmark of the batched one-pass scan path against the
-## sequential per-query path on the reference backend; writes BENCH_PR6.json
-## (records/sec, batched QPS, speedup, simulated p50/p99 latency) and
-## archives the run to benchmarks/history/BENCH_<git-sha>.json.  Compare two
-## runs with `python tools/bench_compare.py OLD.json BENCH_PR6.json`, or the
-## whole trajectory with `python tools/bench_compare.py benchmarks/history`.
+## sequential per-query path on the reference backend (records/sec, batched
+## QPS, speedup, simulated p50/p99 latency, the shard-count x executor x
+## batch crossover sweep with ScanTuner verdicts, and the host hardware
+## context); archives the run to benchmarks/history/BENCH_<git-sha>.json —
+## its only artifact.  Compare two runs with
+## `python tools/bench_compare.py OLD.json NEW.json`, or the whole
+## trajectory with `python tools/bench_compare.py benchmarks/history`.
 bench:
 	$(PYTHON) -m repro.bench.cli bench
 

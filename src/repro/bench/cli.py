@@ -26,7 +26,6 @@ from repro.bench.figures import (
 )
 from repro.bench.perf import (
     DEFAULT_HISTORY_DIR,
-    DEFAULT_OUTPUT,
     render_bench,
     run_bench,
 )
@@ -205,13 +204,12 @@ def main(argv=None) -> int:
     if args.target == "bench":
         metrics = run_bench(
             quick=args.use_quick,
-            output_path=None if args.use_quick else DEFAULT_OUTPUT,
+            output_path=None,
             history_dir=None if args.use_quick else DEFAULT_HISTORY_DIR,
         )
         print(render_bench(metrics))
         if not args.use_quick:
-            print(f"\nmetrics written to {DEFAULT_OUTPUT}")
-            print(f"archived to {metrics['archived_to']}")
+            print(f"\narchived to {metrics['archived_to']}")
         return 0
 
     if args.target == "report":

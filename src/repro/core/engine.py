@@ -126,8 +126,14 @@ class PIRBackend(ABC):
         This default serves the rows through :meth:`execute` one by one, so
         every backend supports the batched surface; backends with a one-pass
         batched kernel override it.  Overrides must stay bit-identical to the
-        sequential path and charge each row's breakdown the same simulated
-        costs — batching is a wall-clock optimisation only.
+        sequential path.  Host-side backends also charge each row's breakdown
+        the same simulated costs (batching is a wall-clock optimisation
+        only); the PIM backends batch at kernel level, paying fixed
+        per-dispatch charges (transfer latency, launch overhead, streamed
+        segment copies) once per batch and splitting them evenly across the
+        rows — per-row kernel costs and scan bytes are never discounted (see
+        :func:`repro.core.partitioning.run_dpu_pipeline_many` for the
+        documented amortisation formula).
         """
         rows = [
             np.asarray(
@@ -466,6 +472,28 @@ class ReferenceBackend(PIRBackend):
             self._database.records, selector_matrix, stats=self._dpxor_stats
         )
 
+    def scan_many_into(
+        self,
+        selector_matrix: np.ndarray,
+        out: np.ndarray,
+        chunk_records: Optional[int] = None,
+    ) -> np.ndarray:
+        """One-pass batched scan straight into a caller-owned accumulator.
+
+        The sharded executors' hot path: a shard worker scans its column
+        block into its preallocated slab of the fleet-wide accumulator with
+        no per-query Python and no allocation in the worker (see
+        ``ShardedBackend.execute_many``).  Stats are charged exactly like
+        :meth:`execute_many`.
+        """
+        return dpxor_many(
+            self._database.records,
+            selector_matrix,
+            stats=self._dpxor_stats,
+            chunk_records=chunk_records,
+            out=out,
+        )
+
 
 # ---------------------------------------------------------------------------
 # Backend registry: one place to enumerate every server variant.
@@ -569,6 +597,7 @@ def _ensure_default_backends() -> None:
             config=kw.get("config"),
             segment_records=kw.get("segment_records"),
             executor=kw.get("executor", "serial"),
+            tuner=kw.get("tuner"),
             prg=kw.get("prg", make_prg("numpy")),
         ),
     )

@@ -124,6 +124,34 @@ class DatabasePartitioner:
         return chunks
 
     @staticmethod
+    def selector_chunks_many(
+        layout: PartitionLayout, selector_matrix: np.ndarray
+    ) -> List[np.ndarray]:
+        """Per-DPU packed selector buffers for a whole batch, in layout order.
+
+        The batched counterpart of :meth:`selector_chunks`:
+        ``selector_matrix`` is ``(B, num_records)`` of 0/1 values and each
+        DPU receives ``B`` packed slices back to back — row ``b`` of a DPU's
+        ``(B, slice_bytes)`` buffer is exactly the buffer
+        :meth:`selector_chunks` would ship it for query ``b``.  Empty DPUs
+        keep the one-byte placeholder.
+        """
+        selector_matrix = np.asarray(selector_matrix, dtype=np.uint8)
+        if selector_matrix.ndim != 2 or selector_matrix.shape[1] != layout.num_records:
+            raise ConfigurationError(
+                f"selector matrix shape {selector_matrix.shape} does not match layout "
+                f"(expected (batch, {layout.num_records}))"
+            )
+        chunks = []
+        for start, stop in layout.bounds:
+            bits = selector_matrix[:, start:stop]
+            if bits.shape[1] == 0:
+                chunks.append(np.zeros(1, dtype=np.uint8))
+            else:
+                chunks.append(np.packbits(bits, axis=1, bitorder="big"))
+        return chunks
+
+    @staticmethod
     def packed_selector_bytes(layout: PartitionLayout) -> int:
         """Total bytes shipped to the DPUs for one query's selector shares."""
         total = 0
@@ -170,6 +198,14 @@ def kwargs_for_kernel(layout: PartitionLayout) -> List[dict]:
     ]
 
 
+def kwargs_for_kernel_many(layout: PartitionLayout, batch: int) -> List[dict]:
+    """Per-DPU keyword arguments for :class:`~repro.pim.kernels.DpXorManyKernel`."""
+    return [
+        {"num_records": stop - start, "record_size": layout.record_size, "batch": batch}
+        for start, stop in layout.bounds
+    ]
+
+
 def reset_pipeline_buffers(dpu_set) -> None:
     """Free the pipeline's MRAM buffers so a re-prepare can re-size them.
 
@@ -180,6 +216,17 @@ def reset_pipeline_buffers(dpu_set) -> None:
         for name in (DB_BUFFER, SELECTOR_BUFFER, RESULT_BUFFER):
             if dpu.mram.has_buffer(name):
                 dpu.mram.free(name)
+
+
+def _pipeline_phases() -> Tuple[str, str, str]:
+    """The copy-in / dpXOR / copy-out phase names, imported lazily.
+
+    ``repro.core.results`` cannot be imported at module scope here:
+    ``repro.core.__init__`` imports this module first.
+    """
+    from repro.core.results import PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR
+
+    return PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR
 
 
 def run_dpu_pipeline(
@@ -202,7 +249,7 @@ def run_dpu_pipeline(
     caller to fold (phase 6 is charged by the caller, whose aggregation
     fan-in differs between modes).
     """
-    from repro.core.results import PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR
+    PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR = _pipeline_phases()
 
     if db_chunks is not None:
         if db_copy_phase is None:
@@ -219,6 +266,77 @@ def run_dpu_pipeline(
     partials, copy_out = dpu_set.gather(RESULT_BUFFER, layout.record_size)
     breakdown.record(PHASE_COPY_OUT, copy_out.simulated_seconds)
     return partials
+
+
+def run_dpu_pipeline_many(
+    dpu_set,
+    kernel,
+    layout: PartitionLayout,
+    selector_chunks: Sequence[np.ndarray],
+    breakdowns: Sequence,
+    *,
+    db_chunks: Optional[Sequence[np.ndarray]] = None,
+    db_copy_phase: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Algorithm 1 phases 3-5 for a whole batch in one DPU dispatch.
+
+    The batched counterpart of :func:`run_dpu_pipeline` and the heart of the
+    kernel-level batching: the batch pays **one** selector scatter, **one**
+    launch of the batched dpXOR (whose batch loop runs inside the DPUs) and
+    **one** result gather, instead of one of each per query — and, when
+    ``db_chunks`` streams the database in, **one** segment copy per batch
+    instead of per query.
+
+    Simulated cost model (the documented amortisation, for a batch of ``B``
+    rows over ``P`` DPUs)::
+
+        copy_in  = transfer_latency + B * packed_selector_bytes / host_to_dpu_bw
+        dpxor    = launch_overhead(P) + max_dpu( sum_rows kernel_cost(dpu, row) )
+        copy_out = transfer_latency + B * record_size * P / dpu_to_host_bw
+        copy_db  = transfer_latency + db_bytes / host_to_dpu_bw   (streamed mode)
+
+    — each charged **once per batch**.  Only the fixed per-dispatch charges
+    (transfer latency, launch overhead, the per-batch segment copy) amortise;
+    selector/result bytes and per-row kernel costs still scale with ``B``
+    (the all-for-one principle never discounts scan work).  Each phase's
+    batch total is split evenly across the ``B`` breakdowns, so the
+    per-query breakdowns sum to exactly the batch total and batch makespans
+    show the amortisation directly.
+
+    ``selector_chunks`` comes from
+    :meth:`DatabasePartitioner.selector_chunks_many`; the per-DPU partials
+    are returned as ``(B, record_size)`` blocks for the caller to fold per
+    row (phase 6 stays a per-query charge, as in the sequential pipeline).
+    """
+    PHASE_COPY_IN, PHASE_COPY_OUT, PHASE_DPXOR = _pipeline_phases()
+
+    batch = len(breakdowns)
+    if batch <= 0:
+        raise ConfigurationError("run_dpu_pipeline_many needs at least one breakdown")
+
+    def charge(phase: str, total_seconds: float) -> None:
+        share = total_seconds / batch
+        for breakdown in breakdowns:
+            breakdown.record(phase, share)
+
+    if db_chunks is not None:
+        if db_copy_phase is None:
+            raise ConfigurationError("db_copy_phase is required when streaming db_chunks")
+        db_report = dpu_set.scatter(DB_BUFFER, db_chunks)
+        charge(db_copy_phase, db_report.simulated_seconds)
+
+    copy_in = dpu_set.scatter(SELECTOR_BUFFER, selector_chunks)
+    charge(PHASE_COPY_IN, copy_in.simulated_seconds)
+
+    launch = dpu_set.launch(kernel, per_dpu_kwargs=kwargs_for_kernel_many(layout, batch))
+    charge(PHASE_DPXOR, launch.simulated_seconds)
+
+    blocks, copy_out = dpu_set.gather(RESULT_BUFFER, batch * layout.record_size)
+    charge(PHASE_COPY_OUT, copy_out.simulated_seconds)
+    return [
+        np.asarray(block, dtype=np.uint8).reshape(batch, layout.record_size)
+        for block in blocks
+    ]
 
 
 def fold_partials(partials: Sequence[np.ndarray], record_size: int) -> np.ndarray:

@@ -67,8 +67,17 @@ class DPU:
     # -- MRAM convenience ---------------------------------------------------------
 
     def store(self, name: str, array: np.ndarray) -> int:
-        """Allocate (if needed) and write a named MRAM buffer; returns bytes written."""
+        """Allocate (if needed) and write a named MRAM buffer; returns bytes written.
+
+        A buffer too small for the incoming data is reallocated (still
+        capacity-checked): batched dispatches legitimately grow the selector
+        and result buffers past their per-query size, and batch sizes vary
+        flush to flush.  Shrinking never reallocates — a smaller write into a
+        larger buffer is an ordinary partial write.
+        """
         flat = np.ascontiguousarray(array, dtype=np.uint8).reshape(-1)
+        if self.mram.has_buffer(name) and self.mram.buffer_size(name) < flat.size:
+            self.mram.free(name)
         if not self.mram.has_buffer(name):
             self.mram.allocate(name, flat.size)
         return self.mram.write(name, flat)

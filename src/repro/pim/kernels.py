@@ -24,6 +24,7 @@ from repro.pim.timing import (
     INSTRUCTIONS_PER_XOR_WORD,
     dpxor_kernel_cost,
 )
+from repro.pir.xor_ops import dpxor_many
 
 #: Default MRAM buffer names used by the IM-PIR pipeline.
 DB_BUFFER = "db"
@@ -128,6 +129,126 @@ class DpXorKernel(Kernel):
                 "dma_seconds": cost.dma_seconds,
                 "compute_seconds": cost.compute_seconds,
                 "reduction_seconds": cost.reduction_seconds,
+            },
+        )
+
+
+class DpXorManyKernel(Kernel):
+    """Batched dpXOR: one launch scans the DPU's block for a whole batch.
+
+    The batched entry point of the same kernel binary as :class:`DpXorKernel`
+    (hence the shared ``name``): the selector buffer carries ``batch`` packed
+    selector slices back to back, the batch loop runs *inside* the launch via
+    the one-pass :func:`~repro.pir.xor_ops.dpxor_many` per tasklet share, and
+    the result buffer returns ``batch`` sub-results.  Fixed per-dispatch
+    charges (scatter latency, launch overhead) are paid once per batch by the
+    caller; the scan itself is still priced per query — each row adds exactly
+    the kernel cost its own sequential launch would, with its own measured
+    selected fraction, so batching never discounts scan work (the
+    all-for-one principle).
+    """
+
+    name = "dpxor"
+
+    def run(
+        self,
+        dpu: DPU,
+        num_records: int,
+        record_size: int,
+        batch: int,
+        tasklets: Optional[int] = None,
+        db_buffer: str = DB_BUFFER,
+        selector_buffer: str = SELECTOR_BUFFER,
+        result_buffer: str = RESULT_BUFFER,
+        **_: Any,
+    ) -> DPUExecutionReport:
+        if num_records < 0 or record_size <= 0:
+            raise KernelError("num_records must be >= 0 and record_size > 0")
+        if batch <= 0:
+            raise KernelError("batch must be positive")
+        tasklets = dpu.config.tasklets if tasklets is None else tasklets
+        if not 1 <= tasklets <= dpu.config.hardware_threads:
+            raise KernelError(
+                f"tasklets must be in [1, {dpu.config.hardware_threads}], got {tasklets}"
+            )
+
+        # Same WRAM working set as the sequential kernel: the batch reuses the
+        # staging blocks and accumulators query by query inside the launch.
+        selector_bytes = (num_records + 7) // 8
+        dpu.wram.reserve("dpxor:blocks", max(1, tasklets * WRAM_BLOCK_BYTES))
+        dpu.wram.reserve("dpxor:accumulators", max(1, tasklets * record_size))
+        dpu.wram.reserve(
+            "dpxor:selector", max(1, min(selector_bytes, dpu.wram.free_bytes // 2 or 1))
+        )
+
+        db_bytes = num_records * record_size
+        database = np.zeros((0, record_size), dtype=np.uint8)
+        selectors = np.zeros((batch, 0), dtype=np.uint8)
+        if num_records:
+            database = dpu.load(db_buffer, size_bytes=db_bytes).reshape(num_records, record_size)
+            packed = dpu.load(
+                selector_buffer, size_bytes=batch * selector_bytes
+            ).reshape(batch, selector_bytes)
+            selectors = np.unpackbits(packed, axis=1, bitorder="big")[:, :num_records]
+
+        # Stage 1: TASKLETXOR — each tasklet one-pass scans its contiguous
+        # share for every batch row at once.
+        group = TaskletGroup(num_tasklets=tasklets)
+        partials = np.zeros((tasklets, batch, record_size), dtype=np.uint8)
+        words = -(-record_size // 8)
+        for report, (start, stop) in zip(group.reports, group.partition(num_records)):
+            if start < stop:
+                share_bits = selectors[:, start:stop]
+                dpxor_many(database[start:stop], share_bits, out=partials[report.tasklet_id])
+                report.records_processed = batch * (stop - start)
+                report.records_selected = int(share_bits.sum())
+                report.instructions = (
+                    batch * (stop - start) * INSTRUCTIONS_PER_RECORD_OVERHEAD
+                    + report.records_selected * words * INSTRUCTIONS_PER_XOR_WORD
+                )
+                report.dma_bytes = batch * (
+                    (stop - start) * (words * 8) + (stop - start + 7) // 8
+                )
+
+        # Stage 2: MASTERXOR — fold the per-tasklet partials per batch row.
+        result = np.bitwise_xor.reduce(partials, axis=0)
+        dpu.store(result_buffer, result)
+
+        # Per-query kernel cost, summed: the batched launch charges exactly
+        # what ``batch`` sequential launches would on this DPU, each with its
+        # own row's selected fraction.
+        if num_records:
+            selected_per_row = selectors.sum(axis=1, dtype=np.int64)
+        else:
+            selected_per_row = np.zeros(batch, dtype=np.int64)
+        simulated = dma = compute = reduction = 0.0
+        for selected in selected_per_row.tolist():
+            cost = dpxor_kernel_cost(
+                dpu.config,
+                chunk_bytes=db_bytes,
+                record_size=record_size,
+                selected_fraction=selected / num_records if num_records else 0.0,
+                tasklets=tasklets,
+            )
+            simulated += cost.total_seconds
+            dma += cost.dma_seconds
+            compute += cost.compute_seconds
+            reduction += cost.reduction_seconds
+        return DPUExecutionReport(
+            dpu_id=dpu.dpu_id,
+            kernel_name=self.name,
+            simulated_seconds=simulated,
+            instructions=group.total_instructions,
+            dma_bytes=group.total_dma_bytes,
+            tasklets_used=tasklets,
+            result=result,
+            details={
+                "batch": batch,
+                "records": num_records,
+                "records_selected": group.total_records_selected,
+                "dma_seconds": dma,
+                "compute_seconds": compute,
+                "reduction_seconds": reduction,
             },
         )
 

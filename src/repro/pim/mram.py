@@ -86,6 +86,10 @@ class MRAM:
         """Names of all allocated buffers."""
         return tuple(self._buffers)
 
+    def buffer_size(self, name: str) -> int:
+        """Allocated size of buffer ``name`` in bytes."""
+        return self._require(name).size_bytes
+
     # -- data movement ----------------------------------------------------------
 
     def write(self, name: str, array: np.ndarray, offset: int = 0) -> int:

@@ -184,6 +184,7 @@ def dpxor_many(
     selectors: np.ndarray,
     stats: Optional[DpXorStats] = None,
     chunk_records: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Batched dpXOR: serve a whole batch of selectors in one database pass.
 
@@ -199,11 +200,25 @@ def dpxor_many(
     multiple of :data:`WORD_BYTES` (uint8 fallback otherwise).  Batching is a
     wall-clock optimisation only: ``stats`` is charged exactly what ``B``
     sequential full scans charge (the all-for-one principle holds per query).
+
+    ``out``, when given, is a caller-owned C-contiguous ``(B, record_size)``
+    uint8 accumulator block the scan writes into (and returns) instead of
+    allocating — what lets the sharded threads executor's workers land their
+    shard's sub-results straight into one preallocated slab.  It is zeroed
+    first, so reuse across batches needs no caller-side reset.
     """
     database, selectors = _validate_many(database, selectors)
     num_records, record_size = database.shape
     batch = selectors.shape[0]
-    out = np.zeros((batch, record_size), dtype=np.uint8)
+    if out is None:
+        out = np.zeros((batch, record_size), dtype=np.uint8)
+    else:
+        if out.shape != (batch, record_size) or out.dtype != np.uint8:
+            raise DatabaseError(
+                f"out buffer {out.shape}/{out.dtype} does not match "
+                f"({batch}, {record_size}) uint8"
+            )
+        out[:] = 0
     selected = selectors.astype(bool)
     if num_records and batch and record_size:
         if chunk_records is None:

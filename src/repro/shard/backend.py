@@ -36,14 +36,34 @@ from repro.common.errors import ConfigurationError, ProtocolError
 from repro.common.events import PhaseTimer
 from repro.core.config import IMPIRConfig
 from repro.core.engine import BackendCapabilities, PIRBackend, QueryEngine
+from repro.core.partitioning import fold_partials
 from repro.pir.database import Database
 from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
+from repro.shard.tuner import ScanTuner, default_tuner
 
 #: A callable building the bare execution backend for one shard.
 ShardBackendFactory = Callable[[ShardSpec], PIRBackend]
 
 #: One fleet member: ``(shard, child backend, child lane count)``.
 ShardMember = Tuple[ShardSpec, PIRBackend, int]
+
+
+def _close_children(
+    members: Sequence[ShardMember], keep: Optional[Sequence[PIRBackend]] = None
+) -> None:
+    """Close every member child exposing ``close``, except those in ``keep``.
+
+    Children are bare backends without a uniform lifecycle protocol, so the
+    close is duck-typed; ``keep`` carries children a reshape reused in the
+    successor topology, which must stay live.
+    """
+    kept = {id(child) for child in keep} if keep is not None else set()
+    for _, child, _ in members:
+        if id(child) in kept:
+            continue
+        child_close = getattr(child, "close", None)
+        if child_close is not None:
+            child_close()
 
 
 class _Topology:
@@ -91,9 +111,12 @@ BARE_BACKEND_KINDS: Tuple[str, ...] = (
 )
 
 #: How a :class:`ShardedBackend` runs its per-shard ``execute`` calls.
+#: ``auto`` defers the serial-vs-threads decision to a measured
+#: :class:`~repro.shard.tuner.ScanTuner` crossover, per batch shape.
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_THREADS = "threads"
-SHARD_EXECUTORS: Tuple[str, ...] = (EXECUTOR_SERIAL, EXECUTOR_THREADS)
+EXECUTOR_AUTO = "auto"
+SHARD_EXECUTORS: Tuple[str, ...] = (EXECUTOR_SERIAL, EXECUTOR_THREADS, EXECUTOR_AUTO)
 
 
 def default_child_config() -> IMPIRConfig:
@@ -162,6 +185,7 @@ class ShardedBackend(PIRBackend):
         block_records: int = 1,
         name: str = "sharded",
         executor: str = EXECUTOR_SERIAL,
+        tuner: Optional[ScanTuner] = None,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
@@ -173,9 +197,17 @@ class ShardedBackend(PIRBackend):
         #: ``serial`` scans shards one after another on the calling thread;
         #: ``threads`` overlaps the children's blocking numpy scans in a
         #: thread pool — what lets a fleet's shards genuinely run in parallel
-        #: under the asyncio frontend.  Simulated time is identical either
-        #: way (timers fold per-phase max in shard order regardless).
+        #: under the asyncio frontend.  ``auto`` keeps the pool warm and asks
+        #: the :class:`~repro.shard.tuner.ScanTuner`'s measured crossover per
+        #: batch whether threads actually beat serial at that shape.
+        #: Simulated time is identical in every mode (timers fold per-phase
+        #: max in shard order regardless).
         self.executor = executor
+        self._tuner = (
+            tuner
+            if tuner is not None
+            else (default_tuner() if executor == EXECUTOR_AUTO else None)
+        )
         self._num_shards = plan.num_shards if plan is not None else num_shards
         self._block_records = plan.block_records if plan is not None else block_records
         self._requested_plan = plan
@@ -249,11 +281,16 @@ class ShardedBackend(PIRBackend):
             if report is not None:
                 timer.merge_parallel(report)
             members.append((shard, child, child.capabilities().lanes))
+        # A re-prepare replaces the children wholesale; release the old
+        # generation's resources (scan pools of nested fleets, etc.) so
+        # repeated re-prepares never accumulate leaked threads.
+        if self._topology is not None:
+            _close_children(self._topology.members)
         self._topology = _Topology(plan, tuple(members))
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self.executor == EXECUTOR_THREADS:
+        if self.executor in (EXECUTOR_THREADS, EXECUTOR_AUTO):
             # Width headroom (+4) over the prepare-time member count: online
             # splits grow the fleet without re-preparing, and the pool is
             # deliberately kept for the backend's whole life — swapping pools
@@ -264,17 +301,25 @@ class ShardedBackend(PIRBackend):
         return timer if timer.durations else None
 
     def close(self) -> None:
-        """Release the scan pool of a backend that will never serve again.
+        """Release the scan resources of a backend that will never serve again.
 
         The drain path for elastic replicas: a drained member is detached
         under the reconfigure gate, so no scan is in flight and the pool's
-        idle threads can be dropped without waiting.  The backend stays
-        structurally intact (children, topology) — only future ``execute``
-        calls fall back to sequential scans if it is ever revived.
+        idle threads can be dropped without waiting.  Closing propagates to
+        every child exposing ``close`` (a nested sharded fleet, a future
+        pooled child), so a fleet drain releases the whole subtree's thread
+        pools — long-lived deployments reshape replicas for their entire
+        life and must never leak executor threads generation over
+        generation.  The backend stays structurally intact (children,
+        topology) — only future ``execute`` calls fall back to sequential
+        scans if it is ever revived.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+        snapshot = self._topology
+        if snapshot is not None:
+            _close_children(snapshot.members)
 
     def apply_updates(self, database: Database, dirty_indices: Sequence[int]) -> PhaseTimer:
         """Swap in an updated database, touching only the owning shards.
@@ -429,54 +474,87 @@ class ShardedBackend(PIRBackend):
         breakdowns: Sequence[PhaseTimer],
         lanes: Sequence[int],
     ) -> np.ndarray:
-        """Batched sharded scan: split the matrix per shard once, fan out once.
+        """Batched sharded scan: split once, scan slabs, word-fold across shards.
 
-        The selector matrix is split into per-shard column views **once per
-        batch** (not once per query) and each child serves the whole batch
-        over its slice through its own ``execute_many`` — one pass over every
-        shard serves every query.  Per-shard batched scans run through the
-        same serial/threads executor as :meth:`execute`, and each query's
-        breakdown folds its per-shard child timers with per-phase max exactly
-        like the sequential path, so simulated time is identical.
+        The selector matrix is split into zero-copy per-shard column views
+        **once per batch** (not once per query), and each shard job runs one
+        batched scan with **no per-query Python in the worker**: children
+        exposing ``scan_many_into`` (the reference-substrate kinds) scan
+        their column block straight into a preallocated per-shard slab of
+        one ``(num_shards, B, record_size)`` accumulator array; other kinds
+        serve the block through their own ``execute_many``.  The slabs then
+        XOR-fold across shards through the uint64 word path of
+        :func:`~repro.core.partitioning.fold_partials`.
+
+        Under the ``threads`` executor the shard jobs overlap in the
+        persistent scan pool; ``auto`` asks the
+        :class:`~repro.shard.tuner.ScanTuner` per flush whether threads beat
+        serial at this shape's measured crossover (and with which chunk
+        size).  Simulated time is identical in every mode: child timers
+        still fold with per-phase max per query, exactly like the
+        sequential path (fast-path children record no phases, also exactly
+        like their sequential scans).
         """
         snapshot = self._topology
         if self._database is None or snapshot is None:
             raise ProtocolError("sharded backend has no prepared database")
         selector_matrix = np.asarray(selector_matrix, dtype=np.uint8)
         batch = selector_matrix.shape[0]
+        record_size = self._database.record_size
+        members = snapshot.members
+        blocks = snapshot.plan.split_selector_many(selector_matrix)
+        num_jobs = len(members)
+        #: One slab per shard; fast-path workers write into their slab
+        #: in place, so nothing is allocated or marshalled per query.
+        partials = np.zeros((num_jobs, batch, record_size), dtype=np.uint8)
 
-        def scan_shard_batch(job) -> Tuple[np.ndarray, List[PhaseTimer]]:
-            (shard, child, child_lanes), selector_block = job
-            child_timers = [PhaseTimer() for _ in range(batch)]
+        chunk_records = None
+        use_pool = self._pool is not None and num_jobs > 1
+        if self.executor == EXECUTOR_AUTO and self._tuner is not None:
+            calibration = self._tuner.choose(
+                self._database.num_records, record_size, batch
+            )
+            chunk_records = calibration.chunk_records
+            use_pool = use_pool and calibration.executor == EXECUTOR_THREADS
+
+        def scan_shard_batch(index: int) -> Optional[List[PhaseTimer]]:
+            (shard, child, child_lanes), block = members[index], blocks[index]
+            scan_into = getattr(child, "scan_many_into", None)
+            if scan_into is not None:
+                scan_into(block, partials[index], chunk_records=chunk_records)
+                return None
+            child_timers = [PhaseTimer() for _ in breakdowns]
             child_query_lanes = [min(lane, child_lanes - 1) for lane in lanes]
-            subs = child.execute_many(selector_block, child_timers, child_query_lanes)
-            return (
-                np.asarray(subs, dtype=np.uint8).reshape(batch, -1),
-                child_timers,
+            subs = child.execute_many(block, child_timers, child_query_lanes)
+            partials[index] = np.asarray(subs, dtype=np.uint8).reshape(
+                batch, record_size
             )
+            return child_timers
 
-        # One read of the topology snapshot, same as execute: the whole batch
-        # runs against one consistent plan/member pairing even if a live
-        # migration or reshape lands mid-flight.
-        jobs = list(
-            zip(
-                snapshot.members,
-                snapshot.plan.split_selector_many(selector_matrix),
-            )
-        )
-        if self._pool is not None and len(jobs) > 1:
-            scans = list(self._pool.map(scan_shard_batch, jobs))
+        if use_pool:
+            timers_per_shard = list(self._pool.map(scan_shard_batch, range(num_jobs)))
         else:
-            scans = [scan_shard_batch(job) for job in jobs]
+            timers_per_shard = [scan_shard_batch(index) for index in range(num_jobs)]
 
-        accumulators = np.zeros((batch, self._database.record_size), dtype=np.uint8)
-        combined = [PhaseTimer() for _ in range(batch)]
-        for (shard, _, _), (subs, child_timers) in zip(snapshot.members, scans):
-            accumulators ^= subs
-            for query_combined, child_timer in zip(combined, child_timers):
-                query_combined.merge_parallel(child_timer)
+        # Cross-shard fold through the same uint64 word path as the
+        # single-query pipeline (one flattened fold, B * record_size bytes
+        # per shard, bit-identical to per-query byte folds).
+        accumulators = fold_partials(
+            [slab.reshape(-1) for slab in partials], batch * record_size
+        ).reshape(batch, record_size)
+
+        combined = [PhaseTimer() for _ in breakdowns]
+        for (shard, _, _), child_timers in zip(members, timers_per_shard):
+            if child_timers is not None:
+                for query_combined, child_timer in zip(combined, child_timers):
+                    query_combined.merge_parallel(child_timer)
             if self.tracer is not None:
-                for breakdown, child_timer in zip(breakdowns, child_timers):
+                trace_timers = (
+                    child_timers
+                    if child_timers is not None
+                    else [PhaseTimer() for _ in breakdowns]
+                )
+                for breakdown, child_timer in zip(breakdowns, trace_timers):
                     self.tracer.record_shard_scan(breakdown, shard.index, child_timer)
             if self.events is not None:
                 self.events.emit(
@@ -484,7 +562,11 @@ class ShardedBackend(PIRBackend):
                     shard=shard.index,
                     records=shard.num_records,
                     batch=batch,
-                    seconds=sum(timer.total for timer in child_timers),
+                    seconds=(
+                        sum(timer.total for timer in child_timers)
+                        if child_timers is not None
+                        else 0.0
+                    ),
                 )
         for breakdown, query_combined in zip(breakdowns, combined):
             breakdown.merge(query_combined)
@@ -549,12 +631,17 @@ class ShardedBackend(PIRBackend):
             )
         report = child.prepare(plan.slice_shard(self._database, shard))
         replaced = list(members)
+        outgoing = replaced[position]
         replaced[position] = (shard, child, child.capabilities().lanes)
         # Single reference assignment: an execute() running concurrently (the
         # threads executor under the asyncio frontend) reads either the old
         # snapshot or the new one, never a child paired with a stale lane
         # count or a stale plan.
         self._topology = _Topology(plan, tuple(replaced))
+        # Migrations run under the control plane's reconfigure gate, so the
+        # outgoing child has no scan in flight; release its resources now or
+        # a long-lived fleet leaks one backend per migration.
+        _close_children([outgoing])
         if self.events is not None:
             self.events.emit(
                 "topology.swap_child",
@@ -643,12 +730,19 @@ class ShardedBackend(PIRBackend):
                 "the topology moved between stage and commit; re-stage "
                 "against the live plan"
             )
+        outgoing = staged.built_on
         # The single-assignment swap (see _Topology): in-flight queries keep
         # the old plan *and* the old members; nothing ever mixes the two.
         self._topology = staged.topology
         # A later full re-prepare must rebuild the topology in effect, not
         # resurrect the pre-reshape plan.
         self._requested_plan = staged.topology.plan
+        # Children the reshape did not carry forward are done serving
+        # (commits happen under the reconfigure gate); close them so repeated
+        # reshapes never accumulate leaked scan pools.
+        _close_children(
+            outgoing.members, keep=[child for _, child, _ in staged.topology.members]
+        )
         if self.events is not None:
             self.events.emit(
                 "topology.applied",
@@ -693,6 +787,7 @@ class ShardedServer:
         config: Optional[IMPIRConfig] = None,
         segment_records: Optional[int] = None,
         executor: str = EXECUTOR_SERIAL,
+        tuner: Optional[ScanTuner] = None,
         prg=None,
     ) -> None:
         if child_factory is None:
@@ -705,6 +800,7 @@ class ShardedServer:
             plan=plan,
             block_records=block_records,
             executor=executor,
+            tuner=tuner,
         )
         self.engine = QueryEngine(self.backend, server_id=server_id, prg=prg)
         self.engine.prepare(database)

@@ -49,6 +49,7 @@ from repro.shard.backend import (
     default_child_config,
 )
 from repro.shard.plan import ShardPlan, ShardSpec, TopologyChange
+from repro.shard.tuner import ScanTuner
 
 
 @dataclass(frozen=True)
@@ -436,6 +437,7 @@ class FleetRouter(PIRFrontend):
         policy: Optional[BatchingPolicy] = None,
         dedup: bool = False,
         executor: str = "serial",
+        tuner: Optional[ScanTuner] = None,
         observers: Sequence = (),
         cache=None,
         initial_replicas: int = 1,
@@ -474,9 +476,12 @@ class FleetRouter(PIRFrontend):
 
         # Remembered for elasticity: a staged replica member must be built
         # exactly like the construction-time ones (same live kind map, same
-        # executor), or the group's members would stop being interchangeable.
+        # executor and tuner), or the group's members would stop being
+        # interchangeable.  One shared tuner across the fleet: every member
+        # serves from this machine, so one measured crossover serves all.
         self._child_factory = child_factory
         self._executor = executor
+        self._tuner = tuner
         replicas = [
             ReplicaGroup(
                 server_id,
@@ -487,6 +492,7 @@ class FleetRouter(PIRFrontend):
                         plan=plan,
                         child_factory=child_factory,
                         executor=executor,
+                        tuner=tuner,
                     )
                     for _ in range(initial_replicas)
                 ],
@@ -542,6 +548,7 @@ class FleetRouter(PIRFrontend):
                         plan=plan,
                         child_factory=self._child_factory,
                         executor=self._executor,
+                        tuner=self._tuner,
                     )
                 )
         except Exception:

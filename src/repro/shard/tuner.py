@@ -1,0 +1,292 @@
+"""Measured serial-vs-threads policy for the sharded batched scan.
+
+PR 6 made the batched scan one pass (:func:`~repro.pir.xor_ops.dpxor_many`)
+and PR 3 gave :class:`~repro.shard.backend.ShardedBackend` a ``threads``
+executor — but whether threads actually *beat* serial depends on the shape:
+small shards lose more to pool handoff than they gain from overlap, large
+batches win it back.  Like RAFDA's separation of application logic from
+distribution policy, the parallelism decision is a measured policy layered
+over unchanged scan logic: a :class:`ScanTuner` runs a short calibration
+pass at a given ``(num_records, record_size, batch)`` shape — timing the
+serial one-pass scan against a sharded threads-style scan (contiguous
+record slices into preallocated per-slice accumulator slabs, exactly the
+shape of the backend's worker) for a few worker counts and chunk sizes —
+and remembers which executor won.  A backend constructed with
+``executor="auto"`` consults the tuner per flush, so the crossover is
+measured on the machine that serves the traffic instead of guessed by the
+caller.
+
+Calibrations persist as JSON (:meth:`ScanTuner.save` / :meth:`ScanTuner.load`),
+so a fleet restart — or the bench trajectory — keeps the measured crossover
+instead of re-measuring; batch sizes are bucketed to powers of two so a
+steady flow of slightly-varying flush sizes calibrates once per bucket, not
+once per size.
+
+This module is the one component of the shard layer that *must* read the
+wall clock: its entire job is measuring real execution (the simulated clock
+knows nothing about thread pools or memory bandwidth).  The clock is
+injectable for tests; the wall-clock default carries the lint exemption
+explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.pir.xor_ops import BATCH_CHUNK_BYTES, dpxor_many
+
+#: Executor names, mirrored from the backend (not imported: the backend
+#: imports this module).
+_SERIAL = "serial"
+_THREADS = "threads"
+
+
+def wall_clock() -> Callable[[], float]:
+    """The real monotonic clock, for measuring actual scan wall time."""
+    import time
+
+    return time.perf_counter  # noqa: wall-clock by design — the tuner measures real execution
+
+
+def _bucket_batch(batch: int) -> int:
+    """Round ``batch`` up to a power of two, so near-miss flush sizes share
+    one calibration instead of each triggering a measurement pass."""
+    if batch <= 1:
+        return 1
+    return 1 << (batch - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class ScanCalibration:
+    """Outcome of one calibration pass at one scan shape.
+
+    ``executor`` is the verdict (``"serial"`` or ``"threads"``);
+    ``num_workers``/``chunk_records`` are the winning threads configuration
+    (recorded even when serial wins, so the crossover sweep can show *how
+    close* threads came).
+    """
+
+    num_records: int
+    record_size: int
+    batch: int
+    serial_seconds: float
+    threads_seconds: float
+    num_workers: int
+    chunk_records: int
+    executor: str
+
+    @property
+    def threads_speedup(self) -> float:
+        """Serial time over best threads time (>1 means threads won raw)."""
+        if self.threads_seconds <= 0.0:
+            return 0.0
+        return self.serial_seconds / self.threads_seconds
+
+
+class ScanTuner:
+    """Calibrates and remembers the serial-vs-threads crossover per shape."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        worker_counts: Optional[Sequence[int]] = None,
+        repeats: int = 3,
+        min_speedup: float = 1.1,
+    ) -> None:
+        if repeats <= 0:
+            raise ConfigurationError("repeats must be positive")
+        if min_speedup < 1.0:
+            raise ConfigurationError("min_speedup must be >= 1.0")
+        self._clock = clock if clock is not None else wall_clock()
+        if worker_counts is None:
+            cores = os.cpu_count() or 1
+            worker_counts = sorted({2, min(4, max(2, cores)), max(2, cores)})
+        self._worker_counts = tuple(int(count) for count in worker_counts)
+        if not self._worker_counts or min(self._worker_counts) < 2:
+            raise ConfigurationError("worker_counts must all be >= 2")
+        self._repeats = repeats
+        #: Threads must beat serial by this factor to win the verdict —
+        #: hysteresis against flipping the fleet's executor on measurement
+        #: noise when the two are within a whisker of each other.
+        self._min_speedup = min_speedup
+        self._calibrations: Dict[Tuple[int, int, int], ScanCalibration] = {}
+
+    # -- measurement ------------------------------------------------------------
+
+    def _best_of(self, run: Callable[[], None]) -> float:
+        best = float("inf")
+        for _ in range(self._repeats):
+            started = self._clock()
+            run()
+            best = min(best, self._clock() - started)
+        return best
+
+    def calibrate(
+        self, num_records: int, record_size: int, batch: int
+    ) -> ScanCalibration:
+        """Measure serial vs. threads at this shape and record the verdict.
+
+        Deterministic synthetic operands (seeded from the shape) stand in
+        for the real database: the scan cost depends only on the shape, not
+        the bytes.  The threads leg reproduces the backend's worker exactly —
+        contiguous record slices, one preallocated slab per worker, a
+        persistent pool (creation excluded from timing, as the backend's
+        pool outlives every flush), and the final XOR fold across slabs.
+        """
+        if num_records <= 0 or record_size <= 0 or batch <= 0:
+            raise ConfigurationError("calibration shape must be positive")
+        batch = _bucket_batch(batch)
+        rng = np.random.default_rng(
+            (num_records * 1_000_003 + record_size * 1_009 + batch) & 0x7FFFFFFF
+        )
+        database = rng.integers(0, 256, size=(num_records, record_size), dtype=np.uint8)
+        selectors = rng.integers(0, 2, size=(batch, num_records), dtype=np.uint8)
+
+        default_chunk = max(1, BATCH_CHUNK_BYTES // max(1, record_size))
+        chunk_candidates = sorted(
+            {min(num_records, default_chunk), min(num_records, max(1, default_chunk // 4))}
+        )
+        serial_seconds = float("inf")
+        best_chunk = chunk_candidates[0]
+        out = np.zeros((batch, record_size), dtype=np.uint8)
+        for chunk in chunk_candidates:
+            seconds = self._best_of(
+                lambda chunk=chunk: dpxor_many(
+                    database, selectors, chunk_records=chunk, out=out
+                )
+            )
+            if seconds < serial_seconds:
+                serial_seconds = seconds
+                best_chunk = chunk
+
+        threads_seconds = float("inf")
+        best_workers = self._worker_counts[0]
+        for workers in self._worker_counts:
+            bounds = self._slice_bounds(num_records, workers)
+            partials = np.zeros((len(bounds), batch, record_size), dtype=np.uint8)
+
+            def scan_slice(index: int, bounds=bounds, partials=partials) -> None:
+                start, stop = bounds[index]
+                dpxor_many(
+                    database[start:stop],
+                    selectors[:, start:stop],
+                    chunk_records=best_chunk,
+                    out=partials[index],
+                )
+
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="scan-tune"
+            ) as pool:
+
+                def run_threads() -> None:
+                    list(pool.map(scan_slice, range(len(bounds))))
+                    np.bitwise_xor.reduce(partials, axis=0, out=out)
+
+                seconds = self._best_of(run_threads)
+            if seconds < threads_seconds:
+                threads_seconds = seconds
+                best_workers = workers
+
+        executor = (
+            _THREADS
+            if threads_seconds * self._min_speedup < serial_seconds
+            else _SERIAL
+        )
+        calibration = ScanCalibration(
+            num_records=num_records,
+            record_size=record_size,
+            batch=batch,
+            serial_seconds=serial_seconds,
+            threads_seconds=threads_seconds,
+            num_workers=best_workers,
+            chunk_records=best_chunk,
+            executor=executor,
+        )
+        self._calibrations[(num_records, record_size, batch)] = calibration
+        return calibration
+
+    @staticmethod
+    def _slice_bounds(num_records: int, workers: int) -> List[Tuple[int, int]]:
+        """Contiguous ceil-split of the records, like the shard layer's own."""
+        per_worker = -(-num_records // workers)
+        bounds = []
+        for index in range(workers):
+            start = min(index * per_worker, num_records)
+            stop = min(start + per_worker, num_records)
+            if start < stop:
+                bounds.append((start, stop))
+        return bounds
+
+    # -- policy lookup ----------------------------------------------------------
+
+    def choose(self, num_records: int, record_size: int, batch: int) -> ScanCalibration:
+        """The calibration for this shape, measuring it on first sight."""
+        key = (num_records, record_size, _bucket_batch(batch))
+        calibration = self._calibrations.get(key)
+        if calibration is None:
+            calibration = self.calibrate(num_records, record_size, batch)
+        return calibration
+
+    def executor_for(self, num_records: int, record_size: int, batch: int) -> str:
+        """``"serial"`` or ``"threads"`` — the measured verdict for the shape."""
+        return self.choose(num_records, record_size, batch).executor
+
+    @property
+    def calibrations(self) -> List[ScanCalibration]:
+        """Every recorded calibration, in shape order."""
+        return [self._calibrations[key] for key in sorted(self._calibrations)]
+
+    def crossover_rows(self) -> List[dict]:
+        """The calibrations as plain dicts (for bench artifacts / reports)."""
+        return [
+            dict(asdict(calibration), threads_speedup=calibration.threads_speedup)
+            for calibration in self.calibrations
+        ]
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the recorded calibrations as JSON."""
+        payload = {"version": 1, "calibrations": [asdict(c) for c in self.calibrations]}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def load(self, path) -> int:
+        """Merge calibrations from ``path`` into this tuner; returns the count.
+
+        Loaded verdicts override same-shape entries: the file is assumed to
+        be the more deliberate measurement (a saved bench run) than whatever
+        ad-hoc calibration this process did first.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        rows = payload.get("calibrations", [])
+        for row in rows:
+            calibration = ScanCalibration(**row)
+            key = (calibration.num_records, calibration.record_size, calibration.batch)
+            self._calibrations[key] = calibration
+        return len(rows)
+
+
+_default_tuner: Optional[ScanTuner] = None
+
+
+def default_tuner() -> ScanTuner:
+    """The process-wide shared tuner, created on first use.
+
+    Shared deliberately: every ``executor="auto"`` backend in the process
+    serves from the same machine, so one measurement per shape serves all of
+    them (a fleet of replicas would otherwise calibrate once per replica).
+    """
+    global _default_tuner
+    if _default_tuner is None:
+        _default_tuner = ScanTuner()
+    return _default_tuner

@@ -599,3 +599,42 @@ class TestAsyncControlDriver:
         lines = "\n".join(plane.describe())
         assert "autoscaler: 2 live replica(s)" in lines
         assert "last action: scale-up" in lines
+
+
+class TestElasticCloseHygiene:
+    """Retired replicas must release their scan resources: both the drain
+    path and an abandoned staging close every member they retire."""
+
+    @staticmethod
+    def _record_close(member, closed):
+        original = member.backend.close
+
+        def recording_close(member=member, original=original):
+            closed.append(member)
+            original()
+
+        member.backend.close = recording_close
+
+    def test_drain_closes_the_retired_members(self, database):
+        router = make_router(database)
+        router.add_replica()
+        newest = [group.members[-1] for group in router.replicas]
+        closed = []
+        for member in newest:
+            self._record_close(member, closed)
+        drained = router.drain_replica()
+        assert drained == newest
+        assert closed == newest
+
+    def test_abandon_closes_the_staged_members(self, database):
+        router = make_router(database)
+        staged = router.stage_replicas()
+        closed = []
+        for member in staged.members:
+            self._record_close(member, closed)
+        router.abandon_replicas(staged)
+        assert closed == list(staged.members)
+        # The surviving replica is untouched and still serves.
+        assert router.replica_count == 1
+        record = database.record(5)
+        assert router.retrieve_batch([5]) == [record]

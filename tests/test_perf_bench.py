@@ -166,6 +166,57 @@ class TestBenchCompare:
         compare = _load_tool("bench_compare")
         assert compare.main([str(tmp_path / "nope.json"), str(tmp_path / "x")]) == 2
 
+    def _write_pair(self, tmp_path, old, new):
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        return str(old_path), str(new_path)
+
+    def test_mismatched_shape_warns_on_stderr(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        old_path, new_path = self._write_pair(
+            tmp_path,
+            {"shape": {"num_records": 1024}, "wall_clock": {"qps": 1.0}},
+            {"shape": {"num_records": 4096}, "wall_clock": {"qps": 2.0}},
+        )
+        assert compare.main([old_path, new_path]) == 0
+        captured = capsys.readouterr()
+        assert "shape context differs" in captured.err
+        assert "+100.0%" in captured.out  # the diff still prints
+
+    def test_mismatched_hardware_warns_on_stderr(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        old_path, new_path = self._write_pair(
+            tmp_path,
+            {"hardware": {"cpu_count": 1}, "wall_clock": {"qps": 1.0}},
+            {"hardware": {"cpu_count": 64}, "wall_clock": {"qps": 2.0}},
+        )
+        assert compare.main([old_path, new_path]) == 0
+        assert "hardware context differs" in capsys.readouterr().err
+
+    def test_matching_context_stays_silent(self, tmp_path, capsys):
+        compare = _load_tool("bench_compare")
+        context = {"shape": {"num_records": 1024}, "hardware": {"cpu_count": 2}}
+        old_path, new_path = self._write_pair(
+            tmp_path,
+            dict(context, wall_clock={"qps": 1.0}),
+            dict(context, wall_clock={"qps": 2.0}),
+        )
+        assert compare.main([old_path, new_path]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_missing_hardware_section_on_one_side_warns(self, tmp_path, capsys):
+        # Old artifacts predate the hardware section; comparing against a new
+        # run should say so rather than silently diffing.
+        compare = _load_tool("bench_compare")
+        old_path, new_path = self._write_pair(
+            tmp_path,
+            {"wall_clock": {"qps": 1.0}},
+            {"hardware": {"cpu_count": 2}, "wall_clock": {"qps": 2.0}},
+        )
+        assert compare.main([old_path, new_path]) == 0
+        assert "hardware context differs" in capsys.readouterr().err
+
 
 class TestVectorizedScanLint:
     def _check(self, tmp_path, relative, source):
@@ -234,6 +285,71 @@ class TestVectorizedScanLint:
         for path in lint.iter_python_files([str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]):
             total.extend(lint.check_file(path))
         assert total == []
+
+
+class TestBatchedScanLint:
+    def _check(self, tmp_path, relative, source):
+        lint = _load_tool("lint")
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return lint.check_file(path)
+
+    @pytest.mark.parametrize("package", ["shard", "pim"])
+    @pytest.mark.parametrize("bound", ["batch", "batch_size"])
+    def test_per_query_batch_loop_flagged(self, tmp_path, package, bound):
+        findings = self._check(
+            tmp_path,
+            f"src/repro/{package}/scan.py",
+            f"def scan({bound}):\n"
+            f"    for i in range({bound}):\n"
+            "        pass\n",
+        )
+        assert any(
+            "per-query Python loop" in message for _, message in findings
+        )
+
+    def test_attribute_bound_flagged(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/pim/scan.py",
+            "def scan(job):\n"
+            "    for i in range(job.batch_size):\n"
+            "        pass\n",
+        )
+        assert any(
+            "per-query Python loop" in message for _, message in findings
+        )
+
+    def test_chunked_range_is_legal(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/shard/scan.py",
+            "def scan(batch, chunk):\n"
+            "    for start in range(0, batch, chunk):\n"
+            "        pass\n",
+        )
+        assert not findings
+
+    def test_other_packages_unaffected(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/bench/scan.py",
+            "def scan(batch):\n"
+            "    for i in range(batch):\n"
+            "        pass\n",
+        )
+        assert not findings
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            "src/repro/shard/scan.py",
+            "def scan(batch):\n"
+            "    for i in range(batch):  # noqa\n"
+            "        pass\n",
+        )
+        assert not findings
 
 
 class TestPrintLint:
@@ -384,3 +500,49 @@ class TestBackendSurveyAndDpuModel:
 
     def test_dpu_pipeline_model_is_deterministic(self):
         assert dpu_pipeline_model(2048, 64) == dpu_pipeline_model(2048, 64)
+
+    def test_dpu_pipeline_batched_view_amortizes(self):
+        for row in dpu_pipeline_model(2048, 64, batch_size=16):
+            batched = row["batched"]
+            assert batched["batch_size"] == 16
+            # Fixed per-dispatch charges amortise; per-row work never does,
+            # so the per-query cost drops but stays above the kernel+fold floor.
+            assert batched["per_query_seconds"] < row["per_query_seconds"]
+            floor = (
+                row["stages"]["kernel_seconds"] + row["stages"]["fold_seconds"]
+            )
+            assert batched["per_query_seconds"] > floor
+            assert batched["amortized_speedup"] > 1.0
+
+
+class TestCrossoverSweep:
+    def test_quick_metrics_include_sweep_and_hardware(self):
+        metrics = run_bench(quick=True, output_path=None)
+
+        hardware = metrics["hardware"]
+        assert hardware["cpu_count"] >= 1
+        assert hardware["numpy_version"]
+        assert isinstance(hardware["thread_env"], dict)
+
+        sweep = metrics["crossover_sweep"]
+        grid = sweep["grid"]
+        seen = {(row["num_shards"], row["executor"]) for row in grid}
+        assert seen == {
+            (shards, executor)
+            for shards in (1, 2, 4)
+            for executor in ("serial", "threads")
+        }
+        for row in grid:
+            assert row["scan_seconds"] > 0
+            assert row["records_per_second"] > 0
+
+        calibrations = sweep["scan_tuner"]
+        assert calibrations, "the sweep must record at least one calibration"
+        for calibration in calibrations:
+            assert calibration["executor"] in ("serial", "threads")
+            assert calibration["num_workers"] >= 2
+            assert calibration["threads_speedup"] > 0
+
+        text = render_bench(metrics)
+        assert "crossover sweep" in text
+        assert "tuner verdict" in text

@@ -25,7 +25,7 @@ from repro.shard.backend import (
     ShardedServer,
     bare_backend_factory,
 )
-from repro.shard.plan import ShardPlan, ShardSpec
+from repro.shard.plan import ShardPlan
 
 
 def make_client(database, seed=17):
@@ -600,3 +600,81 @@ class TestShardExecutors:
         assert len(windows) == 2
         (start_a, end_a), (start_b, end_b) = windows
         assert max(start_a, start_b) < min(end_a, end_b)
+
+
+class _ClosableChild:
+    """Delegating child that records ``close`` calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.closed = 0
+
+    def close(self):
+        self.closed += 1
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestClosePropagation:
+    """Every path that retires a child must release it — a long-lived fleet
+    reshapes for its whole life and must never leak scan pools."""
+
+    @staticmethod
+    def _tracked_factory(children):
+        inner = bare_backend_factory("reference")
+
+        def build(shard):
+            child = _ClosableChild(inner(shard))
+            children.append(child)
+            return child
+
+        return build
+
+    def test_close_closes_every_child_and_the_pool(self):
+        database = Database.random(64, 8, seed=21)
+        children = []
+        backend = ShardedBackend(
+            self._tracked_factory(children), num_shards=3, executor="threads"
+        )
+        backend.prepare(database)
+        assert backend._pool is not None
+        backend.close()
+        assert backend._pool is None
+        assert [child.closed for child in children] == [1, 1, 1]
+
+    def test_swap_child_closes_only_the_outgoing_member(self):
+        database = Database.random(64, 8, seed=22)
+        children = []
+        backend = ShardedBackend(self._tracked_factory(children), num_shards=2)
+        backend.prepare(database)
+        shard, _ = backend.members[1]
+        incoming = _ClosableChild(bare_backend_factory("reference")(shard))
+        backend.swap_child(shard.index, incoming)
+        assert [child.closed for child in children] == [0, 1]
+        assert incoming.closed == 0
+
+    def test_reshape_closes_replaced_children_and_keeps_reused(self):
+        database = Database.random(64, 8, seed=23)
+        children = []
+        backend = ShardedBackend(self._tracked_factory(children), num_shards=2)
+        backend.prepare(database)
+        first_generation = list(children)
+        backend.apply_topology(backend.plan.split_shard(0, 16))
+        # Shard 0 was replaced by its two halves; shard 1's range survived
+        # the reshape byte-for-byte, so its child is reused and stays open.
+        assert [child.closed for child in first_generation] == [1, 0]
+        new_children = [c for c in children if c not in first_generation]
+        assert len(new_children) == 2
+        assert all(child.closed == 0 for child in new_children)
+
+    def test_reprepare_closes_the_old_generation(self):
+        database = Database.random(64, 8, seed=24)
+        children = []
+        backend = ShardedBackend(self._tracked_factory(children), num_shards=2)
+        backend.prepare(database)
+        old_generation = list(children)
+        backend.prepare(database)
+        new_generation = [c for c in children if c not in old_generation]
+        assert [child.closed for child in old_generation] == [1, 1]
+        assert all(child.closed == 0 for child in new_generation)

@@ -8,7 +8,11 @@ Usage::
 
 With two files, every numeric leaf shared by both is printed side by side
 with its relative change; leaves present in only one file are listed
-separately so a schema drift is visible instead of silently ignored.
+separately so a schema drift is visible instead of silently ignored.  If the
+two runs disagree on their ``shape`` or ``hardware`` context (different
+database shape, core count, numpy version or thread-cap env), a warning is
+printed to stderr first — wall-clock numbers from different shapes or
+machines diff apples against oranges.
 
 With a directory (the ``make bench`` archive), every ``BENCH_*.json`` in it
 is listed oldest first — one row of headline metrics per run — followed by
@@ -41,6 +45,32 @@ def flatten_numeric(value: object, prefix: str = "") -> Dict[str, float]:
     elif isinstance(value, (int, float)):
         leaves[prefix] = float(value)
     return leaves
+
+
+#: Context sections that must match for a two-file diff to be meaningful.
+CONTEXT_KEYS = ("shape", "hardware")
+
+
+def context_warnings(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str]:
+    """Human-readable mismatches between two runs' measurement contexts.
+
+    Compares the raw (unflattened) ``shape`` and ``hardware`` sections; a
+    section missing from either side is only a mismatch if the other side
+    has it (old artifacts predate the ``hardware`` section).
+    """
+    warnings: List[str] = []
+    for key in CONTEXT_KEYS:
+        old, new = baseline.get(key), candidate.get(key)
+        if old is None and new is None:
+            continue
+        if old != new:
+            warnings.append(
+                f"warning: {key} context differs between runs "
+                f"({json.dumps(old, sort_keys=True)} vs "
+                f"{json.dumps(new, sort_keys=True)}); "
+                f"wall-clock changes may reflect the context, not the code"
+            )
+    return warnings
 
 
 def compare(baseline: Dict[str, float], candidate: Dict[str, float]) -> str:
@@ -137,15 +167,17 @@ def main(argv=None) -> int:
     if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    maps = []
+    raw = []
     for path in argv:
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                maps.append(flatten_numeric(json.load(handle)))
+                raw.append(json.load(handle))
         except (OSError, ValueError) as error:
             print(f"cannot read {path}: {error}", file=sys.stderr)
             return 2
-    baseline, candidate = maps
+    for warning in context_warnings(raw[0], raw[1]):
+        print(warning, file=sys.stderr)
+    baseline, candidate = (flatten_numeric(data) for data in raw)
     if not set(baseline) & set(candidate):
         print("the two files share no numeric metrics", file=sys.stderr)
         return 1

@@ -33,6 +33,11 @@ AST pass instead.  It flags:
   under ``src/repro/pir/`` and ``src/repro/core/`` — data-plane scans must go
   through the vectorised kernels; chunked ``range(start, stop, step)`` walks
   remain legal;
+* per-query Python loops over the batch dimension (single-argument
+  ``for ... in range(batch)`` / ``range(batch_size)``) under
+  ``src/repro/shard/`` and ``src/repro/pim/`` — the batched scan and kernel
+  paths exist precisely so nothing walks a batch query by query in Python;
+  as with the per-record rule, chunked ranges stay legal;
 * bare ``print(`` anywhere under ``src/repro/`` — library code reports
   through the structured event log (:mod:`repro.obs.events`) or returns
   strings for the CLI layer to print; only the CLI entry points
@@ -162,11 +167,11 @@ def _is_print_banned(path: Path) -> bool:
     return "repro" in path.parts
 
 
-def _is_per_record_loop(node: ast.AST) -> bool:
-    """True for ``for ... in range(num_records)`` (single-argument form only).
-
-    Chunk walks like ``range(0, num_records, chunk)`` stay legal — they
-    iterate once per cache-sized block, not once per record.
+def _is_single_arg_range_over(node: ast.AST, bound_names: set) -> bool:
+    """True for ``for ... in range(<name>)`` where ``<name>`` is in
+    ``bound_names`` (as a bare name or an attribute), single-argument form
+    only.  Chunk walks like ``range(0, bound, chunk)`` stay legal — they
+    iterate once per block, not once per element.
     """
     if not isinstance(node, ast.For):
         return False
@@ -181,8 +186,33 @@ def _is_per_record_loop(node: ast.AST) -> bool:
         return False
     bound = call.args[0]
     if isinstance(bound, ast.Name):
-        return bound.id == "num_records"
-    return isinstance(bound, ast.Attribute) and bound.attr == "num_records"
+        return bound.id in bound_names
+    return isinstance(bound, ast.Attribute) and bound.attr in bound_names
+
+
+def _is_per_record_loop(node: ast.AST) -> bool:
+    """True for ``for ... in range(num_records)`` (single-argument form only)."""
+    return _is_single_arg_range_over(node, {"num_records"})
+
+
+#: Packages whose batch handling must stay batched: a per-query Python loop
+#: over the batch dimension re-introduces the per-dispatch overhead the
+#: batched scan workers (``scan_many_into``) and the batched DPU kernel
+#: (``DpXorManyKernel`` via ``run_dpu_pipeline_many``) exist to amortise.
+BATCHED_SCAN_PACKAGES = ("shard", "pim")
+
+
+def _is_batched_scan_only(path: Path) -> bool:
+    parts = path.parts
+    return any(
+        parts[i] == "repro" and parts[i + 1] in BATCHED_SCAN_PACKAGES
+        for i in range(len(parts) - 1)
+    )
+
+
+def _is_per_query_batch_loop(node: ast.AST) -> bool:
+    """True for ``for ... in range(batch)`` / ``range(batch_size)``."""
+    return _is_single_arg_range_over(node, {"batch", "batch_size"})
 
 
 def check_file(path: Path) -> List[Tuple[int, str]]:
@@ -194,6 +224,7 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     noqa = _noqa_lines(source)
     simulated_clock_only = _is_simulated_clock_only(path)
     vectorized_scan_only = _is_vectorized_scan_only(path)
+    batched_scan_only = _is_batched_scan_only(path)
     print_banned = _is_print_banned(path)
 
     imports: List[Tuple[int, str, str]] = []  # (lineno, bound name, description)
@@ -291,6 +322,16 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
                     "per-record Python loop (for ... in range(num_records)) "
                     "under a vectorised-scan package (src/repro/{pir,core}/) "
                     "— use the batched numpy kernels or a chunked range",
+                )
+            )
+        if batched_scan_only and _is_per_query_batch_loop(node):
+            deprecated.append(
+                (
+                    node.lineno,
+                    "per-query Python loop over the batch dimension "
+                    "(for ... in range(batch[_size])) under a batched-scan "
+                    "package (src/repro/{shard,pim}/) — use the batched "
+                    "worker/kernel paths or a chunked range",
                 )
             )
         if (
